@@ -1,0 +1,119 @@
+"""Extension bench: stacking quantization/pruning on PoE (paper §2 claim).
+
+The paper positions KD as orthogonal to quantization and pruning.  This
+bench extends Table 4: experts shipped as affine-uint8 shrink the pool a
+further ~4x with negligible prediction churn, and magnitude-pruned experts
+shrink the sparse encoding further.  Timed kernel: serializing a model
+payload for shipping (the server's per-query byte cost).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compress import (
+    dequantize_state,
+    magnitude_prune,
+    quantize_state,
+    quantized_nbytes,
+    sparse_nbytes,
+)
+from repro.core import ModelQueryRequest, PoEServer, deserialize_task_model
+from repro.eval import render_table
+from repro.nn import state_dict_nbytes
+
+
+@pytest.mark.parametrize("track_idx", [0], ids=["synth-cifar"])
+def test_compression_stacks_with_poe(benchmark, tracks, store, emit, track_idx):
+    if track_idx >= len(tracks):
+        pytest.skip("track not selected via REPRO_BENCH_TRACKS")
+    track = tracks[track_idx]
+    pool = store.pool(track)
+    data = store.dataset(track)
+    tasks = list(track.selected_tasks(data.hierarchy)[:2])
+    server = PoEServer(pool)
+
+    full = server.handle(ModelQueryRequest(tasks=tuple(tasks)))
+    packed = server.handle(ModelQueryRequest(tasks=tuple(tasks), transport="uint8"))
+    model_full = deserialize_task_model(full.payload)
+    model_packed = deserialize_task_model(packed.payload)
+    x = data.test.images[:200]
+    agreement = float((model_full.predict(x) == model_packed.predict(x)).mean())
+
+    # raw state-dict accounting per expert
+    name = tasks[0]
+    expert_state = pool.experts[name].state_dict()
+    raw = state_dict_nbytes(expert_state)
+    quant = quantized_nbytes(quantize_state(expert_state))
+
+    rows = [
+        ["float32 payload", f"{full.payload_bytes / 1024:.1f}KB", "1.00"],
+        [
+            "uint8 payload",
+            f"{packed.payload_bytes / 1024:.1f}KB",
+            f"{agreement:.3f}",
+        ],
+        ["expert state raw", f"{raw / 1024:.1f}KB", "-"],
+        ["expert state uint8", f"{quant / 1024:.1f}KB", "-"],
+    ]
+    emit(
+        f"ext_compression_{track.name}",
+        render_table(
+            ["Representation", "Bytes", "Prediction agreement"],
+            rows,
+            title=f"Extension ({track.name}): quantization stacked on PoE",
+        ),
+    )
+    assert packed.payload_bytes < full.payload_bytes
+    assert quant < raw / 3.5
+    assert agreement > 0.9
+
+    benchmark(lambda: server.handle(ModelQueryRequest(tasks=tuple(tasks), transport="uint8")))
+
+
+@pytest.mark.parametrize("track_idx", [0], ids=["synth-cifar"])
+def test_pruning_shrinks_expert_storage(benchmark, tracks, store, emit, track_idx):
+    """Magnitude pruning at 50% halves the sparse encoding of an expert
+    while keeping its standalone accuracy close (orthogonality claim)."""
+    from repro.eval.metrics import specialized_accuracy
+    from repro.models import WRNHead
+
+    if track_idx >= len(tracks):
+        pytest.skip("track not selected via REPRO_BENCH_TRACKS")
+    track = tracks[track_idx]
+    pool = store.pool(track)
+    data = store.dataset(track)
+    name = track.selected_tasks(data.hierarchy)[0]
+    task = data.hierarchy.task(name)
+
+    # work on a copy so the shared pool stays pristine
+    clone = WRNHead(
+        track.depth, track.library_k, track.expert_ks, len(task),
+        library_level=track.library_level,
+    )
+    clone.load_state_dict(pool.experts[name].state_dict())
+    from repro.models import BranchedSpecialistNet
+
+    base_model = BranchedSpecialistNet(pool.library, [(name, clone)])
+    base_model.eval()
+    acc_before = specialized_accuracy(base_model, data.test, task)
+    dense = sparse_nbytes(clone.state_dict())
+    magnitude_prune(clone, 0.5)
+    acc_after = specialized_accuracy(base_model, data.test, task)
+    sparse = sparse_nbytes(clone.state_dict())
+
+    emit(
+        f"ext_pruning_{track.name}",
+        render_table(
+            ["Variant", "Sparse bytes", "Accuracy"],
+            [
+                ["dense expert", f"{dense / 1024:.1f}KB", f"{acc_before:.3f}"],
+                ["50% pruned", f"{sparse / 1024:.1f}KB", f"{acc_after:.3f}"],
+            ],
+            title=f"Extension ({track.name}): magnitude pruning on one expert",
+        ),
+    )
+    assert sparse < dense
+    assert acc_after > acc_before - 0.15
+
+    state = pool.experts[name].state_dict()
+    benchmark(lambda: sparse_nbytes(state))

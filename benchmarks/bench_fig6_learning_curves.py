@@ -1,0 +1,43 @@
+"""Figure 6: accuracy-vs-wall-clock learning curves in the service phase.
+
+Shape to reproduce: every training-based method needs seconds-to-minutes
+of wall-clock to reach its best accuracy; PoE reaches its accuracy at
+(effectively) time zero.  The timed kernel contrasts the two directly:
+one epoch of CKD service training vs a full PoE consolidation.
+"""
+
+import pytest
+
+from repro.eval import learning_curves, render_curves
+from repro.eval.service import run_service_method
+
+
+@pytest.mark.parametrize("track_idx", [0, 1], ids=["synth-cifar", "synth-tiny"])
+def test_fig6(benchmark, tracks, store, emit, track_idx):
+    if track_idx >= len(tracks):
+        pytest.skip("track not selected via REPRO_BENCH_TRACKS")
+    track = tracks[track_idx]
+    curves = learning_curves(track, store, n_q=5)
+    emit(
+        f"fig6_{track.name}",
+        render_curves(
+            curves,
+            title=f"Figure 6 ({track.name}): learning curves in the service phase, n(Q)=5",
+        ),
+    )
+
+    # Shape: PoE's curve is a single point at ~0 seconds whose accuracy is
+    # competitive with the trained baselines' best.
+    poe_time, poe_acc = curves["poe"][0]
+    assert poe_time < 0.05
+    for method in ("sd+scratch", "uhc+scratch"):
+        best = max(acc for _, acc in curves[method])
+        assert poe_acc > best, f"poe ({poe_acc}) should beat {method} ({best})"
+    # training methods genuinely pay wall-clock
+    assert max(t for t, _ in curves["scratch"]) > 10 * poe_time
+
+    # Timed kernel: PoE consolidation at n(Q)=5 (the 'curve' of PoE).
+    pool = store.pool(track)
+    data = store.dataset(track)
+    tasks = track.selected_tasks(data.hierarchy)[:5]
+    benchmark(lambda: pool.consolidate(list(tasks)))

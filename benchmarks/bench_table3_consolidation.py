@@ -1,0 +1,89 @@
+"""Table 3: model consolidation for composite tasks, n(Q) ∈ {2..5}.
+
+Regenerates the full method × n(Q) accuracy/size matrix.  Expected shape
+(paper §5.3): PoE beats every training-based baseline except CKD despite
+zero training; SD/UHC+Scratch collapse (overconfidence + logit scales);
+SD/UHC+CKD recover much of the gap; the branched PoE model carries the
+fewest parameters.  The timed kernel is PoE's train-free consolidation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import format_count, render_table, service_table
+from repro.eval.service import SERVICE_METHODS
+
+
+def render_track_table(track, store):
+    rows = service_table(track, store)
+    by_method = {}
+    for row in rows:
+        by_method.setdefault(row["method"], {})[row["n_q"]] = row
+    out = []
+    for method in SERVICE_METHODS:
+        per_n = by_method.get(method, {})
+        cells = [method]
+        for n_q in (2, 3, 4, 5):
+            r = per_n.get(n_q)
+            cells.append(
+                f"{100 * r['accuracy_mean']:.1f}±{100 * r['accuracy_std']:.1f}" if r else "-"
+            )
+        any_row = next(iter(per_n.values()))
+        cells.append(any_row["arch"])
+        cells.append(format_count(np.mean([r["params"] for r in per_n.values()])))
+        out.append(cells)
+    return out, rows
+
+
+@pytest.mark.parametrize("track_idx", [0, 1], ids=["synth-cifar", "synth-tiny"])
+def test_table3(benchmark, tracks, store, emit, track_idx):
+    if track_idx >= len(tracks):
+        pytest.skip("track not selected via REPRO_BENCH_TRACKS")
+    track = tracks[track_idx]
+    cells, rows = render_track_table(track, store)
+    emit(
+        f"table3_{track.name}",
+        render_table(
+            ["Method", "n(Q)=2", "n(Q)=3", "n(Q)=4", "n(Q)=5", "Arch", "Params(avg)"],
+            cells,
+            title=f"Table 3 ({track.name}): task-specific models for composite tasks",
+        ),
+    )
+
+    acc = {
+        (r["method"], r["n_q"]): r["accuracy_mean"] for r in rows
+    }
+    for n_q in (2, 3, 4, 5):
+        # PoE beats the scratch-teacher merging baselines by a wide margin.
+        assert acc[("poe", n_q)] > acc[("sd+scratch", n_q)]
+        assert acc[("poe", n_q)] > acc[("uhc+scratch", n_q)]
+        # Merging calibrated CKD experts beats merging scratch experts.
+        assert acc[("sd+ckd", n_q)] > acc[("sd+scratch", n_q)]
+        assert acc[("uhc+ckd", n_q)] > acc[("uhc+scratch", n_q)]
+    # CKD (training) stays the best specialist method overall.
+    mean_ckd = np.mean([acc[("ckd", n)] for n in (2, 3, 4, 5)])
+    mean_poe = np.mean([acc[("poe", n)] for n in (2, 3, 4, 5)])
+    assert mean_ckd >= mean_poe - 0.02
+
+    # Timed kernel: the train-free consolidation itself at n(Q)=5.
+    pool = store.pool(track)
+    data = store.dataset(track)
+    tasks = track.selected_tasks(data.hierarchy)[:5]
+    benchmark(lambda: pool.consolidate(list(tasks)))
+
+
+@pytest.mark.parametrize("track_idx", [0, 1], ids=["synth-cifar", "synth-tiny"])
+def test_table3_poe_param_advantage(benchmark, tracks, store, track_idx):
+    """PoE's branched M(Q) carries fewer params than the trained students."""
+    if track_idx >= len(tracks):
+        pytest.skip("track not selected via REPRO_BENCH_TRACKS")
+    track = tracks[track_idx]
+    rows = service_table(track, store, methods=("poe", "scratch"), n_q_values=(5,))
+    poe = next(r for r in rows if r["method"] == "poe")
+    scratch = next(r for r in rows if r["method"] == "scratch")
+    assert poe["params"] < scratch["params"]
+
+    pool = store.pool(track)
+    data = store.dataset(track)
+    tasks = track.selected_tasks(data.hierarchy)[:2]
+    benchmark(lambda: pool.consolidate(list(tasks)))

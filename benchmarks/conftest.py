@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper from the artifact
+store (training anything that is missing — the first run builds the full
+matrix, subsequent runs reuse it) and times a representative kernel with
+pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Set ``REPRO_FAST=1`` to regenerate everything at reduced budgets.
+Rendered tables are printed and also written to ``.artifacts/reports/``.
+"""
+
+import os
+
+import pytest
+
+from repro.eval import ArtifactStore, cifar_track, tiny_track
+
+
+@pytest.fixture(scope="session")
+def store() -> ArtifactStore:
+    return ArtifactStore()
+
+
+@pytest.fixture(scope="session")
+def tracks():
+    """Both evaluation tracks (CIFAR-like and Tiny-ImageNet-like).
+
+    ``REPRO_BENCH_TRACKS`` (comma-separated) restricts the set, e.g. to run
+    only the CIFAR-like track while the other's artifacts are still
+    building.  Benches parametrised over a missing index are skipped.
+    """
+    selected = os.environ.get("REPRO_BENCH_TRACKS", "synth-cifar,synth-tiny").split(",")
+    all_tracks = {"synth-cifar": cifar_track(), "synth-tiny": tiny_track()}
+    return [all_tracks[name] for name in selected if name in all_tracks]
+
+
+@pytest.fixture(scope="session")
+def report_dir(store):
+    path = os.path.join(store.root, "reports")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def emit(report_dir):
+    """Print a rendered artifact and persist it under reports/."""
+
+    def _emit(name: str, text: str) -> None:
+        print("\n" + text)
+        with open(os.path.join(report_dir, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+
+    return _emit

@@ -1,0 +1,97 @@
+"""Why CKD experts are composable: an out-of-distribution confidence study.
+
+Reproduces the Figure 5 analysis interactively: train one specialist per
+method (Scratch / Transfer / CKD) for the same primitive task and compare
+how confident each is on images of classes it has *never seen*.  Scratch
+and Transfer saturate their softmax (overconfident), CKD inherits the
+oracle's low out-of-task confidence — which is exactly what lets PoE
+concatenate expert logits without arbitration.
+
+Run:  python examples/ood_confidence_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import PoEConfig, PoolOfExperts, ood_confidence_profile
+from repro.data import ClassHierarchy, task_subset
+from repro.data.synthetic import (
+    HierarchicalImageDataset,
+    SyntheticConfig,
+    SyntheticImageGenerator,
+)
+from repro.distill import TrainConfig, train_scratch, train_transfer
+from repro.eval.metrics import accuracy, specialized_accuracy
+from repro.eval.tables import render_histogram
+from repro.models import BranchedSpecialistNet, WideResNet, WRNHead
+
+
+def main() -> None:
+    hierarchy = ClassHierarchy.uniform(6, 3, prefix="group")
+    generator = SyntheticImageGenerator(
+        hierarchy, SyntheticConfig(image_size=8, noise_std=0.9), seed=3
+    )
+    data = HierarchicalImageDataset(hierarchy, generator, 80, 40, seed=4)
+    task = hierarchy.task("group0")
+
+    oracle = WideResNet(10, 2, 2, hierarchy.num_classes, rng=np.random.default_rng(0))
+    print("training oracle ...")
+    train_scratch(
+        oracle, data.train.images, data.train.labels,
+        TrainConfig(epochs=8, batch_size=128, lr=0.05, seed=0),
+    )
+    print(f"oracle accuracy: {accuracy(oracle, data.test):.3f}\n")
+
+    pool = PoolOfExperts(
+        oracle,
+        hierarchy,
+        PoEConfig(
+            library_train=TrainConfig(epochs=8, batch_size=128, lr=0.05, seed=0),
+            expert_train=TrainConfig(epochs=8, batch_size=128, lr=0.05, seed=0),
+        ),
+    )
+    pool.extract_library(data.train.images)
+    pool.extract_expert(task.name, data.train.images)
+    ckd_model, _ = pool.consolidate([task.name])
+
+    # Scratch specialist: same tiny architecture, task data only.
+    scratch_model = WideResNet(10, 1, 0.25, len(task), rng=np.random.default_rng(5))
+    subset = task_subset(data.train, task)
+    train_scratch(
+        scratch_model, subset.images, subset.labels,
+        TrainConfig(epochs=8, batch_size=128, lr=0.05, seed=0),
+    )
+
+    # Transfer specialist: frozen library + fresh head on task data.
+    transfer_head = WRNHead(10, 1, 0.25, len(task), rng=np.random.default_rng(6))
+    train_transfer(
+        pool.library, transfer_head, subset.images, subset.labels,
+        TrainConfig(epochs=8, batch_size=128, lr=0.05, seed=0),
+    )
+    transfer_model = BranchedSpecialistNet(pool.library, [(task.name, transfer_head)])
+    transfer_model.eval()
+
+    print(f"specialists for task {task.name!r} ({len(task)} classes):")
+    for name, model in (
+        ("scratch", scratch_model),
+        ("transfer", transfer_model),
+        ("ckd", ckd_model),
+    ):
+        acc = specialized_accuracy(model, data.test, task)
+        profile = ood_confidence_profile(model, data.test, task)
+        print(
+            f"\n--- {name}: in-task accuracy {acc:.3f} | "
+            f"OOD mean confidence {profile.mean:.2f} | "
+            f"P(conf > 0.9) = {profile.overconfident_rate:.2f}"
+        )
+        print(render_histogram(profile.histogram, profile.bin_edges, width=40))
+
+    print(
+        "\nReading: an ideal expert should NOT be confident on images outside"
+        "\nits task. CKD's histogram mass sits in low-confidence bins, while"
+        "\nScratch/Transfer concentrate near 1.0 — the overconfidence that"
+        "\nbreaks naive expert merging (paper Fig. 2 and Fig. 5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Storage economics of a model-querying service (paper Table 4).
+
+Compares three ways to serve specialized models for n primitive tasks:
+
+1. ship the oracle to everyone (too big for edge devices),
+2. pre-train every one of the 2^n - 1 composite specialists (exponential
+   storage blow-up),
+3. PoE: one shared library + n tiny experts, assembled on demand.
+
+Run:  python examples/storage_accounting.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core import ExpertStore, PoEConfig, PoolOfExperts, estimate_all_specialists_volume
+from repro.data import ClassHierarchy
+from repro.data.synthetic import (
+    HierarchicalImageDataset,
+    SyntheticConfig,
+    SyntheticImageGenerator,
+)
+from repro.distill import TrainConfig, train_scratch
+from repro.models import WideResNet
+
+
+def human(n_bytes: float) -> str:
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if n_bytes < 1024:
+            return f"{n_bytes:.1f}{unit}"
+        n_bytes /= 1024
+    return f"{n_bytes:.1f}EB"
+
+
+def main() -> None:
+    hierarchy = ClassHierarchy.uniform(8, 3, prefix="task")
+    generator = SyntheticImageGenerator(
+        hierarchy, SyntheticConfig(image_size=8, noise_std=0.8), seed=11
+    )
+    data = HierarchicalImageDataset(hierarchy, generator, 60, 20, seed=12)
+
+    oracle = WideResNet(10, 4, 4, hierarchy.num_classes, rng=np.random.default_rng(0))
+    print("training oracle ...")
+    train_scratch(
+        oracle, data.train.images, data.train.labels,
+        TrainConfig(epochs=6, batch_size=128, lr=0.05, seed=0),
+    )
+
+    pool = PoolOfExperts(
+        oracle,
+        hierarchy,
+        PoEConfig(
+            library_train=TrainConfig(epochs=6, batch_size=128, lr=0.05, seed=0),
+            expert_train=TrainConfig(epochs=6, batch_size=128, lr=0.05, seed=0),
+        ),
+    )
+    print("preprocessing pool ...")
+    pool.preprocess(data.train)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ExpertStore(os.path.join(tmp, "pool"))
+        store.save(pool)
+        report = store.volume_report(pool, oracle)
+        on_disk = store.on_disk_bytes()
+
+    n = hierarchy.num_primitive_tasks
+    print(f"\nstorage accounting for n = {n} primitive tasks")
+    print(f"  oracle:                {human(report.oracle_bytes)}")
+    print(f"  PoE library:           {human(report.library_bytes)}")
+    print(f"  PoE expert (avg):      {human(report.mean_expert_bytes)}")
+    print(f"  PoE total (lib + {n}):  {human(report.pool_bytes)}   "
+          f"({report.oracle_to_pool_ratio:.1f}x smaller than oracle)")
+    print(f"  PoE on disk (npz):     {human(on_disk)}")
+    print(f"  all 2^{n}-1 specialists: >= {human(report.all_specialists_bytes)}")
+
+    print("\nextrapolating the all-specialists estimate (the paper's TB blow-up):")
+    per_specialist = int(report.mean_expert_bytes) + report.library_bytes
+    for big_n in (10, 20, 34):
+        total = estimate_all_specialists_volume(big_n, per_specialist)
+        print(f"  n = {big_n:>2}: >= {human(total)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — reproduction of "Pool of Experts: Realtime Querying Specialized
+Knowledge in Massive Neural Networks" (Kim & Choi, SIGMOD 2021).
+
+Layered architecture (see DESIGN.md):
+
+* ``repro.tensor``  — numpy autograd engine (PyTorch substitute)
+* ``repro.nn``      — layers / modules / serialization
+* ``repro.optim``   — SGD + schedules
+* ``repro.data``    — class hierarchies + synthetic hierarchical datasets
+* ``repro.models``  — WRN-l-(k_c, k_s) zoo + branched PoE architecture
+* ``repro.distill`` — KD / CKD / Transfer / Scratch / SD / UHC
+* ``repro.core``    — Pool of Experts (the paper's contribution)
+* ``repro.eval``    — metrics, experiment tracks, benchmark runners
+"""
+
+from . import core, data, distill, eval, models, nn, optim, tensor
+from .core import ModelQueryEngine, PoEConfig, PoolOfExperts, TaskSpecificModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tensor",
+    "nn",
+    "optim",
+    "data",
+    "models",
+    "distill",
+    "core",
+    "eval",
+    "PoolOfExperts",
+    "PoEConfig",
+    "ModelQueryEngine",
+    "TaskSpecificModel",
+    "__version__",
+]

@@ -1,0 +1,152 @@
+"""Command-line interface for the PoE reproduction.
+
+Subcommands::
+
+    python -m repro.cli build   [--tracks ...] [--fast]   # train artifacts
+    python -m repro.cli tables  [--tracks ...]            # print all tables
+    python -m repro.cli query   --track T --tasks a,b     # serve one query
+    python -m repro.cli report  [--out EXPERIMENTS.md]    # paper-vs-measured
+    python -m repro.cli info                              # registry overview
+
+The CLI is a thin veneer over :mod:`repro.eval` so scripted and interactive
+use share one code path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .eval import (
+    ArtifactStore,
+    format_count,
+    get_track,
+    render_table,
+    service_table,
+    specialization_table,
+)
+from .models import EXPERIMENT_ARCHS, PAPER_ARCHS
+
+__all__ = ["main"]
+
+DEFAULT_TRACKS = "synth-cifar,synth-tiny"
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tracks", default=DEFAULT_TRACKS, help="comma-separated tracks")
+    parser.add_argument("--fast", action="store_true", help="reduced budgets")
+    parser.add_argument("--root", default=None, help="artifact store root")
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    from .eval.runner import build_all
+
+    build_all(args.tracks.split(","), fast=args.fast or None, root=args.root)
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.root)
+    for name in args.tracks.split(","):
+        track = get_track(name, fast=args.fast or None)
+        rows = [
+            [
+                r["method"],
+                r["type"],
+                r["arch"],
+                f"{100 * r['accuracy_mean']:.2f}±{100 * r['accuracy_std']:.1f}",
+                format_count(r["params"]),
+            ]
+            for r in specialization_table(track, store)
+        ]
+        print(render_table(
+            ["Method", "Type", "Arch", "Acc.", "Params"],
+            rows,
+            title=f"\nTable 2 — {track.name}",
+        ))
+        srows = service_table(track, store, methods=("ckd", "poe"))
+        cells = [
+            [r["method"], str(r["n_q"]), f"{100 * r['accuracy_mean']:.2f}", format_count(r["params"])]
+            for r in srows
+        ]
+        print(render_table(
+            ["Method", "n(Q)", "Acc.", "Params"],
+            cells,
+            title=f"\nTable 3 (ckd/poe excerpt) — {track.name}",
+        ))
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from .core import ModelQueryEngine
+
+    store = ArtifactStore(args.root)
+    track = get_track(args.track, fast=args.fast or None)
+    pool = store.pool(track)
+    engine = ModelQueryEngine(pool)
+    tasks = args.tasks.split(",")
+    start = time.perf_counter()
+    model = engine.query(tasks)
+    ms = 1000 * (time.perf_counter() - start)
+    print(f"query {'+'.join(tasks)} served in {ms:.2f} ms")
+    print(f"  architecture : {model.network.arch_name()}")
+    print(f"  parameters   : {model.num_params():,}")
+    print(f"  classes      : {', '.join(model.class_names)}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .eval.report import generate_report
+
+    generate_report(args.root, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    rows = [[name, cfg.name, str(cfg.num_classes), f"{cfg.image_size}px"]
+            for name, cfg in PAPER_ARCHS.items()]
+    print(render_table(["Registry", "Arch", "Classes", "Input"], rows,
+                       title="Paper-scale architectures (Table 1 fidelity)"))
+    rows = [[name, cfg.name, str(cfg.num_classes), f"{cfg.image_size}px"]
+            for name, cfg in EXPERIMENT_ARCHS.items()]
+    print(render_table(["Registry", "Arch", "Classes", "Input"], rows,
+                       title="\nExperiment-scale architectures"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="train/cache all experiment artifacts")
+    _add_common(p_build)
+    p_build.set_defaults(fn=cmd_build)
+
+    p_tables = sub.add_parser("tables", help="print headline tables from the cache")
+    _add_common(p_tables)
+    p_tables.set_defaults(fn=cmd_tables)
+
+    p_query = sub.add_parser("query", help="serve one composite-task query")
+    p_query.add_argument("--track", default="synth-cifar")
+    p_query.add_argument("--tasks", required=True, help="comma-separated primitive tasks")
+    p_query.add_argument("--fast", action="store_true")
+    p_query.add_argument("--root", default=None)
+    p_query.set_defaults(fn=cmd_query)
+
+    p_report = sub.add_parser("report", help="write EXPERIMENTS.md")
+    p_report.add_argument("--root", default=None)
+    p_report.add_argument("--out", default="EXPERIMENTS.md")
+    p_report.set_defaults(fn=cmd_report)
+
+    p_info = sub.add_parser("info", help="architecture registry overview")
+    p_info.set_defaults(fn=cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Magnitude pruning of module weights.
+
+The second of the paper's "orthogonal" compression axes (§2).  Global
+unstructured magnitude pruning zeroes the smallest-|w| fraction of
+convolution/linear weights; combined with sparse storage accounting it
+quantifies how much further an expert could shrink.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from ..nn import Module
+
+__all__ = ["magnitude_prune", "sparsity", "sparse_nbytes"]
+
+_PRUNABLE_SUFFIXES = ("weight",)
+
+
+def _prunable(name: str, array: np.ndarray) -> bool:
+    # conv / linear weights only; BN scale vectors stay dense.
+    return name.endswith(_PRUNABLE_SUFFIXES) and array.ndim >= 2
+
+
+def magnitude_prune(module: Module, fraction: float) -> Dict[str, float]:
+    """Zero the globally smallest ``fraction`` of prunable weights in place.
+
+    Returns per-parameter achieved sparsity.  ``fraction`` is global: the
+    threshold is computed over all prunable weights jointly, so layers with
+    small weights are pruned harder (standard global magnitude pruning).
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    named = [
+        (name, p) for name, p in module.named_parameters() if _prunable(name, p.data)
+    ]
+    if not named or fraction == 0.0:
+        return {name: sparsity(p.data) for name, p in named}
+    magnitudes = np.concatenate([np.abs(p.data).reshape(-1) for _, p in named])
+    threshold = np.quantile(magnitudes, fraction)
+    report: Dict[str, float] = {}
+    for name, param in named:
+        mask = np.abs(param.data) > threshold
+        param.data = param.data * mask
+        report[name] = sparsity(param.data)
+    return report
+
+
+def sparsity(array: np.ndarray) -> float:
+    """Fraction of exactly-zero entries."""
+    return float((array == 0).mean())
+
+
+def sparse_nbytes(state: Dict[str, np.ndarray], index_bytes: int = 4) -> int:
+    """Bytes of a COO-style sparse encoding (values + flat indices).
+
+    Dense tensors whose sparse form would be larger are counted dense —
+    i.e. this is the storage a simple format-picking serializer would use.
+    """
+    total = 0
+    for value in state.values():
+        nnz = int((value != 0).sum())
+        sparse = nnz * (value.dtype.itemsize + index_bytes)
+        total += min(sparse, value.nbytes)
+    return total

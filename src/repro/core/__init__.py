@@ -1,0 +1,41 @@
+"""Pool of Experts — the paper's core contribution.
+
+* :class:`~repro.core.pool.PoolOfExperts` — preprocessing phase (library
+  extraction by KD, expert extraction by CKD) and train-free consolidation.
+* :class:`~repro.core.query.ModelQueryEngine` — the realtime service phase.
+* :class:`~repro.core.storage.ExpertStore` — persistence + Table 4 volumes.
+* :mod:`~repro.core.confidence` — Figure 5 overconfidence analysis.
+"""
+
+from .confidence import ConfidenceProfile, max_confidences, ood_confidence_profile
+from .pool import PoEConfig, PoolOfExperts
+from .query import ModelQueryEngine, QueryRecord, TaskSpecificModel
+from .server import (
+    ModelQueryRequest,
+    ModelQueryResponse,
+    PoEClient,
+    PoEServer,
+    deserialize_task_model,
+    serialize_task_model,
+)
+from .storage import ExpertStore, VolumeReport, estimate_all_specialists_volume
+
+__all__ = [
+    "PoolOfExperts",
+    "PoEConfig",
+    "ModelQueryEngine",
+    "TaskSpecificModel",
+    "QueryRecord",
+    "ExpertStore",
+    "VolumeReport",
+    "estimate_all_specialists_volume",
+    "ConfidenceProfile",
+    "max_confidences",
+    "ood_confidence_profile",
+    "PoEServer",
+    "PoEClient",
+    "ModelQueryRequest",
+    "ModelQueryResponse",
+    "serialize_task_model",
+    "deserialize_task_model",
+]

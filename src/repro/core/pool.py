@@ -1,0 +1,255 @@
+"""Pool of Experts — the preprocessing phase (paper §4.1).
+
+``PoolOfExperts.preprocess`` turns an oracle network into:
+
+1. a **library**: the trunk (conv1-conv3) of a small generic student
+   distilled from the oracle with standard KD (Eq. 1), then frozen; and
+2. one tiny **expert head** per primitive task, extracted with conditional
+   knowledge distillation (Eq. 2) on *all* training data while sharing the
+   frozen library trunk.
+
+The resulting pool is the queryable "neural database": the service phase
+(:meth:`PoolOfExperts.consolidate`) assembles any composite task's model
+from it in microseconds, with no training.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..data.hierarchy import ClassHierarchy, CompositeTask, PrimitiveTask
+from ..distill import (
+    CKDSettings,
+    History,
+    TrainConfig,
+    batched_forward,
+    distill_ckd_head,
+    distill_kd,
+)
+from ..models import BranchedSpecialistNet, WideResNet, WRNHead, WRNTrunk
+from ..nn import Module
+
+__all__ = ["PoEConfig", "PoolOfExperts"]
+
+TaskRef = Union[str, PrimitiveTask]
+
+
+@dataclass(frozen=True)
+class PoEConfig:
+    """Hyperparameters of the preprocessing phase.
+
+    ``library_depth``/``library_k`` define the student architecture whose
+    trunk becomes the library; ``expert_ks`` is the conv4 widening factor of
+    each expert (the paper's 0.25).  ``library_level`` is ℓ — how many
+    convolution groups the library keeps (3 = conv1-conv3, the paper's
+    choice).
+    """
+
+    library_depth: int = 10
+    library_k: float = 1.0
+    expert_ks: float = 0.25
+    library_level: int = 3
+    temperature: float = 4.0
+    alpha: float = 0.3
+    scale_norm: str = "l1"
+    library_train: TrainConfig = field(default_factory=lambda: TrainConfig(epochs=10))
+    expert_train: TrainConfig = field(default_factory=lambda: TrainConfig(epochs=8))
+    seed: int = 0
+
+    def ckd_settings(self) -> CKDSettings:
+        return CKDSettings(
+            temperature=self.temperature, alpha=self.alpha, scale_norm=self.scale_norm
+        )
+
+
+class PoolOfExperts:
+    """The PoE framework: library + pool of experts + train-free assembly.
+
+    Parameters
+    ----------
+    oracle:
+        The pretrained generic model ``M(C)`` (any Module mapping images to
+        ``hierarchy.num_classes`` logits).
+    hierarchy:
+        The class hierarchy defining the primitive tasks.
+    config:
+        Preprocessing hyperparameters.
+    """
+
+    def __init__(
+        self,
+        oracle: Module,
+        hierarchy: ClassHierarchy,
+        config: PoEConfig = PoEConfig(),
+    ) -> None:
+        self.oracle = oracle
+        self.hierarchy = hierarchy
+        self.config = config
+        self.library: Optional[WRNTrunk] = None
+        self.library_student: Optional[WideResNet] = None
+        self.experts: Dict[str, WRNHead] = {}
+        self.histories: Dict[str, History] = {}
+        self._oracle_logits: Optional[np.ndarray] = None
+        self._library_features: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Preprocessing phase
+    # ------------------------------------------------------------------
+    def extract_library(
+        self,
+        images: np.ndarray,
+        eval_fn=None,
+        student: Optional[WideResNet] = None,
+    ) -> History:
+        """Distill the oracle into a small generic student; keep its trunk.
+
+        The trunk (conv1 … conv_ℓ) becomes the frozen library component
+        shared by all experts; the student's head is kept around as the
+        "library model" reported in Table 1.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        if student is None:
+            student = WideResNet(
+                cfg.library_depth,
+                cfg.library_k,
+                cfg.library_k,
+                self.hierarchy.num_classes,
+                library_level=cfg.library_level,
+                rng=rng,
+            )
+        history = distill_kd(
+            self._oracle_logits_for(images),
+            student,
+            images,
+            config=cfg.library_train,
+            temperature=cfg.temperature,
+            eval_fn=eval_fn,
+        )
+        self.library_student = student
+        self.library = student.trunk
+        self.library.requires_grad_(False)
+        self.library.eval()
+        self.histories["library"] = history
+        self._library_features = None  # invalidate any cached features
+        return history
+
+    def extract_expert(
+        self,
+        task: TaskRef,
+        images: np.ndarray,
+        eval_fn=None,
+        settings: Optional[CKDSettings] = None,
+        train_config: Optional[TrainConfig] = None,
+    ) -> History:
+        """Extract one expert head for ``task`` with CKD (library frozen)."""
+        if self.library is None:
+            raise RuntimeError("extract_library() must run before extract_expert()")
+        task = self._resolve(task)
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + 1 + hash(task.name) % 10_000)
+        head = WRNHead(
+            cfg.library_depth,
+            cfg.library_k,
+            cfg.expert_ks,
+            num_classes=len(task),
+            library_level=cfg.library_level,
+            rng=rng,
+        )
+        history = distill_ckd_head(
+            self._oracle_logits_for(images),
+            self.library,
+            head,
+            images,
+            class_ids=task.classes,
+            config=train_config or cfg.expert_train,
+            settings=settings or cfg.ckd_settings(),
+            eval_fn=eval_fn,
+            features=self._features_for(images),
+        )
+        self.experts[task.name] = head
+        self.histories[f"expert/{task.name}"] = history
+        return history
+
+    def preprocess(
+        self,
+        dataset: ArrayDataset,
+        tasks: Optional[Iterable[TaskRef]] = None,
+        eval_fns: Optional[Dict[str, object]] = None,
+    ) -> "PoolOfExperts":
+        """Run the full preprocessing phase: library, then every expert."""
+        images = dataset.images
+        eval_fns = eval_fns or {}
+        self.extract_library(images, eval_fn=eval_fns.get("library"))
+        for task in tasks if tasks is not None else self.hierarchy.primitive_tasks():
+            task = self._resolve(task)
+            self.extract_expert(task, images, eval_fn=eval_fns.get(task.name))
+        return self
+
+    # ------------------------------------------------------------------
+    # Service phase
+    # ------------------------------------------------------------------
+    def consolidate(
+        self, query: Union[CompositeTask, Sequence[str]]
+    ) -> Tuple[BranchedSpecialistNet, CompositeTask]:
+        """Train-free knowledge consolidation (paper §4.2).
+
+        Assembles the branched task-specific model for a composite task by
+        *reference* — the library trunk and the expert heads are shared with
+        the pool, no weights are copied and nothing is trained.  Returns the
+        model together with the resolved :class:`CompositeTask` that defines
+        its output layout.
+        """
+        if self.library is None:
+            raise RuntimeError("pool is empty: run preprocess() first")
+        composite = (
+            query
+            if isinstance(query, CompositeTask)
+            else self.hierarchy.composite(query)
+        )
+        heads: List[Tuple[str, WRNHead]] = []
+        for task in composite.tasks:
+            try:
+                heads.append((task.name, self.experts[task.name]))
+            except KeyError:
+                raise KeyError(
+                    f"no expert extracted for primitive task {task.name!r}; "
+                    f"available: {sorted(self.experts)}"
+                ) from None
+        model = BranchedSpecialistNet(self.library, heads)
+        model.eval()
+        return model, composite
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve(self, task: TaskRef) -> PrimitiveTask:
+        return task if isinstance(task, PrimitiveTask) else self.hierarchy.task(task)
+
+    def _oracle_logits_for(self, images: np.ndarray) -> np.ndarray:
+        """Oracle logits over the training images, computed once."""
+        if self._oracle_logits is None or self._oracle_logits.shape[0] != images.shape[0]:
+            self._oracle_logits = batched_forward(self.oracle, images)
+        return self._oracle_logits
+
+    def _features_for(self, images: np.ndarray) -> np.ndarray:
+        """Frozen-library features over the training images, computed once."""
+        if self.library is None:
+            raise RuntimeError("library not extracted yet")
+        if self._library_features is None or self._library_features.shape[0] != images.shape[0]:
+            self._library_features = batched_forward(self.library, images)
+        return self._library_features
+
+    def expert_names(self) -> Tuple[str, ...]:
+        return tuple(self.experts)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"PoolOfExperts(experts={sorted(self.experts)}, "
+            f"library={'ready' if self.library is not None else 'missing'})"
+        )

@@ -1,0 +1,141 @@
+"""The service phase: realtime model querying (paper Fig. 1b).
+
+:class:`ModelQueryEngine` is the server-side component of the AIaaS scenario
+the paper motivates: clients submit a composite task (a set of primitive
+task names), the engine assembles the task-specific model from the pool
+without any training and returns a :class:`TaskSpecificModel` handle that
+predicts *global* class ids / names directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..data.hierarchy import CompositeTask
+from ..distill.caches import batched_forward
+from ..models import BranchedSpecialistNet, count_flops, count_params
+from ..tensor import Tensor, no_grad
+from ..tensor.functional import softmax
+from .pool import PoolOfExperts
+
+__all__ = ["TaskSpecificModel", "QueryRecord", "ModelQueryEngine"]
+
+
+class TaskSpecificModel:
+    """A consolidated ``M(Q)`` bound to its composite task.
+
+    Thin inference wrapper: maps the branched network's unified-logit
+    positions back to global class ids and human-readable names.
+    """
+
+    def __init__(self, network: BranchedSpecialistNet, task: CompositeTask) -> None:
+        if network.num_classes != len(task):
+            raise ValueError(
+                f"network outputs {network.num_classes} classes, task has {len(task)}"
+            )
+        self.network = network
+        self.task = task
+        self._classes = np.asarray(task.classes, dtype=np.int64)
+        names: List[str] = []
+        for prim in task.tasks:
+            if prim.class_names:
+                names.extend(prim.class_names)
+            else:
+                names.extend(str(c) for c in prim.classes)
+        self._class_names = tuple(names)
+
+    @property
+    def classes(self) -> np.ndarray:
+        """Global class ids, in unified-logit order."""
+        return self._classes
+
+    @property
+    def class_names(self) -> Tuple[str, ...]:
+        return self._class_names
+
+    def logits(self, images: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        """Unified logits ``s_Q`` for a batch of images."""
+        return batched_forward(self.network, np.asarray(images, dtype=np.float32), batch_size)
+
+    def predict_proba(self, images: np.ndarray) -> np.ndarray:
+        """Softmax probabilities ``P_Q`` over the task's classes."""
+        with no_grad():
+            return softmax(Tensor(self.logits(images))).numpy()
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Predicted *global* class ids."""
+        return self._classes[self.logits(images).argmax(axis=1)]
+
+    def predict_names(self, images: np.ndarray) -> List[str]:
+        """Predicted class names."""
+        return [self._class_names[i] for i in self.logits(images).argmax(axis=1)]
+
+    def num_params(self) -> int:
+        return count_params(self.network)
+
+    def num_flops(self, input_shape: Tuple[int, int, int]) -> int:
+        return count_flops(self.network, input_shape)
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Bookkeeping for one model query served by the engine."""
+
+    query: Tuple[str, ...]
+    seconds: float  # wall-clock consolidation latency
+    params: int
+    cached: bool
+
+
+class ModelQueryEngine:
+    """Serves task-specific models out of a :class:`PoolOfExperts`.
+
+    Consolidation is train-free, so serving a query is dominated by pure
+    Python object construction — microseconds, versus the minutes of
+    training that Scratch/Transfer/SD/UHC/CKD would need (Fig. 6-7).
+
+    An optional memo cache returns previously assembled models; since
+    consolidation shares weights by reference anyway, the cache only avoids
+    re-wrapping, but it also makes repeated-query bookkeeping explicit.
+    """
+
+    def __init__(self, pool: PoolOfExperts, cache_models: bool = True) -> None:
+        self.pool = pool
+        self.cache_models = cache_models
+        self._cache: Dict[Tuple[str, ...], TaskSpecificModel] = {}
+        self.records: List[QueryRecord] = []
+
+    def available_tasks(self) -> Tuple[str, ...]:
+        """Primitive tasks that can currently be queried."""
+        return self.pool.expert_names()
+
+    def query(self, tasks: Union[CompositeTask, Sequence[str]]) -> TaskSpecificModel:
+        """Assemble (or fetch) the task-specific model for ``tasks``."""
+        key = (
+            tuple(tasks.names)
+            if isinstance(tasks, CompositeTask)
+            else tuple(tasks)
+        )
+        start = time.perf_counter()
+        cached = self.cache_models and key in self._cache
+        if cached:
+            model = self._cache[key]
+        else:
+            network, composite = self.pool.consolidate(tasks)
+            model = TaskSpecificModel(network, composite)
+            if self.cache_models:
+                self._cache[key] = model
+        elapsed = time.perf_counter() - start
+        self.records.append(
+            QueryRecord(query=key, seconds=elapsed, params=model.num_params(), cached=cached)
+        )
+        return model
+
+    def mean_latency(self) -> Optional[float]:
+        """Mean consolidation latency over non-cached queries, in seconds."""
+        fresh = [r.seconds for r in self.records if not r.cached]
+        return float(np.mean(fresh)) if fresh else None

@@ -1,0 +1,221 @@
+"""Client/server model delivery (paper Figure 1b).
+
+In the paper's AIaaS picture the server does not run inference for the
+client — it *ships the task-specific model* so the client can run it
+on-device.  This module implements that protocol boundary:
+
+* :class:`PoEServer` — holds the pool; answers :class:`ModelQueryRequest`
+  with a :class:`ModelQueryResponse` whose payload is a self-contained,
+  serialized ``M(Q)`` (library + the queried expert heads + a manifest).
+* :class:`PoEClient` — reconstructs a runnable :class:`TaskSpecificModel`
+  from the payload bytes, with no access to the server's pool object.
+
+Payloads can be shipped as float32 or as affine-uint8 (``repro.compress``)
+— the quantized transport roughly quarters the bytes on the wire at a
+small accuracy cost, demonstrating the paper's point that distillation
+and quantization compose.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compress import dequantize_tensor, quantize_tensor
+from ..data.hierarchy import ClassHierarchy, CompositeTask, PrimitiveTask
+from ..models import BranchedSpecialistNet, WRNHead, WRNTrunk
+from .pool import PoolOfExperts
+from .query import TaskSpecificModel
+
+__all__ = [
+    "ModelQueryRequest",
+    "ModelQueryResponse",
+    "PoEServer",
+    "PoEClient",
+    "serialize_task_model",
+    "deserialize_task_model",
+]
+
+_TRANSPORTS = ("float32", "uint8")
+
+
+@dataclass(frozen=True)
+class ModelQueryRequest:
+    """A client's composite-task query."""
+
+    tasks: Tuple[str, ...]
+    transport: str = "float32"
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a query needs at least one primitive task")
+        if self.transport not in _TRANSPORTS:
+            raise ValueError(f"transport must be one of {_TRANSPORTS}")
+
+
+@dataclass(frozen=True)
+class ModelQueryResponse:
+    """The served model: payload bytes + service metadata."""
+
+    payload: bytes
+    tasks: Tuple[str, ...]
+    transport: str
+    build_seconds: float
+    payload_bytes: int
+
+
+def serialize_task_model(
+    network: BranchedSpecialistNet,
+    composite: CompositeTask,
+    config,
+    transport: str = "float32",
+) -> bytes:
+    """Pack a consolidated model into self-contained npz bytes.
+
+    The archive holds the library trunk's state, each head's state (with a
+    per-task prefix), and a JSON manifest describing the architecture so
+    the client can rebuild the modules without the server's objects.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    quant_meta: Dict[str, Tuple[float, float]] = {}
+
+    def put(prefix: str, state: Dict[str, np.ndarray]) -> None:
+        for key, value in state.items():
+            full = f"{prefix}/{key}"
+            if transport == "uint8":
+                qt = quantize_tensor(np.asarray(value))
+                arrays[full] = qt.values.reshape(qt.shape)
+                quant_meta[full] = (qt.scale, qt.zero_point)
+            else:
+                arrays[full] = np.asarray(value)
+
+    put("library", network.trunk.state_dict())
+    for name, head in zip(network.head_names, network.heads):
+        put(f"expert:{name}", head.state_dict())
+
+    manifest = {
+        "transport": transport,
+        "tasks": [
+            {
+                "name": prim.name,
+                "classes": list(prim.classes),
+                "class_names": list(prim.class_names),
+            }
+            for prim in composite.tasks
+        ],
+        "arch": {
+            "depth": config.library_depth,
+            "k_c": config.library_k,
+            "k_s": config.expert_ks,
+            "library_level": config.library_level,
+        },
+        "quant": {k: list(v) for k, v in quant_meta.items()},
+    }
+    buffer = io.BytesIO()
+    np.savez_compressed(
+        buffer,
+        __manifest__=np.frombuffer(json.dumps(manifest).encode(), dtype=np.uint8),
+        **arrays,
+    )
+    return buffer.getvalue()
+
+
+def deserialize_task_model(payload: bytes) -> TaskSpecificModel:
+    """Rebuild a runnable :class:`TaskSpecificModel` from payload bytes."""
+    with np.load(io.BytesIO(payload)) as archive:
+        manifest = json.loads(bytes(archive["__manifest__"]).decode())
+        arrays = {k: archive[k] for k in archive.files if k != "__manifest__"}
+
+    quant = {k: tuple(v) for k, v in manifest["quant"].items()}
+
+    def state_for(prefix: str) -> Dict[str, np.ndarray]:
+        state = {}
+        for full, value in arrays.items():
+            if not full.startswith(prefix + "/"):
+                continue
+            key = full[len(prefix) + 1 :]
+            if full in quant:
+                scale, zero = quant[full]
+                from ..compress.quantize import QuantizedTensor
+
+                value = dequantize_tensor(
+                    QuantizedTensor(value, scale, zero, value.shape)
+                )
+            state[key] = value
+        return state
+
+    arch = manifest["arch"]
+    trunk = WRNTrunk(
+        int(arch["depth"]), float(arch["k_c"]), float(arch["k_s"]), int(arch["library_level"])
+    )
+    trunk.load_state_dict(state_for("library"))
+    trunk.requires_grad_(False)
+
+    primitives: List[PrimitiveTask] = []
+    heads: List[Tuple[str, WRNHead]] = []
+    for entry in manifest["tasks"]:
+        prim = PrimitiveTask(
+            entry["name"], tuple(entry["classes"]), tuple(entry["class_names"])
+        )
+        primitives.append(prim)
+        head = WRNHead(
+            int(arch["depth"]),
+            float(arch["k_c"]),
+            float(arch["k_s"]),
+            num_classes=len(prim),
+            library_level=int(arch["library_level"]),
+        )
+        head.load_state_dict(state_for(f"expert:{entry['name']}"))
+        heads.append((prim.name, head))
+
+    network = BranchedSpecialistNet(trunk, heads)
+    network.eval()
+    return TaskSpecificModel(network, CompositeTask(tuple(primitives)))
+
+
+class PoEServer:
+    """Server side of the realtime model-delivery service."""
+
+    def __init__(self, pool: PoolOfExperts) -> None:
+        self.pool = pool
+        self.served: List[ModelQueryResponse] = []
+
+    def available_tasks(self) -> Tuple[str, ...]:
+        return self.pool.expert_names()
+
+    def handle(self, request: ModelQueryRequest) -> ModelQueryResponse:
+        """Consolidate + serialize the queried model (train-free)."""
+        start = time.perf_counter()
+        network, composite = self.pool.consolidate(list(request.tasks))
+        payload = serialize_task_model(
+            network, composite, self.pool.config, transport=request.transport
+        )
+        response = ModelQueryResponse(
+            payload=payload,
+            tasks=tuple(request.tasks),
+            transport=request.transport,
+            build_seconds=time.perf_counter() - start,
+            payload_bytes=len(payload),
+        )
+        self.served.append(response)
+        return response
+
+
+class PoEClient:
+    """Client side: requests a model and materialises it locally."""
+
+    def __init__(self, server: PoEServer) -> None:
+        self.server = server
+
+    def request_model(
+        self, tasks: Sequence[str], transport: str = "float32"
+    ) -> TaskSpecificModel:
+        response = self.server.handle(
+            ModelQueryRequest(tasks=tuple(tasks), transport=transport)
+        )
+        return deserialize_task_model(response.payload)

@@ -1,0 +1,80 @@
+"""Mini-batch iteration over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from .dataset import ArrayDataset, Dataset
+
+__all__ = ["DataLoader"]
+
+BatchTransform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class DataLoader:
+    """Iterates (images, labels) numpy batches.
+
+    Unlike a generic item-wise loader, batches are sliced directly out of the
+    underlying arrays, and optional augmentation runs on whole batches — the
+    right trade-off for a numpy substrate where per-item Python overhead
+    dominates.
+
+    Parameters
+    ----------
+    dataset:
+        An :class:`ArrayDataset` (or anything exposing ``arrays()``).
+    batch_size:
+        Batch size; the final short batch is kept (``drop_last=False``).
+    shuffle:
+        Reshuffle indices each epoch.
+    transform:
+        Optional batch-level augmentation ``f(images, rng) -> images``.
+    seed:
+        Seeds the shuffling / augmentation RNG for reproducibility.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 128,
+        shuffle: bool = True,
+        transform: Optional[BatchTransform] = None,
+        drop_last: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if isinstance(dataset, ArrayDataset):
+            self.images, self.labels = dataset.arrays()
+        else:  # materialise a generic dataset once
+            pairs = [dataset[i] for i in range(len(dataset))]
+            self.images = np.stack([p[0] for p in pairs]).astype(np.float32)
+            self.labels = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.transform = transform
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = self.images.shape[0]
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    @property
+    def num_samples(self) -> int:
+        return self.images.shape[0]
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = self.images.shape[0]
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        end = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, end, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            batch = self.images[idx]
+            if self.transform is not None:
+                batch = self.transform(batch, self._rng)
+            yield batch, self.labels[idx]

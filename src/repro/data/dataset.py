@@ -1,0 +1,105 @@
+"""Dataset abstractions.
+
+All experiment datasets are small enough to live in memory as numpy arrays;
+:class:`ArrayDataset` is the workhorse.  :func:`task_subset` produces the
+*task-specific dataset* the paper's Scratch/Transfer baselines train on, with
+labels remapped into the local ``[0, |H|)`` index space of a task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .hierarchy import CompositeTask, PrimitiveTask
+
+__all__ = ["Dataset", "ArrayDataset", "Subset", "task_subset", "label_remap"]
+
+TaskLike = Union[PrimitiveTask, CompositeTask]
+
+
+class Dataset:
+    """Minimal map-style dataset interface."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """In-memory dataset over (images, labels) arrays.
+
+    ``images``: float32 array of shape (N, C, H, W); ``labels``: int array of
+    shape (N,).
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
+        images = np.asarray(images, dtype=np.float32)
+        labels = np.asarray(labels)
+        if images.ndim != 4:
+            raise ValueError(f"images must be NCHW, got shape {images.shape}")
+        if labels.ndim != 1 or labels.shape[0] != images.shape[0]:
+            raise ValueError(
+                f"labels shape {labels.shape} incompatible with images {images.shape}"
+            )
+        self.images = images
+        self.labels = labels.astype(np.int64)
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.images, self.labels
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+
+class Subset(Dataset):
+    """View over a dataset restricted to ``indices``."""
+
+    def __init__(self, base: Dataset, indices: Sequence[int]) -> None:
+        self.base = base
+        self.indices = np.asarray(indices, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.base[int(self.indices[index])]
+
+
+def label_remap(task: TaskLike) -> Dict[int, int]:
+    """Global-class-id -> local position mapping for a task.
+
+    For a composite task the local order is the expert-concatenation order,
+    so a consolidated model's argmax position maps straight back to a class.
+    """
+    return {global_id: local for local, global_id in enumerate(task.classes)}
+
+
+def task_subset(
+    dataset: ArrayDataset,
+    task: TaskLike,
+    remap: bool = True,
+) -> ArrayDataset:
+    """Restrict an :class:`ArrayDataset` to the classes of ``task``.
+
+    With ``remap=True`` labels are rewritten into the task-local space —
+    this is the dataset a specialized model trains and evaluates on.
+    """
+    classes = np.asarray(task.classes)
+    mask = np.isin(dataset.labels, classes)
+    images = dataset.images[mask]
+    labels = dataset.labels[mask]
+    if remap:
+        mapping = label_remap(task)
+        labels = np.asarray([mapping[int(y)] for y in labels], dtype=np.int64)
+    return ArrayDataset(images, labels)

@@ -1,0 +1,93 @@
+"""Batch-level image transforms (augmentation and normalisation).
+
+All transforms operate on float32 NCHW batches and are pure functions of
+``(batch, rng)`` so the DataLoader can apply them lazily per epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Compose",
+    "random_horizontal_flip",
+    "random_shift",
+    "gaussian_noise",
+    "Normalize",
+    "standard_augmentation",
+]
+
+BatchTransform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[BatchTransform]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch, rng)
+        return batch
+
+
+def random_horizontal_flip(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Flip each image left-right with probability 0.5."""
+    flips = rng.random(batch.shape[0]) < 0.5
+    out = batch.copy()
+    out[flips] = out[flips, :, :, ::-1]
+    return out
+
+
+def random_shift(max_shift: int = 1) -> BatchTransform:
+    """Random circular translation up to ``max_shift`` pixels per axis.
+
+    The cheap numpy analogue of pad-and-crop augmentation.
+    """
+
+    def _apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = np.empty_like(batch)
+        shifts = rng.integers(-max_shift, max_shift + 1, size=(batch.shape[0], 2))
+        for i, (dy, dx) in enumerate(shifts):
+            out[i] = np.roll(batch[i], (int(dy), int(dx)), axis=(1, 2))
+        return out
+
+    return _apply
+
+
+def gaussian_noise(std: float = 0.05) -> BatchTransform:
+    """Add zero-mean Gaussian noise."""
+
+    def _apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return batch + rng.normal(0.0, std, size=batch.shape).astype(batch.dtype)
+
+    return _apply
+
+
+class Normalize:
+    """Per-channel standardisation with fixed statistics."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(1, -1, 1, 1)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator = None) -> np.ndarray:
+        return (batch - self.mean) / self.std
+
+    @staticmethod
+    def fit(images: np.ndarray) -> "Normalize":
+        """Estimate statistics from a training set (NCHW)."""
+        mean = images.mean(axis=(0, 2, 3))
+        std = images.std(axis=(0, 2, 3)) + 1e-8
+        return Normalize(mean, std)
+
+
+def standard_augmentation(max_shift: int = 1, noise_std: float = 0.0) -> Compose:
+    """The default training augmentation: flip + shift (+ optional noise)."""
+    transforms: list[BatchTransform] = [random_horizontal_flip, random_shift(max_shift)]
+    if noise_std > 0:
+        transforms.append(gaussian_noise(noise_std))
+    return Compose(transforms)

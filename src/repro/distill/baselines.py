@@ -1,0 +1,66 @@
+"""Training-based specialization baselines: Scratch and Transfer (§5.2).
+
+Both train with the plain cross-entropy loss on the *task-specific* data
+only — which is exactly why they produce overconfident experts (Figure 2):
+they never see an out-of-distribution sample.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Module
+from ..tensor import Tensor
+from .caches import batched_forward
+from .losses import cross_entropy
+from .trainer import EvalFn, History, TrainConfig, Trainer
+
+__all__ = ["train_scratch", "train_transfer"]
+
+
+def train_scratch(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    config: TrainConfig = TrainConfig(),
+    eval_fn: Optional[EvalFn] = None,
+) -> History:
+    """Train a randomly initialised model on task data with cross-entropy.
+
+    The paper's **Scratch** baseline: no oracle, no library — the whole
+    (tiny) architecture learns from the task's samples alone.
+    """
+
+    def loss_fn(m: Module, batch: np.ndarray, idx: np.ndarray) -> Tensor:
+        return cross_entropy(m(Tensor(batch)), labels[idx])
+
+    trainer = Trainer(model, loss_fn, config)
+    return trainer.fit(images, eval_fn=eval_fn)
+
+
+def train_transfer(
+    trunk: Module,
+    head: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    config: TrainConfig = TrainConfig(),
+    eval_fn: Optional[EvalFn] = None,
+    features: Optional[np.ndarray] = None,
+) -> History:
+    """Transfer learning from the library: frozen trunk, head on task data.
+
+    The paper's **Transfer** baseline — same frozen library component as
+    CKD, but learning from hard labels of the task-specific dataset instead
+    of the oracle's conditional soft targets.
+    """
+    if features is None:
+        trunk.requires_grad_(False)
+        features = batched_forward(trunk, images)
+
+    def loss_fn(m: Module, batch: np.ndarray, idx: np.ndarray) -> Tensor:
+        return cross_entropy(m(Tensor(batch)), labels[idx])
+
+    trainer = Trainer(head, loss_fn, config)
+    return trainer.fit(features, eval_fn=eval_fn)

@@ -1,0 +1,53 @@
+"""Pre-computation caches used by the distillation pipelines.
+
+Teachers and frozen trunks are fixed functions during distillation, so
+their outputs over the (un-augmented) training set are computed once and
+reused every epoch.  On a numpy substrate this is the difference between a
+benchmark matrix that runs in minutes and one that runs in hours.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Module
+from ..tensor import Tensor, no_grad
+
+__all__ = ["batched_forward", "LogitCache"]
+
+
+def batched_forward(
+    module: Module, images: np.ndarray, batch_size: int = 512
+) -> np.ndarray:
+    """Evaluate ``module`` over ``images`` in eval mode without gradients."""
+    was_training = module.training
+    module.eval()
+    outputs = []
+    with no_grad():
+        for start in range(0, images.shape[0], batch_size):
+            batch = Tensor(images[start : start + batch_size])
+            outputs.append(module(batch).numpy())
+    if was_training:
+        module.train()
+    return np.concatenate(outputs, axis=0)
+
+
+class LogitCache:
+    """Lazily computed logits of a fixed model over a fixed image array."""
+
+    def __init__(self, model: Module, images: np.ndarray, batch_size: int = 512) -> None:
+        self._model = model
+        self._images = images
+        self._batch_size = batch_size
+        self._logits: Optional[np.ndarray] = None
+
+    @property
+    def logits(self) -> np.ndarray:
+        if self._logits is None:
+            self._logits = batched_forward(self._model, self._images, self._batch_size)
+        return self._logits
+
+    def __getitem__(self, idx) -> np.ndarray:
+        return self.logits[idx]

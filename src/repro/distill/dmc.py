@@ -1,0 +1,75 @@
+"""DMC — Deep Model Consolidation (Zhang et al., WACV 2020).
+
+The paper's related work (§2) discusses DMC as the continual-learning
+cousin of UHC: two disjoint models (an *old* model and a *new-task* model)
+are combined into one student via **double distillation** — the student
+regresses both teachers' logits simultaneously, each normalised per
+teacher so neither dominates.  The PoE paper argues "DMC can be seen as a
+special case of UHC in the context of the merging functionality" and
+inherits the same need for a training phase; we implement it so that the
+claim is checkable and so the merge-baseline family is complete.
+
+Following the DMC paper, the objective is a (per-teacher standardised)
+L2 regression of the student's sub-logits onto each teacher's logits —
+the standardisation is DMC's answer to the logit scale problem, and the
+reason it needs no labelled data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import Module
+from ..tensor import Tensor
+from .caches import batched_forward
+from .trainer import EvalFn, History, TrainConfig, Trainer
+
+__all__ = ["merge_dmc"]
+
+
+def _standardise(block: np.ndarray) -> np.ndarray:
+    """Zero-mean / unit-variance per sample over a teacher's logits.
+
+    DMC normalises each teacher's outputs so the regression target is
+    scale-free; this discards absolute scale information (contrast with
+    PoE's ``L_scale``, which deliberately preserves it).
+    """
+    mean = block.mean(axis=1, keepdims=True)
+    std = block.std(axis=1, keepdims=True) + 1e-6
+    return (block - mean) / std
+
+
+def merge_dmc(
+    teachers: Sequence[Module] | Sequence[np.ndarray],
+    student: Module,
+    images: np.ndarray,
+    config: TrainConfig = TrainConfig(),
+    eval_fn: Optional[EvalFn] = None,
+) -> History:
+    """Merge disjoint teachers into ``student`` by double distillation.
+
+    The student's output width must equal the sum of teacher widths; its
+    sub-logit blocks regress onto the standardised teacher logits with an
+    L2 loss (the DMC objective), using the merge dataset's images only —
+    no labels are consumed.
+    """
+    blocks: List[np.ndarray] = [
+        _standardise(t if isinstance(t, np.ndarray) else batched_forward(t, images))
+        for t in teachers
+    ]
+    target = np.concatenate(blocks, axis=1)
+
+    def loss_fn(model: Module, batch: np.ndarray, idx: np.ndarray) -> Tensor:
+        logits = model(Tensor(batch))
+        if logits.shape[1] != target.shape[1]:
+            raise ValueError(
+                f"student outputs {logits.shape[1]} classes, teachers cover "
+                f"{target.shape[1]}"
+            )
+        diff = logits - Tensor(target[idx])
+        return (diff * diff).mean()
+
+    trainer = Trainer(student, loss_fn, config)
+    return trainer.fit(images, eval_fn=eval_fn)

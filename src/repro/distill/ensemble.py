@@ -1,0 +1,92 @@
+"""Ensemble combination — and why it cannot merge disjoint experts.
+
+The paper's related work (§2) notes that classic ensembles (voting or
+probability averaging, Kittler et al. 1998) "assume that every model is
+built for the same task, and therefore are not applicable to merging
+multiple specialized models like experts of PoE".  We implement the two
+classic combiners so this claim is *testable*:
+
+* for homogeneous members (same label space) they behave as expected;
+* for disjoint experts there is no principled way to compare confidences
+  across members — padding each expert's distribution with zeros outside
+  its own classes makes the combined argmax depend only on each expert's
+  (incomparable) self-confidence, which is exactly the overconfidence /
+  scale failure PoE's CKD avoids.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Module
+from ..tensor import Tensor, no_grad
+from ..tensor.functional import softmax
+from .caches import batched_forward
+
+__all__ = ["average_probabilities", "majority_vote", "DisjointEnsemble"]
+
+
+def _member_probs(members: Sequence[Module], images: np.ndarray) -> List[np.ndarray]:
+    probs = []
+    for member in members:
+        logits = batched_forward(member, images)
+        with no_grad():
+            probs.append(softmax(Tensor(logits)).numpy())
+    return probs
+
+
+def average_probabilities(members: Sequence[Module], images: np.ndarray) -> np.ndarray:
+    """Soft-voting ensemble over members with a *common* label space."""
+    probs = _member_probs(members, images)
+    width = probs[0].shape[1]
+    if any(p.shape[1] != width for p in probs):
+        raise ValueError("probability averaging requires a common label space")
+    return np.mean(probs, axis=0)
+
+
+def majority_vote(members: Sequence[Module], images: np.ndarray) -> np.ndarray:
+    """Hard-voting ensemble; ties resolve to the lowest class id."""
+    votes = []
+    for member in members:
+        votes.append(batched_forward(member, images).argmax(axis=1))
+    votes = np.stack(votes, axis=1)
+    width = int(votes.max()) + 1
+    counts = np.zeros((votes.shape[0], width), dtype=np.int64)
+    for column in votes.T:
+        counts[np.arange(len(column)), column] += 1
+    return counts.argmax(axis=1)
+
+
+class DisjointEnsemble:
+    """The naive 'zero-padded' combination of disjoint specialists.
+
+    Each expert's softmax over its own classes is embedded into the union
+    label space (zeros elsewhere) and averaged.  The argmax then belongs
+    to whichever expert happens to be most self-confident — a quantity
+    that is meaningless across independently trained specialists.  Kept as
+    an executable counter-example (see tests), not as a recommended API.
+    """
+
+    def __init__(self, members: Sequence[Tuple[Module, Sequence[int]]], num_classes: int) -> None:
+        self.members = list(members)
+        self.num_classes = num_classes
+        covered: set = set()
+        for _, classes in self.members:
+            overlap = covered.intersection(classes)
+            if overlap:
+                raise ValueError(f"members overlap on classes {sorted(overlap)}")
+            covered.update(classes)
+
+    def predict_proba(self, images: np.ndarray) -> np.ndarray:
+        out = np.zeros((images.shape[0], self.num_classes), dtype=np.float64)
+        for member, classes in self.members:
+            logits = batched_forward(member, images)
+            with no_grad():
+                probs = softmax(Tensor(logits)).numpy()
+            out[:, np.asarray(classes)] += probs
+        return out / len(self.members)
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        return self.predict_proba(images).argmax(axis=1)

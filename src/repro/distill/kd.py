@@ -1,0 +1,51 @@
+"""Standard knowledge distillation (paper Eq. 1) — the KD baseline and the
+library-extraction step of PoE's preprocessing phase."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn import Module
+from ..tensor import Tensor
+from .caches import batched_forward
+from .losses import kd_loss, sub_logits
+from .trainer import EvalFn, History, TrainConfig, Trainer
+
+__all__ = ["distill_kd"]
+
+
+def distill_kd(
+    teacher: Module | np.ndarray,
+    student: Module,
+    images: np.ndarray,
+    config: TrainConfig = TrainConfig(),
+    temperature: float = 4.0,
+    class_ids: Optional[Sequence[int]] = None,
+    eval_fn: Optional[EvalFn] = None,
+) -> History:
+    """Distill ``teacher`` into ``student`` over ``images`` with ``L_KD``.
+
+    Parameters
+    ----------
+    teacher:
+        Either a model (its logits are cached once) or a pre-computed logit
+        array of shape (N, |C|).
+    class_ids:
+        When given, both teacher logits and the loss are restricted to these
+        columns — i.e. this becomes a *conditional* standard distillation.
+        ``None`` distills the entire knowledge (the paper's KD baseline).
+    """
+    teacher_logits = (
+        teacher if isinstance(teacher, np.ndarray) else batched_forward(teacher, images)
+    )
+    if class_ids is not None:
+        teacher_logits = teacher_logits[:, np.asarray(class_ids, dtype=np.int64)]
+
+    def loss_fn(model: Module, batch: np.ndarray, idx: np.ndarray) -> Tensor:
+        student_logits = model(Tensor(batch))
+        return kd_loss(Tensor(teacher_logits[idx]), student_logits, temperature)
+
+    trainer = Trainer(student, loss_fn, config)
+    return trainer.fit(images, eval_fn=eval_fn)

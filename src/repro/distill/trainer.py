@@ -1,0 +1,181 @@
+"""Generic training loop with wall-clock learning-curve recording.
+
+Every training-based method in the paper (Scratch, Transfer, KD, CKD, SD,
+UHC) runs through :class:`Trainer`; the recorded :class:`History` powers the
+learning-curve figure (Fig. 6) and the time-to-best-accuracy figure (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import Module
+from ..optim import SGD, ConstantLR, CosineAnnealingLR, MultiStepLR
+from ..tensor import Tensor, no_grad
+
+__all__ = ["TrainConfig", "HistoryPoint", "History", "Trainer"]
+
+# loss_fn(model, batch_images, batch_indices) -> scalar Tensor.
+LossFn = Callable[[Module, np.ndarray, np.ndarray], Tensor]
+# eval_fn(model) -> accuracy in [0, 1].
+EvalFn = Callable[[Module], float]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters shared by all training methods.
+
+    Paper defaults (§5.1): SGD momentum 0.9, weight decay 5e-4.  Batch size
+    and epochs are scaled down with the substrate.
+    """
+
+    epochs: int = 15
+    batch_size: int = 128
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    schedule: str = "cosine"  # 'cosine' | 'constant' | 'multistep'
+    milestones: Sequence[int] = (8, 12)
+    gamma: float = 0.1
+    seed: int = 0
+    eval_every: int = 1  # epochs between accuracy measurements
+    shuffle: bool = True
+
+
+@dataclass
+class HistoryPoint:
+    """One learning-curve sample."""
+
+    epoch: int
+    seconds: float  # cumulative wall-clock since fit() started
+    loss: float
+    accuracy: Optional[float] = None
+
+
+@dataclass
+class History:
+    """Wall-clock learning curve of one training run."""
+
+    points: List[HistoryPoint] = field(default_factory=list)
+
+    def append(self, point: HistoryPoint) -> None:
+        self.points.append(point)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.points[-1].seconds if self.points else 0.0
+
+    @property
+    def final_accuracy(self) -> Optional[float]:
+        for point in reversed(self.points):
+            if point.accuracy is not None:
+                return point.accuracy
+        return None
+
+    @property
+    def best_accuracy(self) -> Optional[float]:
+        accs = [p.accuracy for p in self.points if p.accuracy is not None]
+        return max(accs) if accs else None
+
+    def time_to_best(self, tolerance: float = 0.0) -> Optional[float]:
+        """Seconds until accuracy first reached ``best - tolerance``.
+
+        This is the quantity Figure 7 plots per method and n(Q).
+        """
+        best = self.best_accuracy
+        if best is None:
+            return None
+        for point in self.points:
+            if point.accuracy is not None and point.accuracy >= best - tolerance:
+                return point.seconds
+        return None
+
+    def curve(self) -> List[tuple]:
+        """(seconds, accuracy) pairs for plotting (Fig. 6)."""
+        return [(p.seconds, p.accuracy) for p in self.points if p.accuracy is not None]
+
+
+class Trainer:
+    """Runs SGD epochs of an arbitrary loss over an in-memory image array.
+
+    The loss closure receives the raw batch *indices* so distillation losses
+    can look up pre-computed teacher logits / cached library features — the
+    trick that makes a numpy substrate fast enough for the full benchmark
+    matrix (the fixed teacher is evaluated once, not once per epoch).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn: LossFn,
+        config: TrainConfig = TrainConfig(),
+        parameters=None,
+    ) -> None:
+        self.model = model
+        self.loss_fn = loss_fn
+        self.config = config
+        params = list(parameters) if parameters is not None else list(model.parameters())
+        trainable = [p for p in params if p.requires_grad]
+        self.optimizer = SGD(
+            trainable,
+            lr=config.lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        if config.schedule == "cosine":
+            self.scheduler = CosineAnnealingLR(self.optimizer, t_max=config.epochs)
+        elif config.schedule == "multistep":
+            self.scheduler = MultiStepLR(self.optimizer, config.milestones, config.gamma)
+        elif config.schedule == "constant":
+            self.scheduler = ConstantLR(self.optimizer)
+        else:
+            raise ValueError(f"unknown schedule {self.config.schedule!r}")
+
+    def fit(
+        self,
+        images: np.ndarray,
+        eval_fn: Optional[EvalFn] = None,
+        epochs: Optional[int] = None,
+    ) -> History:
+        """Train for ``epochs`` over ``images`` and return the history.
+
+        The model is left in eval mode so it is immediately servable.
+        """
+        cfg = self.config
+        epochs = epochs if epochs is not None else cfg.epochs
+        rng = np.random.default_rng(cfg.seed)
+        n = images.shape[0]
+        history = History()
+        start = time.perf_counter()
+        for epoch in range(1, epochs + 1):
+            self.model.train()
+            order = rng.permutation(n) if cfg.shuffle else np.arange(n)
+            losses: List[float] = []
+            for begin in range(0, n, cfg.batch_size):
+                idx = order[begin : begin + cfg.batch_size]
+                batch = images[idx]
+                self.optimizer.zero_grad()
+                loss = self.loss_fn(self.model, batch, idx)
+                loss.backward()
+                self.optimizer.step()
+                losses.append(loss.item())
+            self.scheduler.step()
+            accuracy = None
+            if eval_fn is not None and (epoch % cfg.eval_every == 0 or epoch == epochs):
+                self.model.eval()
+                with no_grad():
+                    accuracy = float(eval_fn(self.model))
+            history.append(
+                HistoryPoint(
+                    epoch=epoch,
+                    seconds=time.perf_counter() - start,
+                    loss=float(np.mean(losses)) if losses else float("nan"),
+                    accuracy=accuracy,
+                )
+            )
+        self.model.eval()
+        return history

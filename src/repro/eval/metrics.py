@@ -1,0 +1,91 @@
+"""Accuracy metrics, including the paper's *task-specific accuracy*.
+
+§5.2: generic models (oracle, KD students) are never scored on overall
+accuracy against specialists; instead their probability values are compared
+*locally* — only the columns of the target task's classes are considered,
+and the argmax within the task is the prediction.  Specialized models are
+scored with normal accuracy on the task's (label-remapped) test data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset, label_remap
+from ..data.hierarchy import CompositeTask, PrimitiveTask
+from ..distill.caches import batched_forward
+from ..nn import Module
+
+__all__ = [
+    "accuracy_from_logits",
+    "accuracy",
+    "task_specific_accuracy",
+    "specialized_accuracy",
+]
+
+TaskLike = Union[PrimitiveTask, CompositeTask]
+
+
+def accuracy_from_logits(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows whose argmax equals the label."""
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def accuracy(
+    model: Module, dataset: ArrayDataset, batch_size: int = 512
+) -> float:
+    """Plain top-1 accuracy of a model whose outputs match the labels."""
+    logits = batched_forward(model, dataset.images, batch_size)
+    return accuracy_from_logits(logits, dataset.labels)
+
+
+def task_specific_accuracy(
+    model: Module,
+    dataset: ArrayDataset,
+    task: TaskLike,
+    batch_size: int = 512,
+) -> float:
+    """Task-specific accuracy of a *generic* model (paper §5.2).
+
+    ``dataset`` carries global labels; only samples of the task's classes
+    are scored, predictions are restricted to the task's columns of the
+    generic model's output.
+    """
+    classes = np.asarray(task.classes, dtype=np.int64)
+    mask = np.isin(dataset.labels, classes)
+    if not mask.any():
+        raise ValueError("dataset contains no samples of the task's classes")
+    images = dataset.images[mask]
+    labels = dataset.labels[mask]
+    mapping = label_remap(task)
+    local_labels = np.asarray([mapping[int(y)] for y in labels], dtype=np.int64)
+    logits = batched_forward(model, images, batch_size)[:, classes]
+    return accuracy_from_logits(logits, local_labels)
+
+
+def specialized_accuracy(
+    model: Module,
+    dataset: ArrayDataset,
+    task: TaskLike,
+    batch_size: int = 512,
+) -> float:
+    """Normal accuracy of a specialized model over the task's test samples.
+
+    The model outputs task-local logits; labels are remapped accordingly.
+    """
+    classes = np.asarray(task.classes, dtype=np.int64)
+    mask = np.isin(dataset.labels, classes)
+    if not mask.any():
+        raise ValueError("dataset contains no samples of the task's classes")
+    images = dataset.images[mask]
+    labels = dataset.labels[mask]
+    mapping = label_remap(task)
+    local_labels = np.asarray([mapping[int(y)] for y in labels], dtype=np.int64)
+    logits = batched_forward(model, images, batch_size)
+    if logits.shape[1] != len(classes):
+        raise ValueError(
+            f"model outputs {logits.shape[1]} classes but task has {len(classes)}"
+        )
+    return accuracy_from_logits(logits, local_labels)

@@ -1,0 +1,124 @@
+"""End-to-end experiment runner: builds every table/figure artifact.
+
+Usage::
+
+    python -m repro.eval.runner [--fast] [--tracks synth-cifar,synth-tiny]
+
+Results land in the artifact store (``.artifacts/`` or ``$REPRO_ARTIFACTS``)
+and are reused by the pytest benchmarks and by EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from ..core import ExpertStore
+from .artifacts import ArtifactStore
+from .experiments import TrackConfig, get_track
+from .service import (
+    SERVICE_METHODS,
+    ablation_table,
+    consolidation_times,
+    learning_curves,
+    service_table,
+)
+from .specialization import confidence_figure, specialization_table
+from .tables import format_count, render_table
+
+__all__ = ["build_track", "build_all", "main"]
+
+
+def build_track(track: TrackConfig, store: ArtifactStore, verbose: bool = True) -> Dict:
+    """Run every experiment of one track; returns the summary payload."""
+
+    def log(msg: str) -> None:
+        if verbose:
+            print(f"[{track.name}] {msg}", flush=True)
+
+    started = time.perf_counter()
+    data = store.dataset(track)
+    log(f"dataset: {data.num_classes} classes, {len(data.train)} train images")
+    oracle_model, oracle_meta = store.oracle(track)
+    log(f"oracle ready: acc={oracle_meta['test_accuracy']:.3f}")
+    pool = store.pool(track)
+    log(f"pool ready: experts={list(pool.expert_names())}")
+
+    summary: Dict = {"track": track.name, "oracle": oracle_meta}
+
+    # Table 1: oracle vs library model.
+    library_student = pool.library_student
+    if library_student is not None:
+        from .metrics import accuracy
+        from ..models import count_flops, count_params
+
+        summary["table1"] = {
+            "oracle": oracle_meta,
+            "library": {
+                "test_accuracy": accuracy(library_student, data.test),
+                "params": count_params(library_student),
+                "flops": count_flops(library_student, (3, track.image_size, track.image_size)),
+                "arch": library_student.arch_name(),
+            },
+        }
+    log("table 1 done")
+
+    summary["table2"] = specialization_table(track, store)
+    log("table 2 done")
+    summary["figure5"] = confidence_figure(track, store)
+    log("figure 5 done")
+    summary["table3"] = service_table(track, store)
+    log("table 3 done")
+
+    expert_store = ExpertStore(os.path.join(store.root, "models", track.cache_key(), "pool"))
+    summary["table4"] = expert_store.volume_report(pool, oracle_model).as_dict()
+    log("table 4 done")
+
+    summary["table5"] = ablation_table(track, store)
+    log("table 5 done")
+    summary["figure6"] = {
+        method: [list(p) for p in points]
+        for method, points in learning_curves(track, store).items()
+    }
+    log("figure 6 done")
+    summary["figure7"] = consolidation_times(track, store)
+    log("figure 7 done")
+
+    summary["seconds"] = time.perf_counter() - started
+    path = os.path.join(store.root, "results", track.cache_key(), "summary.json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(summary, fh, indent=2, default=float)
+    log(f"track complete in {summary['seconds']:.0f}s -> {path}")
+    return summary
+
+
+def build_all(
+    tracks: Optional[List[str]] = None,
+    fast: Optional[bool] = None,
+    root: Optional[str] = None,
+) -> Dict[str, Dict]:
+    """Build artifacts for the requested tracks (default: both)."""
+    store = ArtifactStore(root)
+    names = tracks or ["synth-cifar", "synth-tiny"]
+    return {name: build_track(get_track(name, fast), store) for name in names}
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="reduced budgets (CI)")
+    parser.add_argument(
+        "--tracks",
+        default="synth-cifar,synth-tiny",
+        help="comma-separated track names",
+    )
+    parser.add_argument("--root", default=None, help="artifact store root")
+    args = parser.parse_args(argv)
+    build_all(args.tracks.split(","), fast=args.fast or None, root=args.root)
+
+
+if __name__ == "__main__":
+    main()

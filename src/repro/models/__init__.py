@@ -1,0 +1,33 @@
+"""Model zoo: wide residual networks and the PoE branched architecture."""
+
+from .branched import BranchedSpecialistNet
+from .flops import count_flops, count_params, profile
+from .wrn import (
+    BasicBlock,
+    WideResNet,
+    WRNGroup,
+    WRNHead,
+    WRNTrunk,
+    scaled_channels,
+    wrn_group_widths,
+)
+from .zoo import EXPERIMENT_ARCHS, PAPER_ARCHS, WRNConfig, build_wrn, get_config
+
+__all__ = [
+    "WideResNet",
+    "WRNTrunk",
+    "WRNHead",
+    "WRNGroup",
+    "BasicBlock",
+    "BranchedSpecialistNet",
+    "scaled_channels",
+    "wrn_group_widths",
+    "count_flops",
+    "count_params",
+    "profile",
+    "WRNConfig",
+    "PAPER_ARCHS",
+    "EXPERIMENT_ARCHS",
+    "build_wrn",
+    "get_config",
+]

@@ -1,0 +1,94 @@
+"""Architecture registry: paper-scale configs and experiment-scale configs.
+
+``PAPER_ARCHS`` mirrors Table 1/2 of the paper exactly (for fidelity tests
+of the parameter/FLOPs accounting).  ``EXPERIMENT_ARCHS`` are the scaled-down
+counterparts actually trained on the numpy substrate — same family, same
+(k_c, k_s) relationships, smaller depth/width/resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .wrn import WideResNet
+
+__all__ = ["WRNConfig", "PAPER_ARCHS", "EXPERIMENT_ARCHS", "build_wrn", "get_config"]
+
+
+@dataclass(frozen=True)
+class WRNConfig:
+    """A WRN-depth-(k_c, k_s) blueprint plus its intended input resolution."""
+
+    depth: int
+    k_c: float
+    k_s: float
+    num_classes: int
+    image_size: int
+    in_channels: int = 3
+
+    @property
+    def name(self) -> str:
+        return f"WRN-{self.depth}-({self.k_c:g}, {self.k_s:g})"
+
+    def build(
+        self,
+        num_classes: Optional[int] = None,
+        library_level: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> WideResNet:
+        return WideResNet(
+            self.depth,
+            self.k_c,
+            self.k_s,
+            num_classes if num_classes is not None else self.num_classes,
+            library_level=library_level,
+            in_channels=self.in_channels,
+            rng=rng,
+        )
+
+
+# Paper §5.1 / Table 1-2: exact architectures of the original evaluation.
+PAPER_ARCHS: Dict[str, WRNConfig] = {
+    "cifar100/oracle": WRNConfig(40, 4, 4, 100, 32),
+    "cifar100/library": WRNConfig(16, 1, 1, 100, 32),
+    "cifar100/expert": WRNConfig(16, 1, 0.25, 5, 32),
+    "tiny-imagenet/oracle": WRNConfig(16, 10, 10, 200, 32),
+    "tiny-imagenet/library": WRNConfig(16, 2, 2, 200, 32),
+    "tiny-imagenet/expert": WRNConfig(16, 2, 0.25, 5, 32),
+}
+
+# Scaled-down counterparts used by the experiments on the numpy substrate.
+# Relationships preserved: oracle k = 4x library k; expert k_s = library k_s/4
+# (CIFAR track) resp. /8 (Tiny track); library shares (k_c) with experts.
+EXPERIMENT_ARCHS: Dict[str, WRNConfig] = {
+    "synth-cifar/oracle": WRNConfig(10, 4, 4, 30, 8),
+    "synth-cifar/library": WRNConfig(10, 1, 1, 30, 8),
+    "synth-cifar/expert": WRNConfig(10, 1, 0.25, 3, 8),
+    "synth-tiny/oracle": WRNConfig(10, 4, 4, 48, 8),
+    "synth-tiny/library": WRNConfig(10, 2, 2, 48, 8),
+    "synth-tiny/expert": WRNConfig(10, 2, 0.25, 4, 8),
+}
+
+
+def get_config(name: str) -> WRNConfig:
+    """Look up a config from either registry by its full name."""
+    if name in PAPER_ARCHS:
+        return PAPER_ARCHS[name]
+    if name in EXPERIMENT_ARCHS:
+        return EXPERIMENT_ARCHS[name]
+    known = sorted(PAPER_ARCHS) + sorted(EXPERIMENT_ARCHS)
+    raise KeyError(f"unknown architecture {name!r}; known: {known}")
+
+
+def build_wrn(
+    name: str,
+    num_classes: Optional[int] = None,
+    library_level: int = 3,
+    seed: Optional[int] = None,
+) -> WideResNet:
+    """Instantiate a registered architecture (optionally reseeded/re-classed)."""
+    rng = np.random.default_rng(seed)
+    return get_config(name).build(num_classes=num_classes, library_level=library_level, rng=rng)

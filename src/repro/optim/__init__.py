@@ -1,0 +1,6 @@
+"""Optimizers and LR schedules (replaces ``torch.optim``)."""
+
+from .lr_scheduler import ConstantLR, CosineAnnealingLR, MultiStepLR, StepLR
+from .sgd import SGD
+
+__all__ = ["SGD", "StepLR", "MultiStepLR", "CosineAnnealingLR", "ConstantLR"]

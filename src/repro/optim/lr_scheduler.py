@@ -1,0 +1,74 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .sgd import SGD
+
+__all__ = ["StepLR", "MultiStepLR", "CosineAnnealingLR", "ConstantLR"]
+
+
+class _Scheduler:
+    """Base: tracks epochs and rewrites the optimizer's lr each step."""
+
+    def __init__(self, optimizer: SGD) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(_Scheduler):
+    def get_lr(self) -> float:
+        return self.base_lr
+
+
+class StepLR(_Scheduler):
+    """Decay lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: SGD, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** (self.epoch // self.step_size))
+
+
+class MultiStepLR(_Scheduler):
+    """Decay lr by ``gamma`` at each epoch in ``milestones``."""
+
+    def __init__(self, optimizer: SGD, milestones: Sequence[int], gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        passed = sum(1 for m in self.milestones if self.epoch >= m)
+        return self.base_lr * (self.gamma ** passed)
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from the base lr to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: SGD, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        self.t_max = max(1, t_max)
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        t = min(self.epoch, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * t / self.t_max)
+        )

@@ -1,0 +1,52 @@
+"""Global autograd state.
+
+The tensor engine records a reverse-mode computation graph whenever gradient
+tracking is enabled.  Training code can disable tracking for evaluation and
+inference with the :func:`no_grad` context manager, exactly mirroring the
+semantics of the PyTorch API the paper's reference implementation relied on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+__all__ = ["is_grad_enabled", "set_grad_enabled", "no_grad", "enable_grad"]
+
+_STATE = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations should record the autograd graph."""
+    return getattr(_STATE, "enabled", True)
+
+
+def set_grad_enabled(enabled: bool) -> None:
+    """Globally enable or disable gradient tracking for the calling thread."""
+    _STATE.enabled = bool(enabled)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording.
+
+    Used by evaluation loops and, crucially, by PoE's train-free knowledge
+    consolidation: assembling a task-specific model never needs gradients.
+    """
+    previous = is_grad_enabled()
+    set_grad_enabled(False)
+    try:
+        yield
+    finally:
+        set_grad_enabled(previous)
+
+
+@contextlib.contextmanager
+def enable_grad():
+    """Context manager that re-enables graph recording (inverse of no_grad)."""
+    previous = is_grad_enabled()
+    set_grad_enabled(True)
+    try:
+        yield
+    finally:
+        set_grad_enabled(previous)

@@ -1,0 +1,174 @@
+"""Convolution and pooling primitives (im2col based) with custom backward.
+
+Convolutions dominate the runtime of every experiment, so rather than
+composing them from elementwise autograd ops we implement them as fused
+autograd nodes whose forward/backward are single big matrix multiplies.
+
+Layout convention is NCHW throughout (batch, channels, height, width), the
+same as the paper's PyTorch reference code.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast
+
+__all__ = [
+    "conv2d",
+    "avg_pool2d",
+    "max_pool2d",
+    "global_avg_pool2d",
+    "conv_output_size",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def _im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold ``x`` (N, C, H, W) into columns of shape (N*OH*OW, C*kh*kw)."""
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    strides = x.strides
+    # View of shape (N, C, OH, OW, KH, KW) without copying.
+    shape = (n, c, oh, ow, kh, kw)
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=shape,
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # (N, OH, OW, C, KH, KW) -> (N*OH*OW, C*KH*KW)
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+    oh: int,
+    ow: int,
+) -> np.ndarray:
+    """Fold column gradients back into an image gradient (inverse of im2col)."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    grad_padded = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    # Accumulate each kernel offset with slice arithmetic (vectorised col2im).
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            grad_padded[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, :, :, i, j]
+    if padding > 0:
+        return grad_padded[:, :, padding:-padding, padding:-padding]
+    return grad_padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2D cross-correlation, ``weight`` of shape (C_out, C_in, KH, KW)."""
+    n, c, h, w = x.shape
+    c_out, c_in, kh, kw = weight.shape
+    if c_in != c:
+        raise ValueError(f"conv2d channel mismatch: input has {c}, weight expects {c_in}")
+    cols, oh, ow = _im2col(x.data, kh, kw, stride, padding)
+    w2 = weight.data.reshape(c_out, -1)
+    out_data = cols @ w2.T  # (N*OH*OW, C_out)
+    if bias is not None:
+        out_data = out_data + bias.data
+    out_data = out_data.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        # g: (N, C_out, OH, OW) -> (N*OH*OW, C_out)
+        g2 = g.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        if bias is not None and bias.requires_grad:
+            out._send(bias, g2.sum(axis=0))
+        if weight.requires_grad:
+            gw = g2.T @ cols  # (C_out, C*KH*KW)
+            out._send(weight, gw.reshape(weight.shape))
+        if x.requires_grad:
+            gcols = g2 @ w2  # (N*OH*OW, C*KH*KW)
+            gx = _col2im(gcols, (n, c, h, w), kh, kw, stride, padding, oh, ow)
+            out._send(x, gx)
+
+    out = Tensor._make(np.ascontiguousarray(out_data), parents, "conv2d", backward)
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling with square kernel (no padding)."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kernel, stride, 0)
+    ow = conv_output_size(w, kernel, stride, 0)
+    cols, _, _ = _im2col(
+        x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0
+    )  # (N*C*OH*OW, K*K)
+    out_data = cols.mean(axis=1).reshape(n, c, oh, ow)
+
+    def backward(g: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        scale = 1.0 / (kernel * kernel)
+        gcols = np.repeat(g.reshape(-1, 1), kernel * kernel, axis=1) * scale
+        gx = _col2im(gcols, (n * c, 1, h, w), kernel, kernel, stride, 0, oh, ow)
+        out._send(x, gx.reshape(n, c, h, w))
+
+    out = Tensor._make(out_data, (x,), "avg_pool2d", backward)
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling with square kernel (no padding)."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kernel, stride, 0)
+    ow = conv_output_size(w, kernel, stride, 0)
+    cols, _, _ = _im2col(x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0)
+    arg = cols.argmax(axis=1)
+    out_data = cols[np.arange(cols.shape[0]), arg].reshape(n, c, oh, ow)
+
+    def backward(g: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        gcols = np.zeros_like(cols)
+        gcols[np.arange(cols.shape[0]), arg] = g.reshape(-1)
+        gx = _col2im(gcols, (n * c, 1, h, w), kernel, kernel, stride, 0, oh, ow)
+        out._send(x, gx.reshape(n, c, h, w))
+
+    out = Tensor._make(out_data, (x,), "max_pool2d", backward)
+    return out
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over all spatial positions, returning (N, C)."""
+    return x.mean(axis=(2, 3))

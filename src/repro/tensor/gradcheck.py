@@ -1,0 +1,67 @@
+"""Numerical gradient checking used by the property-based test suite.
+
+Central finite differences in float64 against the autograd backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "gradcheck"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    index: int,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Central-difference gradient of ``fn(*inputs).sum()`` w.r.t. one input."""
+    base = [np.asarray(a, dtype=np.float64).copy() for a in inputs]
+    grad = np.zeros_like(base[index])
+    flat = base[index].reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*[Tensor(a) for a in base]).sum().item())
+        flat[i] = original - eps
+        minus = float(fn(*[Tensor(a) for a in base]).sum().item())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+    eps: float = 1e-5,
+) -> bool:
+    """Verify autograd gradients of ``fn`` against finite differences.
+
+    ``fn`` receives Tensors and must return a Tensor; the check reduces the
+    output with ``sum`` so any output shape works.  Raises ``AssertionError``
+    with a diagnostic on mismatch, returns True on success.
+    """
+    arrays = [np.asarray(a, dtype=np.float64) for a in inputs]
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = fn(*tensors)
+    out.sum().backward()
+    for i, tensor in enumerate(tensors):
+        analytic = tensor.grad
+        if analytic is None:
+            analytic = np.zeros_like(arrays[i])
+        numeric = numerical_gradient(fn, arrays, i, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradcheck failed for input {i}: max abs diff {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

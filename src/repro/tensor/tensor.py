@@ -1,0 +1,626 @@
+"""A numpy-backed tensor with reverse-mode automatic differentiation.
+
+This module is the lowest substrate of the reproduction.  The paper's
+reference implementation was written in PyTorch; no deep-learning framework is
+available in this environment, so we implement the minimal-but-complete
+tensor engine that every higher layer (``repro.nn``, ``repro.distill``,
+``repro.core``) builds on.
+
+Design notes
+------------
+* Reverse-mode autodiff with a topologically-sorted backward pass over a
+  dynamically recorded graph (define-by-run), like PyTorch.
+* Full numpy broadcasting is supported; gradients are "unbroadcast" by
+  summing over broadcast axes.
+* Gradient tracking obeys :mod:`repro.tensor.autograd`'s global switch so
+  evaluation and PoE's train-free consolidation pay no autograd overhead.
+* dtype defaults to float32 for speed; gradcheck tests run in float64.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .autograd import is_grad_enabled, no_grad
+
+__all__ = ["Tensor", "DEFAULT_DTYPE"]
+
+DEFAULT_DTYPE = np.float32
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    numpy broadcasting can add leading axes and stretch size-1 axes; the
+    gradient of a broadcast is the sum over every stretched axis.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum out any prepended broadcast axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were originally size 1.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype or DEFAULT_DTYPE)
+
+
+class Tensor:
+    """A multi-dimensional array that records operations for backprop.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts, or another Tensor (copied view).
+    requires_grad:
+        Whether gradients should be accumulated into ``.grad`` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op", "_accumulate")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _op: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        was_array = isinstance(data, (np.ndarray, np.generic))
+        arr = np.asarray(data)
+        if arr.dtype.kind == "f":
+            # float64 ndarrays are kept (gradcheck precision); python floats
+            # and lists default to float32 like everything else.
+            if arr.dtype == np.float64 and was_array:
+                pass
+            elif arr.dtype != DEFAULT_DTYPE:
+                arr = arr.astype(DEFAULT_DTYPE)
+        elif arr.dtype.kind not in "iub":
+            arr = arr.astype(DEFAULT_DTYPE)
+        self.data = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents = _parents
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def astype(self, dtype) -> "Tensor":
+        out = Tensor(self.data.astype(dtype), requires_grad=False)
+        return out
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        op: str,
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an op output, recording the graph only when it matters."""
+        track = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=track, _parents=parents if track else (), _op=op)
+        if track:
+            out._backward = backward
+        return out
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to 1 for scalar outputs (the usual loss case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # Topological order of the graph above `self`.
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and not node._parents:
+                # Leaf tensor: accumulate.
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+            if node._backward is not None:
+                with no_grad():
+                    node._accumulate = grads  # type: ignore[attr-defined]
+                    try:
+                        node._backward(node_grad)
+                    finally:
+                        del node._accumulate  # type: ignore[attr-defined]
+            # Leaves with parents recorded (shouldn't happen) are ignored.
+
+    def _send(self, parent: "Tensor", grad: np.ndarray) -> None:
+        """Accumulate ``grad`` for ``parent`` during an active backward pass."""
+        store: dict[int, np.ndarray] = self._accumulate  # type: ignore[attr-defined]
+        key = id(parent)
+        if key in store:
+            store[key] = store[key] + grad
+        else:
+            store[key] = grad
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other, self.dtype))
+        out_data = self.data + other_t.data
+
+        def backward(g: np.ndarray, self_=self, other_=other_t) -> None:
+            if self_.requires_grad:
+                out._send(self_, _unbroadcast(g, self_.shape))
+            if other_.requires_grad:
+                out._send(other_, _unbroadcast(g, other_.shape))
+
+        out = Tensor._make(out_data, (self, other_t), "add", backward)
+        return out
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray, self_=self) -> None:
+            if self_.requires_grad:
+                out._send(self_, -g)
+
+        out = Tensor._make(-self.data, (self,), "neg", backward)
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other, self.dtype))
+        out_data = self.data - other_t.data
+
+        def backward(g: np.ndarray, self_=self, other_=other_t) -> None:
+            if self_.requires_grad:
+                out._send(self_, _unbroadcast(g, self_.shape))
+            if other_.requires_grad:
+                out._send(other_, _unbroadcast(-g, other_.shape))
+
+        out = Tensor._make(out_data, (self, other_t), "sub", backward)
+        return out
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(_as_array(other, self.dtype)).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other, self.dtype))
+        out_data = self.data * other_t.data
+
+        def backward(g: np.ndarray, self_=self, other_=other_t) -> None:
+            if self_.requires_grad:
+                out._send(self_, _unbroadcast(g * other_.data, self_.shape))
+            if other_.requires_grad:
+                out._send(other_, _unbroadcast(g * self_.data, other_.shape))
+
+        out = Tensor._make(out_data, (self, other_t), "mul", backward)
+        return out
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other, self.dtype))
+        out_data = self.data / other_t.data
+
+        def backward(g: np.ndarray, self_=self, other_=other_t) -> None:
+            if self_.requires_grad:
+                out._send(self_, _unbroadcast(g / other_.data, self_.shape))
+            if other_.requires_grad:
+                out._send(
+                    other_,
+                    _unbroadcast(-g * self_.data / (other_.data ** 2), other_.shape),
+                )
+
+        out = Tensor._make(out_data, (self, other_t), "div", backward)
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(_as_array(other, self.dtype)).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(g: np.ndarray, self_=self, p=exponent) -> None:
+            if self_.requires_grad:
+                out._send(self_, g * p * self_.data ** (p - 1))
+
+        out = Tensor._make(out_data, (self,), "pow", backward)
+        return out
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g: np.ndarray, self_=self) -> None:
+            if self_.requires_grad:
+                out._send(self_, g * out.data)
+
+        out = Tensor._make(out_data, (self,), "exp", backward)
+        return out
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(g: np.ndarray, self_=self) -> None:
+            if self_.requires_grad:
+                out._send(self_, g / self_.data)
+
+        out = Tensor._make(out_data, (self,), "log", backward)
+        return out
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(g: np.ndarray, self_=self) -> None:
+            if self_.requires_grad:
+                out._send(self_, g * 0.5 / out.data)
+
+        out = Tensor._make(out_data, (self,), "sqrt", backward)
+        return out
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value; subgradient at 0 is 0 (as in PyTorch).
+
+        Needed by the paper's L1 ``L_scale`` regularizer (Eq. 4).
+        """
+        out_data = np.abs(self.data)
+
+        def backward(g: np.ndarray, self_=self) -> None:
+            if self_.requires_grad:
+                out._send(self_, g * np.sign(self_.data))
+
+        out = Tensor._make(out_data, (self,), "abs", backward)
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray, self_=self) -> None:
+            if self_.requires_grad:
+                out._send(self_, g * (1.0 - out.data ** 2))
+
+        out = Tensor._make(out_data, (self,), "tanh", backward)
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g: np.ndarray, self_=self) -> None:
+            if self_.requires_grad:
+                out._send(self_, g * out.data * (1.0 - out.data))
+
+        out = Tensor._make(out_data, (self,), "sigmoid", backward)
+        return out
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(g: np.ndarray, self_=self) -> None:
+            if self_.requires_grad:
+                out._send(self_, g * (self_.data > 0))
+
+        out = Tensor._make(out_data, (self,), "relu", backward)
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+
+        def backward(g: np.ndarray, self_=self, lo=low, hi=high) -> None:
+            if self_.requires_grad:
+                mask = (self_.data >= lo) & (self_.data <= hi)
+                out._send(self_, g * mask)
+
+        out = Tensor._make(out_data, (self,), "clip", backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        if not isinstance(other, Tensor):
+            other = Tensor(_as_array(other, self.dtype))
+        out_data = self.data @ other.data
+
+        def backward(g: np.ndarray, a=self, b=other) -> None:
+            if a.data.ndim == 1 and b.data.ndim == 1:  # dot product
+                if a.requires_grad:
+                    out._send(a, g * b.data)
+                if b.requires_grad:
+                    out._send(b, g * a.data)
+                return
+            if a.requires_grad:
+                if b.data.ndim == 1:
+                    ga = np.expand_dims(g, -1) * b.data
+                else:
+                    ga = g @ np.swapaxes(b.data, -1, -2)
+                out._send(a, _unbroadcast(ga, a.shape))
+            if b.requires_grad:
+                if a.data.ndim == 1:
+                    gb = np.outer(a.data, g)
+                else:
+                    gb = np.swapaxes(a.data, -1, -2) @ g
+                out._send(b, _unbroadcast(gb, b.shape))
+
+        out = Tensor._make(out_data, (self, other), "matmul", backward)
+        return out
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return self.matmul(other)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray, self_=self, ax=axis, kd=keepdims) -> None:
+            if not self_.requires_grad:
+                return
+            grad = g
+            if ax is not None and not kd:
+                axes = (ax,) if isinstance(ax, int) else tuple(ax)
+                axes = tuple(a % self_.ndim for a in axes)
+                for a in sorted(axes):
+                    grad = np.expand_dims(grad, a)
+            out._send(self_, np.broadcast_to(grad, self_.shape).astype(self_.dtype, copy=False))
+
+        out = Tensor._make(out_data, (self,), "sum", backward)
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Biased variance (divides by N), matching batch-norm statistics."""
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray, self_=self, ax=axis, kd=keepdims) -> None:
+            if not self_.requires_grad:
+                return
+            if ax is None:
+                mask = self_.data == self_.data.max()
+                grad = mask * (g / mask.sum())
+            else:
+                expanded = self_.data.max(axis=ax, keepdims=True)
+                mask = self_.data == expanded
+                counts = mask.sum(axis=ax, keepdims=True)
+                gg = g if kd else np.expand_dims(g, ax)
+                grad = mask * (gg / counts)
+            out._send(self_, grad.astype(self_.dtype, copy=False))
+
+        out = Tensor._make(out_data, (self,), "max", backward)
+        return out
+
+    def logsumexp(self, axis: int = -1, keepdims: bool = False) -> "Tensor":
+        """Numerically stable log-sum-exp with exact softmax backward."""
+        m = self.data.max(axis=axis, keepdims=True)
+        shifted = self.data - m
+        s = np.exp(shifted).sum(axis=axis, keepdims=True)
+        out_data = np.log(s) + m
+        if not keepdims:
+            out_data = np.squeeze(out_data, axis=axis)
+
+        def backward(g: np.ndarray, self_=self, ax=axis, kd=keepdims) -> None:
+            if not self_.requires_grad:
+                return
+            soft = np.exp(self_.data - m) / s
+            gg = g if kd else np.expand_dims(g, ax)
+            out._send(self_, (gg * soft).astype(self_.dtype, copy=False))
+
+        out = Tensor._make(out_data, (self,), "logsumexp", backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(g: np.ndarray, self_=self) -> None:
+            if self_.requires_grad:
+                out._send(self_, g.reshape(self_.shape))
+
+        out = Tensor._make(out_data, (self,), "reshape", backward)
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = self.data.transpose(axes)
+        inverse = tuple(np.argsort(axes))
+
+        def backward(g: np.ndarray, self_=self, inv=inverse) -> None:
+            if self_.requires_grad:
+                out._send(self_, g.transpose(inv))
+
+        out = Tensor._make(out_data, (self,), "transpose", backward)
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(g: np.ndarray, self_=self, idx=index) -> None:
+            if self_.requires_grad:
+                grad = np.zeros_like(self_.data)
+                np.add.at(grad, idx, g)
+                out._send(self_, grad)
+
+        out = Tensor._make(out_data, (self,), "getitem", backward)
+        return out
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the trailing two (spatial) axes of an NCHW tensor."""
+        if padding == 0:
+            return self
+        pads = [(0, 0)] * (self.ndim - 2) + [(padding, padding), (padding, padding)]
+        out_data = np.pad(self.data, pads)
+
+        def backward(g: np.ndarray, self_=self, p=padding) -> None:
+            if self_.requires_grad:
+                out._send(self_, g[..., p:-p, p:-p])
+
+        out = Tensor._make(out_data, (self,), "pad2d", backward)
+        return out
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        """Concatenate tensors along ``axis``.
+
+        This op is the heart of the paper's train-free knowledge
+        consolidation: expert sub-logits are concatenated into one unified
+        logit vector (Figure 3).
+        """
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(g: np.ndarray, parts=tuple(tensors), offs=offsets, ax=axis) -> None:
+            slicer = [slice(None)] * g.ndim
+            for tensor, start, stop in zip(parts, offs[:-1], offs[1:]):
+                if tensor.requires_grad:
+                    slicer[ax] = slice(int(start), int(stop))
+                    out._send(tensor, g[tuple(slicer)])
+
+        out = Tensor._make(out_data, tuple(tensors), "concat", backward)
+        return out
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(g: np.ndarray, parts=tuple(tensors), ax=axis) -> None:
+            moved = np.moveaxis(g, ax, 0)
+            for i, tensor in enumerate(parts):
+                if tensor.requires_grad:
+                    out._send(tensor, moved[i])
+
+        out = Tensor._make(out_data, tuple(tensors), "stack", backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Comparison (no grad) and misc
+    # ------------------------------------------------------------------
+    def argmax(self, axis=None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _as_array(other, self.dtype)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _as_array(other, self.dtype)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> "Tensor":
+        rng = rng or np.random.default_rng()
+        return Tensor(rng.standard_normal(shape).astype(DEFAULT_DTYPE), requires_grad=requires_grad)

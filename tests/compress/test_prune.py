@@ -1,0 +1,79 @@
+"""Magnitude pruning and sparse storage accounting."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.compress import magnitude_prune, sparse_nbytes, sparsity
+
+
+@pytest.fixture
+def model(rng):
+    m = nn.Sequential(nn.Linear(16, 16, rng=np.random.default_rng(0)), nn.ReLU(),
+                      nn.Linear(16, 4, rng=np.random.default_rng(1)))
+    return m
+
+
+class TestMagnitudePrune:
+    def test_achieves_requested_sparsity(self, model):
+        magnitude_prune(model, 0.5)
+        weights = np.concatenate(
+            [p.data.reshape(-1) for n, p in model.named_parameters() if n.endswith("weight")]
+        )
+        assert abs(sparsity(weights) - 0.5) < 0.05
+
+    def test_keeps_largest_weights(self, model):
+        biggest = float(np.abs(model[0].weight.data).max())
+        magnitude_prune(model, 0.9)
+        assert float(np.abs(model[0].weight.data).max()) == pytest.approx(biggest)
+
+    def test_biases_untouched(self, model):
+        before = model[0].bias.data.copy()
+        magnitude_prune(model, 0.9)
+        assert np.allclose(model[0].bias.data, before)
+
+    def test_zero_fraction_noop(self, model):
+        before = model[0].weight.data.copy()
+        magnitude_prune(model, 0.0)
+        assert np.allclose(model[0].weight.data, before)
+
+    def test_invalid_fraction(self, model):
+        with pytest.raises(ValueError):
+            magnitude_prune(model, 1.0)
+        with pytest.raises(ValueError):
+            magnitude_prune(model, -0.1)
+
+    def test_report_per_parameter(self, model):
+        report = magnitude_prune(model, 0.5)
+        assert "0.weight" in report and "2.weight" in report
+        assert all(0.0 <= v <= 1.0 for v in report.values())
+
+    def test_conv_weights_pruned(self, rng):
+        conv = nn.Conv2d(4, 8, 3, rng=np.random.default_rng(2))
+        magnitude_prune(conv, 0.7)
+        assert sparsity(conv.weight.data) > 0.6
+
+
+class TestSparsity:
+    def test_sparsity_values(self):
+        assert sparsity(np.array([0.0, 1.0, 0.0, 2.0])) == 0.5
+        assert sparsity(np.zeros(4)) == 1.0
+        assert sparsity(np.ones(4)) == 0.0
+
+
+class TestSparseNbytes:
+    def test_dense_when_not_sparse(self, rng):
+        state = {"w": rng.standard_normal((10, 10)).astype(np.float32)}
+        assert sparse_nbytes(state) == state["w"].nbytes
+
+    def test_sparse_when_mostly_zero(self):
+        w = np.zeros((100, 100), dtype=np.float32)
+        w[0, :10] = 1.0
+        state = {"w": w}
+        assert sparse_nbytes(state) == 10 * (4 + 4)
+
+    def test_pruned_model_smaller(self, model):
+        dense = sparse_nbytes({k: v for k, v in model.state_dict().items()})
+        magnitude_prune(model, 0.9)
+        pruned = sparse_nbytes({k: v for k, v in model.state_dict().items()})
+        assert pruned < dense

@@ -1,0 +1,87 @@
+"""Post-training quantization: roundtrip error, size accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compress import (
+    dequantize_state,
+    dequantize_tensor,
+    quantization_error,
+    quantize_state,
+    quantize_tensor,
+    quantized_nbytes,
+)
+
+ARRAYS = hnp.arrays(
+    np.float32,
+    hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=8),
+    elements=st.floats(-10, 10, allow_nan=False, width=32),
+)
+
+
+class TestTensorRoundtrip:
+    @given(ARRAYS)
+    def test_error_bounded_by_half_step(self, array):
+        qt = quantize_tensor(array)
+        rebuilt = dequantize_tensor(qt)
+        span = float(array.max() - array.min())
+        tolerance = span / 255.0 / 2.0 + 1e-6
+        assert np.abs(rebuilt - array).max() <= tolerance * 1.01
+
+    def test_constant_tensor_exact(self):
+        array = np.full((4, 4), 3.25, dtype=np.float32)
+        assert np.allclose(dequantize_tensor(quantize_tensor(array)), array)
+
+    def test_shape_preserved(self, rng):
+        array = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        assert dequantize_tensor(quantize_tensor(array)).shape == (2, 3, 4)
+
+    def test_values_are_uint8(self, rng):
+        qt = quantize_tensor(rng.standard_normal(100).astype(np.float32))
+        assert qt.values.dtype == np.uint8
+
+    def test_extremes_preserved(self):
+        array = np.array([-5.0, 0.0, 5.0], dtype=np.float32)
+        rebuilt = dequantize_tensor(quantize_tensor(array))
+        assert rebuilt[0] == pytest.approx(-5.0, abs=0.05)
+        assert rebuilt[2] == pytest.approx(5.0, abs=0.05)
+
+
+class TestStateDicts:
+    def test_state_roundtrip_keys(self, rng):
+        state = {"w": rng.standard_normal((8, 8)).astype(np.float32),
+                 "b": rng.standard_normal(8).astype(np.float32)}
+        rebuilt = dequantize_state(quantize_state(state))
+        assert set(rebuilt) == {"w", "b"}
+        assert np.abs(rebuilt["w"] - state["w"]).max() < 0.05
+
+    def test_quantized_roughly_4x_smaller(self, rng):
+        state = {"w": rng.standard_normal((64, 64)).astype(np.float32)}
+        raw = state["w"].nbytes
+        packed = quantized_nbytes(quantize_state(state))
+        assert packed < raw / 3.5
+
+    def test_quantization_error_small_relative_to_scale(self, rng):
+        state = {"w": rng.standard_normal((32, 32)).astype(np.float32)}
+        err = quantization_error(state)
+        assert 0 < err < 0.05  # span ~8 sigma -> step ~0.03
+
+    def test_quantized_model_still_accurate(self, rng):
+        """End-to-end: quantize a trained linear classifier's weights and
+        check predictions survive."""
+        from repro import nn
+        from repro.distill import batched_forward
+
+        centers = rng.standard_normal((4, 8)) * 3
+        labels = np.repeat(np.arange(4), 25)
+        x = (centers[labels] + 0.3 * rng.standard_normal((100, 8))).astype(np.float32)
+        model = nn.Linear(8, 4)
+        model.weight.data = centers.astype(np.float32)
+        model.bias.data = (-0.5 * (centers**2).sum(axis=1)).astype(np.float32)
+        baseline = (batched_forward(model, x).argmax(1) == labels).mean()
+        model.load_state_dict(dequantize_state(quantize_state(model.state_dict())))
+        quantized = (batched_forward(model, x).argmax(1) == labels).mean()
+        assert quantized >= baseline - 0.02

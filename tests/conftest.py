@@ -1,0 +1,47 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Keep property-based tests fast and deterministic in CI.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_hierarchy():
+    """4 superclasses x 2 classes — the micro hierarchy for fast tests."""
+    from repro.data import ClassHierarchy
+
+    return ClassHierarchy.uniform(4, 2, prefix="t")
+
+
+@pytest.fixture
+def tiny_dataset(tiny_hierarchy):
+    """A micro synthetic dataset (8 classes, 6x6 images, 20+10 per class)."""
+    from repro.data.synthetic import (
+        HierarchicalImageDataset,
+        SyntheticConfig,
+        SyntheticImageGenerator,
+    )
+
+    generator = SyntheticImageGenerator(
+        tiny_hierarchy, SyntheticConfig(image_size=6, noise_std=0.5), seed=3
+    )
+    return HierarchicalImageDataset(
+        tiny_hierarchy, generator, train_per_class=20, test_per_class=10, seed=4
+    )

@@ -1,0 +1,61 @@
+"""Shared trained micro-pool for the core test modules (built once)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PoEConfig, PoolOfExperts
+from repro.data import ClassHierarchy
+from repro.data.synthetic import (
+    HierarchicalImageDataset,
+    SyntheticConfig,
+    SyntheticImageGenerator,
+)
+from repro.distill import TrainConfig, train_scratch
+from repro.models import WideResNet
+
+
+def build_micro_pool(hierarchy, seed=3, train_per_class=40, test_per_class=15):
+    """Train a micro oracle and preprocess a full pool over ``hierarchy``."""
+    generator = SyntheticImageGenerator(
+        hierarchy, SyntheticConfig(image_size=6, noise_std=0.45), seed=seed
+    )
+    data = HierarchicalImageDataset(
+        hierarchy, generator, train_per_class, test_per_class, seed=seed + 1
+    )
+    oracle = WideResNet(
+        10, 2, 2, hierarchy.num_classes, rng=np.random.default_rng(seed)
+    )
+    train_scratch(
+        oracle,
+        data.train.images,
+        data.train.labels,
+        TrainConfig(epochs=10, batch_size=32, lr=0.05, seed=0),
+    )
+    pool = PoolOfExperts(
+        oracle,
+        hierarchy,
+        PoEConfig(
+            library_depth=10,
+            library_k=1.0,
+            expert_ks=0.25,
+            library_train=TrainConfig(epochs=8, batch_size=32, lr=0.05, seed=0),
+            expert_train=TrainConfig(epochs=8, batch_size=32, lr=0.05, seed=0),
+        ),
+    )
+    pool.preprocess(data.train)
+    return pool, data, oracle
+
+
+@pytest.fixture(scope="session")
+def micro_pool():
+    """(pool, data, oracle) over a 4x2 anonymous hierarchy."""
+    return build_micro_pool(ClassHierarchy.uniform(4, 2, prefix="c"))
+
+
+@pytest.fixture(scope="session")
+def named_pool():
+    """(pool, data, oracle) over a small named hierarchy (service tests)."""
+    hierarchy = ClassHierarchy(
+        {"pets": ["cat", "dog"], "birds": ["owl", "crow"], "fish": ["eel", "cod"]}
+    )
+    return build_micro_pool(hierarchy, seed=21)

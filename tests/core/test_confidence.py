@@ -1,0 +1,101 @@
+"""Confidence / OOD analysis tools (Figure 5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import ConfidenceProfile, max_confidences, ood_confidence_profile
+from repro.data import ArrayDataset, ClassHierarchy
+
+
+class FixedLogitModel(nn.Module):
+    """Returns constant logits regardless of input — test double."""
+
+    def __init__(self, logits_row):
+        super().__init__()
+        self._row = np.asarray(logits_row, dtype=np.float32)
+
+    def forward(self, x):
+        from repro.tensor import Tensor
+
+        return Tensor(np.tile(self._row, (x.shape[0], 1)))
+
+
+@pytest.fixture
+def hierarchy():
+    return ClassHierarchy.uniform(3, 2, prefix="h")
+
+
+@pytest.fixture
+def dataset(hierarchy, rng):
+    labels = np.repeat(np.arange(6), 5)
+    return ArrayDataset(rng.standard_normal((30, 3, 4, 4)).astype(np.float32), labels)
+
+
+class TestMaxConfidences:
+    def test_confident_model(self, rng):
+        model = FixedLogitModel([10.0, -10.0])
+        conf = max_confidences(model, rng.standard_normal((7, 3, 4, 4)).astype(np.float32))
+        assert conf.shape == (7,)
+        assert np.allclose(conf, 1.0, atol=1e-4)
+
+    def test_uniform_model(self, rng):
+        model = FixedLogitModel([0.0, 0.0, 0.0, 0.0])
+        conf = max_confidences(model, rng.standard_normal((5, 3, 4, 4)).astype(np.float32))
+        assert np.allclose(conf, 0.25, atol=1e-5)
+
+
+class TestOODProfile:
+    def test_overconfident_detector(self, hierarchy, dataset):
+        model = FixedLogitModel([20.0, -20.0])
+        profile = ood_confidence_profile(model, dataset, hierarchy.task("h0"))
+        assert profile.overconfident_rate == 1.0
+        assert profile.mode_bin[0] >= 0.9 - 1e-6  # float32 bin edge
+
+    def test_calibrated_detector(self, hierarchy, dataset):
+        model = FixedLogitModel([0.3, 0.0])
+        profile = ood_confidence_profile(model, dataset, hierarchy.task("h0"))
+        assert profile.overconfident_rate == 0.0
+        assert profile.mean < 0.7
+
+    def test_histogram_normalised(self, hierarchy, dataset):
+        model = FixedLogitModel([1.0, 0.0])
+        profile = ood_confidence_profile(model, dataset, hierarchy.task("h1"), bins=20)
+        assert np.isclose(profile.histogram.sum(), 1.0)
+        assert len(profile.histogram) == 20
+        assert len(profile.bin_edges) == 21
+
+    def test_only_ood_samples_used(self, hierarchy, dataset):
+        """The profile must exclude the task's own classes: 20 of 30
+        samples are OOD for a 2-class task here."""
+        task = hierarchy.task("h0")
+        mask = ~np.isin(dataset.labels, task.classes)
+        assert mask.sum() == 20
+
+        class CountingModel(FixedLogitModel):
+            seen = 0
+
+            def forward(self, x):
+                CountingModel.seen += x.shape[0]
+                return super().forward(x)
+
+        model = CountingModel([1.0, 0.0])
+        ood_confidence_profile(model, dataset, task)
+        assert CountingModel.seen == 20
+
+    def test_no_ood_samples_raises(self, hierarchy, rng):
+        task = hierarchy.task("h0")
+        only_task = ArrayDataset(
+            rng.standard_normal((4, 3, 4, 4)).astype(np.float32),
+            np.array([0, 0, 1, 1]),
+        )
+        model = FixedLogitModel([0.0, 0.0])
+        with pytest.raises(ValueError):
+            ood_confidence_profile(model, only_task, task)
+
+    def test_composite_task_ood(self, hierarchy, dataset):
+        q = hierarchy.composite(["h0", "h1"])
+        model = FixedLogitModel([0.0, 0.0, 0.0, 0.0])
+        profile = ood_confidence_profile(model, dataset, q)
+        assert isinstance(profile, ConfidenceProfile)
+        assert np.isclose(profile.mean, 0.25, atol=1e-4)

@@ -1,0 +1,83 @@
+"""Train-free knowledge consolidation: correctness and realtime property."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.distill import batched_forward
+
+
+class TestConsolidationCorrectness:
+    def test_unified_logits_are_expert_concatenation(self, micro_pool):
+        """The consolidated model's output must equal each expert's own
+        sub-logits, concatenated in query order (paper Fig. 3)."""
+        pool, data, _ = micro_pool
+        model, composite = pool.consolidate(["c1", "c3"])
+        x = data.test.images[:10]
+        unified = batched_forward(model, x)
+        single1, _ = pool.consolidate(["c1"])
+        single3, _ = pool.consolidate(["c3"])
+        assert np.allclose(unified[:, :2], batched_forward(single1, x), atol=1e-5)
+        assert np.allclose(unified[:, 2:], batched_forward(single3, x), atol=1e-5)
+
+    def test_query_order_controls_layout(self, micro_pool):
+        pool, data, _ = micro_pool
+        a, comp_a = pool.consolidate(["c0", "c2"])
+        b, comp_b = pool.consolidate(["c2", "c0"])
+        x = data.test.images[:6]
+        la, lb = batched_forward(a, x), batched_forward(b, x)
+        assert np.allclose(la[:, :2], lb[:, 2:], atol=1e-6)
+        assert comp_a.classes == (0, 1, 4, 5)
+        assert comp_b.classes == (4, 5, 0, 1)
+
+    def test_missing_expert_raises(self, micro_pool):
+        pool, _, _ = micro_pool
+        with pytest.raises(KeyError, match="c9"):
+            pool.consolidate(["c0", "c9"])
+
+    def test_shares_weights_with_pool(self, micro_pool):
+        pool, _, _ = micro_pool
+        model, _ = pool.consolidate(["c0", "c1"])
+        assert model.trunk is pool.library
+        assert model.heads[0] is pool.experts["c0"]
+        assert model.heads[1] is pool.experts["c1"]
+
+    def test_composite_task_object_accepted(self, micro_pool):
+        pool, _, _ = micro_pool
+        composite = pool.hierarchy.composite(["c0", "c3"])
+        model, returned = pool.consolidate(composite)
+        assert returned is composite
+        assert model.num_classes == 4
+
+    def test_model_returned_in_eval_mode(self, micro_pool):
+        pool, _, _ = micro_pool
+        model, _ = pool.consolidate(["c0"])
+        assert not model.training
+
+
+class TestTrainFreeProperty:
+    def test_consolidation_is_fast(self, micro_pool):
+        """The service phase is 'realtime': assembling M(Q) takes far less
+        than a millisecond-scale budget because no weights move."""
+        pool, _, _ = micro_pool
+        pool.consolidate(["c0", "c1", "c2", "c3"])  # warm up
+        start = time.perf_counter()
+        for _ in range(50):
+            pool.consolidate(["c0", "c1", "c2", "c3"])
+        per_call = (time.perf_counter() - start) / 50
+        assert per_call < 0.01  # 10 ms is already generous
+
+    def test_consolidation_does_not_modify_weights(self, micro_pool):
+        pool, _, _ = micro_pool
+        before = {k: v.copy() for k, v in pool.experts["c2"].state_dict().items()}
+        pool.consolidate(["c2", "c3"])
+        after = pool.experts["c2"].state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key])
+
+    def test_scales_to_all_primitives(self, micro_pool):
+        pool, data, _ = micro_pool
+        model, composite = pool.consolidate(["c0", "c1", "c2", "c3"])
+        assert model.num_classes == data.hierarchy.num_classes
+        assert model.n_branches == 4

@@ -1,0 +1,103 @@
+"""PoolOfExperts: preprocessing phase mechanics and quality."""
+
+import numpy as np
+import pytest
+
+from repro.core import PoEConfig, PoolOfExperts
+from repro.distill import TrainConfig
+from repro.eval.metrics import specialized_accuracy
+
+
+def quick_config():
+    """Tiny budgets: enough to exercise mechanics, not to reach quality."""
+    return PoEConfig(
+        library_depth=10,
+        library_k=1.0,
+        expert_ks=0.25,
+        library_train=TrainConfig(epochs=2, batch_size=64, lr=0.05, seed=0),
+        expert_train=TrainConfig(epochs=2, batch_size=64, lr=0.05, seed=0),
+    )
+
+
+class TestPreprocessingMechanics:
+    def test_expert_before_library_rejected(self, micro_pool):
+        pool, data, oracle = micro_pool
+        fresh = PoolOfExperts(oracle, pool.hierarchy, quick_config())
+        with pytest.raises(RuntimeError):
+            fresh.extract_expert("c0", data.train.images)
+
+    def test_consolidate_on_empty_pool_rejected(self, micro_pool):
+        pool, data, oracle = micro_pool
+        fresh = PoolOfExperts(oracle, pool.hierarchy, quick_config())
+        with pytest.raises(RuntimeError):
+            fresh.consolidate(["c0"])
+
+    def test_library_extraction_freezes_trunk(self, micro_pool):
+        pool, data, oracle = micro_pool
+        fresh = PoolOfExperts(oracle, pool.hierarchy, quick_config())
+        fresh.extract_library(data.train.images)
+        assert fresh.library is not None
+        assert all(not p.requires_grad for p in fresh.library.parameters())
+        assert not fresh.library.training  # eval mode: fixed BN statistics
+
+    def test_expert_extraction_adds_named_expert(self, micro_pool):
+        pool, data, oracle = micro_pool
+        fresh = PoolOfExperts(oracle, pool.hierarchy, quick_config())
+        fresh.extract_library(data.train.images)
+        fresh.extract_expert("c1", data.train.images)
+        assert fresh.expert_names() == ("c1",)
+        assert fresh.experts["c1"].num_classes == 2
+
+    def test_library_untouched_by_expert_training(self, micro_pool):
+        pool, data, oracle = micro_pool
+        fresh = PoolOfExperts(oracle, pool.hierarchy, quick_config())
+        fresh.extract_library(data.train.images)
+        before = {k: v.copy() for k, v in fresh.library.state_dict().items()}
+        fresh.extract_expert("c0", data.train.images)
+        after = fresh.library.state_dict()
+        for key in before:
+            assert np.allclose(before[key], after[key]), key
+
+    def test_preprocess_subset_of_tasks(self, micro_pool):
+        pool, data, oracle = micro_pool
+        fresh = PoolOfExperts(oracle, pool.hierarchy, quick_config())
+        fresh.preprocess(data.train, tasks=["c0", "c3"])
+        assert set(fresh.expert_names()) == {"c0", "c3"}
+
+    def test_oracle_logits_cached(self, micro_pool):
+        pool, data, oracle = micro_pool
+        fresh = PoolOfExperts(oracle, pool.hierarchy, quick_config())
+        first = fresh._oracle_logits_for(data.train.images)
+        second = fresh._oracle_logits_for(data.train.images)
+        assert first is second
+
+
+class TestPreprocessedPoolQuality:
+    """Assertions on the session-scoped, properly trained micro pool."""
+
+    def test_all_experts_extracted(self, micro_pool):
+        pool, _, _ = micro_pool
+        assert set(pool.expert_names()) == {"c0", "c1", "c2", "c3"}
+
+    def test_histories_recorded(self, micro_pool):
+        pool, _, _ = micro_pool
+        assert "library" in pool.histories
+        assert "expert/c2" in pool.histories
+        assert pool.histories["library"].total_seconds > 0
+
+    def test_experts_accurate_on_own_task(self, micro_pool):
+        pool, data, _ = micro_pool
+        for name in pool.expert_names():
+            model, composite = pool.consolidate([name])
+            acc = specialized_accuracy(model, data.test, composite)
+            assert acc > 0.8, f"expert {name} at {acc}"
+
+    def test_composite_accuracy(self, micro_pool):
+        pool, data, _ = micro_pool
+        model, composite = pool.consolidate(["c0", "c1", "c2"])
+        assert specialized_accuracy(model, data.test, composite) > 0.7
+
+    def test_library_student_kept_for_table1(self, micro_pool):
+        pool, _, _ = micro_pool
+        assert pool.library_student is not None
+        assert pool.library_student.trunk is pool.library

@@ -1,0 +1,94 @@
+"""ModelQueryEngine and TaskSpecificModel: the service API."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelQueryEngine, TaskSpecificModel
+
+
+class TestEngine:
+    def test_available_tasks(self, named_pool):
+        pool, _, _ = named_pool
+        engine = ModelQueryEngine(pool)
+        assert set(engine.available_tasks()) == {"pets", "birds", "fish"}
+
+    def test_query_returns_task_model(self, named_pool):
+        pool, _, _ = named_pool
+        engine = ModelQueryEngine(pool)
+        model = engine.query(["pets", "fish"])
+        assert isinstance(model, TaskSpecificModel)
+        assert model.class_names == ("cat", "dog", "eel", "cod")
+
+    def test_query_accepts_composite(self, named_pool):
+        pool, _, _ = named_pool
+        engine = ModelQueryEngine(pool)
+        composite = pool.hierarchy.composite(["birds"])
+        model = engine.query(composite)
+        assert model.task is composite
+
+    def test_records_latency(self, named_pool):
+        pool, _, _ = named_pool
+        engine = ModelQueryEngine(pool)
+        engine.query(["pets"])
+        engine.query(["birds", "fish"])
+        assert len(engine.records) == 2
+        assert all(r.seconds < 1.0 for r in engine.records)
+        assert engine.mean_latency() is not None
+
+    def test_cache_hits_marked(self, named_pool):
+        pool, _, _ = named_pool
+        engine = ModelQueryEngine(pool, cache_models=True)
+        m1 = engine.query(["pets", "birds"])
+        m2 = engine.query(["pets", "birds"])
+        assert m1 is m2
+        assert [r.cached for r in engine.records] == [False, True]
+
+    def test_cache_disabled(self, named_pool):
+        pool, _, _ = named_pool
+        engine = ModelQueryEngine(pool, cache_models=False)
+        assert engine.query(["pets"]) is not engine.query(["pets"])
+
+    def test_mean_latency_none_without_queries(self, named_pool):
+        pool, _, _ = named_pool
+        assert ModelQueryEngine(pool).mean_latency() is None
+
+
+class TestTaskSpecificModel:
+    def test_predict_returns_global_ids(self, named_pool):
+        pool, data, _ = named_pool
+        model = ModelQueryEngine(pool).query(["birds"])  # global classes (2, 3)
+        preds = model.predict(data.test.images[:20])
+        assert set(np.unique(preds)).issubset({2, 3})
+
+    def test_predict_names(self, named_pool):
+        pool, data, _ = named_pool
+        model = ModelQueryEngine(pool).query(["fish"])
+        names = model.predict_names(data.test.images[:5])
+        assert all(n in ("eel", "cod") for n in names)
+
+    def test_predict_proba_normalised(self, named_pool):
+        pool, data, _ = named_pool
+        model = ModelQueryEngine(pool).query(["pets", "birds"])
+        probs = model.predict_proba(data.test.images[:8])
+        assert probs.shape == (8, 4)
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-4)
+
+    def test_accuracy_on_own_task(self, named_pool):
+        pool, data, _ = named_pool
+        model = ModelQueryEngine(pool).query(["pets", "fish"])
+        mask = np.isin(data.test.labels, model.classes)
+        preds = model.predict(data.test.images[mask])
+        assert (preds == data.test.labels[mask]).mean() > 0.7
+
+    def test_size_accessors(self, named_pool):
+        pool, _, _ = named_pool
+        model = ModelQueryEngine(pool).query(["pets"])
+        assert model.num_params() > 0
+        assert model.num_flops((3, 6, 6)) > 0
+
+    def test_mismatched_network_rejected(self, named_pool):
+        pool, _, _ = named_pool
+        network, _ = pool.consolidate(["pets", "birds"])
+        wrong = pool.hierarchy.composite(["pets"])
+        with pytest.raises(ValueError):
+            TaskSpecificModel(network, wrong)

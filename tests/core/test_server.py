@@ -1,0 +1,94 @@
+"""Client/server model delivery (paper Fig. 1b)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ModelQueryRequest,
+    PoEClient,
+    PoEServer,
+    deserialize_task_model,
+    serialize_task_model,
+)
+from repro.distill import batched_forward
+
+
+class TestRequestValidation:
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            ModelQueryRequest(tasks=())
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            ModelQueryRequest(tasks=("pets",), transport="float16")
+
+
+class TestServer:
+    def test_available_tasks(self, named_pool):
+        pool, _, _ = named_pool
+        server = PoEServer(pool)
+        assert set(server.available_tasks()) == {"pets", "birds", "fish"}
+
+    def test_handle_returns_payload(self, named_pool):
+        pool, _, _ = named_pool
+        server = PoEServer(pool)
+        response = server.handle(ModelQueryRequest(tasks=("pets", "fish")))
+        assert response.payload_bytes == len(response.payload) > 0
+        assert response.build_seconds < 2.0
+        assert server.served[-1] is response
+
+    def test_unknown_task_propagates(self, named_pool):
+        pool, _, _ = named_pool
+        server = PoEServer(pool)
+        with pytest.raises(KeyError):
+            server.handle(ModelQueryRequest(tasks=("dragons",)))
+
+
+class TestRoundtrip:
+    def test_client_model_matches_server_model(self, named_pool):
+        """The shipped model must compute exactly the server-side logits."""
+        pool, data, _ = named_pool
+        server = PoEServer(pool)
+        client = PoEClient(server)
+        model = client.request_model(["pets", "birds"])
+        server_net, _ = pool.consolidate(["pets", "birds"])
+        x = data.test.images[:10]
+        assert np.allclose(
+            model.logits(x), batched_forward(server_net, x), atol=1e-5
+        )
+
+    def test_class_names_travel(self, named_pool):
+        pool, _, _ = named_pool
+        client = PoEClient(PoEServer(pool))
+        model = client.request_model(["fish"])
+        assert model.class_names == ("eel", "cod")
+        assert tuple(model.classes) == (4, 5)
+
+    def test_uint8_transport_smaller_and_close(self, named_pool):
+        pool, data, _ = named_pool
+        server = PoEServer(pool)
+        full = server.handle(ModelQueryRequest(tasks=("pets", "birds")))
+        packed = server.handle(
+            ModelQueryRequest(tasks=("pets", "birds"), transport="uint8")
+        )
+        assert packed.payload_bytes < full.payload_bytes
+        model_full = deserialize_task_model(full.payload)
+        model_packed = deserialize_task_model(packed.payload)
+        x = data.test.images[:40]
+        agreement = (model_full.predict(x) == model_packed.predict(x)).mean()
+        assert agreement > 0.9  # quantization costs little accuracy
+
+    def test_payload_is_self_contained(self, named_pool):
+        """Deserialization must not touch the pool — only the bytes."""
+        pool, data, _ = named_pool
+        payload = PoEServer(pool).handle(ModelQueryRequest(tasks=("pets",))).payload
+        model = deserialize_task_model(bytes(payload))
+        preds = model.predict(data.test.images[:5])
+        assert set(np.unique(preds)).issubset({0, 1})
+
+    def test_serialize_helper_direct(self, named_pool):
+        pool, _, _ = named_pool
+        network, composite = pool.consolidate(["birds"])
+        payload = serialize_task_model(network, composite, pool.config)
+        model = deserialize_task_model(payload)
+        assert model.task.names == ("birds",)

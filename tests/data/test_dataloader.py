@@ -1,0 +1,77 @@
+"""DataLoader batching semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader
+
+
+@pytest.fixture
+def dataset(rng):
+    images = rng.standard_normal((25, 1, 2, 2)).astype(np.float32)
+    labels = np.arange(25) % 5
+    return ArrayDataset(images, labels)
+
+
+class TestBatching:
+    def test_batch_count(self, dataset):
+        loader = DataLoader(dataset, batch_size=10, shuffle=False)
+        assert len(loader) == 3
+        batches = list(loader)
+        assert batches[0][0].shape[0] == 10
+        assert batches[-1][0].shape[0] == 5
+
+    def test_drop_last(self, dataset):
+        loader = DataLoader(dataset, batch_size=10, shuffle=False, drop_last=True)
+        assert len(loader) == 2
+        assert all(b[0].shape[0] == 10 for b in loader)
+
+    def test_invalid_batch_size(self, dataset):
+        with pytest.raises(ValueError):
+            DataLoader(dataset, batch_size=0)
+
+    def test_covers_all_samples(self, dataset):
+        loader = DataLoader(dataset, batch_size=7, shuffle=True, seed=0)
+        labels = np.concatenate([y for _, y in loader])
+        assert sorted(labels.tolist()) == sorted(dataset.labels.tolist())
+
+    def test_num_samples(self, dataset):
+        assert DataLoader(dataset, batch_size=4).num_samples == 25
+
+
+class TestShuffling:
+    def test_no_shuffle_preserves_order(self, dataset):
+        loader = DataLoader(dataset, batch_size=25, shuffle=False)
+        _, labels = next(iter(loader))
+        assert np.array_equal(labels, dataset.labels)
+
+    def test_seeded_shuffle_deterministic(self, dataset):
+        l1 = DataLoader(dataset, batch_size=25, shuffle=True, seed=42)
+        l2 = DataLoader(dataset, batch_size=25, shuffle=True, seed=42)
+        assert np.array_equal(next(iter(l1))[1], next(iter(l2))[1])
+
+    def test_epochs_reshuffle(self, dataset):
+        loader = DataLoader(dataset, batch_size=25, shuffle=True, seed=0)
+        first = next(iter(loader))[1].copy()
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+
+class TestTransform:
+    def test_transform_applied_per_batch(self, dataset):
+        loader = DataLoader(
+            dataset,
+            batch_size=5,
+            shuffle=False,
+            transform=lambda batch, rng: batch * 0.0,
+        )
+        batch, _ = next(iter(loader))
+        assert np.allclose(batch, 0.0)
+
+    def test_transform_does_not_mutate_source(self, dataset):
+        original = dataset.images.copy()
+        loader = DataLoader(
+            dataset, batch_size=5, shuffle=False, transform=lambda b, r: b * 0.0
+        )
+        list(loader)
+        assert np.allclose(dataset.images, original)

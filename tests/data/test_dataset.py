@@ -1,0 +1,86 @@
+"""Datasets, subsets and task-specific label remapping."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, ClassHierarchy, Subset, label_remap, task_subset
+
+
+@pytest.fixture
+def hierarchy():
+    return ClassHierarchy.uniform(3, 2, prefix="g")
+
+
+@pytest.fixture
+def dataset(hierarchy, rng):
+    labels = np.repeat(np.arange(6), 4)
+    images = rng.standard_normal((24, 3, 4, 4)).astype(np.float32)
+    return ArrayDataset(images, labels)
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self, dataset):
+        assert len(dataset) == 24
+        image, label = dataset[5]
+        assert image.shape == (3, 4, 4)
+        assert label == 1
+
+    def test_rejects_non_nchw(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.standard_normal((4, 4)), np.zeros(4))
+
+    def test_rejects_mismatched_labels(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.standard_normal((4, 1, 2, 2)), np.zeros(3))
+
+    def test_num_classes(self, dataset):
+        assert dataset.num_classes == 6
+
+    def test_arrays_view(self, dataset):
+        images, labels = dataset.arrays()
+        assert images.shape[0] == labels.shape[0] == 24
+
+
+class TestSubset:
+    def test_indexing(self, dataset):
+        sub = Subset(dataset, [0, 10, 20])
+        assert len(sub) == 3
+        assert sub[1][1] == dataset[10][1]
+
+
+class TestLabelRemap:
+    def test_primitive_remap(self, hierarchy):
+        task = hierarchy.task("g1")  # classes (2, 3)
+        assert label_remap(task) == {2: 0, 3: 1}
+
+    def test_composite_remap_order(self, hierarchy):
+        q = hierarchy.composite(["g2", "g0"])  # classes (4,5,0,1)
+        assert label_remap(q) == {4: 0, 5: 1, 0: 2, 1: 3}
+
+
+class TestTaskSubset:
+    def test_filters_classes(self, dataset, hierarchy):
+        task = hierarchy.task("g1")
+        sub = task_subset(dataset, task)
+        assert len(sub) == 8
+        assert set(np.unique(sub.labels)) == {0, 1}
+
+    def test_remap_false_keeps_global(self, dataset, hierarchy):
+        task = hierarchy.task("g1")
+        sub = task_subset(dataset, task, remap=False)
+        assert set(np.unique(sub.labels)) == {2, 3}
+
+    def test_composite_subset(self, dataset, hierarchy):
+        q = hierarchy.composite(["g2", "g0"])
+        sub = task_subset(dataset, q)
+        assert len(sub) == 16
+        # global 4 -> local 0, global 0 -> local 2
+        originals = dataset.labels[np.isin(dataset.labels, q.classes)]
+        mapping = label_remap(q)
+        assert np.array_equal(sub.labels, [mapping[int(y)] for y in originals])
+
+    def test_images_match_labels(self, dataset, hierarchy):
+        task = hierarchy.task("g0")
+        sub = task_subset(dataset, task)
+        mask = np.isin(dataset.labels, task.classes)
+        assert np.allclose(sub.images, dataset.images[mask])

@@ -1,0 +1,116 @@
+"""Class hierarchies, primitive tasks and composite tasks."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import ClassHierarchy, CompositeTask, PrimitiveTask
+
+
+@pytest.fixture
+def hierarchy():
+    return ClassHierarchy(
+        {
+            "mammals": ["cat", "dog"],
+            "birds": ["sparrow", "eagle", "owl"],
+            "fish": ["trout"],
+        }
+    )
+
+
+class TestConstruction:
+    def test_global_ids_sequential(self, hierarchy):
+        assert hierarchy.num_classes == 6
+        assert hierarchy.task("mammals").classes == (0, 1)
+        assert hierarchy.task("birds").classes == (2, 3, 4)
+        assert hierarchy.task("fish").classes == (5,)
+
+    def test_class_names_order(self, hierarchy):
+        assert hierarchy.class_names == ("cat", "dog", "sparrow", "eagle", "owl", "trout")
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            ClassHierarchy({})
+
+    def test_empty_superclass_rejected(self):
+        with pytest.raises(ValueError):
+            ClassHierarchy({"x": []})
+
+    def test_unknown_task_raises(self, hierarchy):
+        with pytest.raises(KeyError):
+            hierarchy.task("reptiles")
+
+    def test_task_of_class(self, hierarchy):
+        assert hierarchy.task_of_class(3).name == "birds"
+        assert hierarchy.task_of_class(0).name == "mammals"
+
+    def test_tree_structure(self, hierarchy):
+        tree = hierarchy.tree
+        assert nx.is_tree(tree)
+        assert tree.has_edge("<root>", "birds")
+        assert tree.has_edge("birds", "owl")
+
+    def test_uniform_factory(self):
+        h = ClassHierarchy.uniform(5, 4)
+        assert h.num_classes == 20
+        assert h.num_primitive_tasks == 5
+        assert all(len(t) == 4 for t in h.primitive_tasks())
+
+    def test_variable_factory(self):
+        h = ClassHierarchy.variable([3, 7, 10])
+        assert [len(t) for t in h.primitive_tasks()] == [3, 7, 10]
+        assert h.num_classes == 20
+
+
+class TestPrimitiveTask:
+    def test_contains(self, hierarchy):
+        birds = hierarchy.task("birds")
+        assert 3 in birds
+        assert 0 not in birds
+
+    def test_len(self, hierarchy):
+        assert len(hierarchy.task("fish")) == 1
+
+    def test_frozen(self, hierarchy):
+        with pytest.raises(AttributeError):
+            hierarchy.task("fish").name = "x"
+
+
+class TestCompositeTask:
+    def test_classes_in_concatenation_order(self, hierarchy):
+        q = hierarchy.composite(["birds", "mammals"])
+        assert q.classes == (2, 3, 4, 0, 1)
+        assert q.names == ("birds", "mammals")
+
+    def test_n_primitives(self, hierarchy):
+        assert hierarchy.composite(["birds", "fish"]).n_primitives == 2
+
+    def test_len_is_total_classes(self, hierarchy):
+        assert len(hierarchy.composite(["mammals", "birds", "fish"])) == 6
+
+    def test_contains(self, hierarchy):
+        q = hierarchy.composite(["mammals", "fish"])
+        assert 5 in q and 1 in q and 3 not in q
+
+    def test_overlap_rejected(self, hierarchy):
+        birds = hierarchy.task("birds")
+        with pytest.raises(ValueError):
+            CompositeTask((birds, birds))
+
+    def test_all_composites_counts(self, hierarchy):
+        assert len(hierarchy.all_composites(2)) == 3  # C(3,2)
+        assert len(hierarchy.all_composites(3)) == 1
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=2, max_value=5))
+    def test_uniform_composites_property(self, n_super, per):
+        import math
+
+        h = ClassHierarchy.uniform(n_super, per)
+        for k in range(1, n_super + 1):
+            combos = h.all_composites(k)
+            assert len(combos) == math.comb(n_super, k)
+            for q in combos:
+                assert len(q) == k * per
+                assert len(set(q.classes)) == len(q.classes)

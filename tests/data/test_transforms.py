@@ -1,0 +1,76 @@
+"""Batch-level transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Compose,
+    Normalize,
+    gaussian_noise,
+    random_horizontal_flip,
+    random_shift,
+    standard_augmentation,
+)
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.standard_normal((8, 3, 6, 6)).astype(np.float32)
+
+
+class TestFlip:
+    def test_preserves_shape_and_content_set(self, batch, rng):
+        out = random_horizontal_flip(batch, rng)
+        assert out.shape == batch.shape
+        # each image is either identical or exactly flipped
+        for i in range(len(batch)):
+            same = np.allclose(out[i], batch[i])
+            flipped = np.allclose(out[i], batch[i, :, :, ::-1])
+            assert same or flipped
+
+    def test_some_flips_happen(self, batch):
+        out = random_horizontal_flip(batch, np.random.default_rng(0))
+        assert not np.allclose(out, batch)
+
+
+class TestShift:
+    def test_zero_shift_identity(self, batch, rng):
+        assert np.allclose(random_shift(0)(batch, rng), batch)
+
+    def test_preserves_pixel_multiset(self, batch, rng):
+        out = random_shift(2)(batch, rng)
+        for i in range(len(batch)):
+            assert np.isclose(out[i].sum(), batch[i].sum(), atol=1e-4)
+
+
+class TestNoise:
+    def test_changes_values_modestly(self, batch, rng):
+        out = gaussian_noise(0.1)(batch, rng)
+        delta = out - batch
+        assert 0.05 < delta.std() < 0.2
+
+
+class TestNormalize:
+    def test_fit_standardises(self, batch):
+        norm = Normalize.fit(batch)
+        out = norm(batch)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_fixed_stats(self):
+        norm = Normalize(mean=[1.0], std=[2.0])
+        batch = np.full((2, 1, 2, 2), 5.0, dtype=np.float32)
+        assert np.allclose(norm(batch), 2.0)
+
+
+class TestCompose:
+    def test_applies_in_order(self, batch, rng):
+        double = lambda b, r: b * 2
+        add_one = lambda b, r: b + 1
+        out = Compose([double, add_one])(batch, rng)
+        assert np.allclose(out, batch * 2 + 1)
+
+    def test_standard_augmentation_runs(self, batch, rng):
+        aug = standard_augmentation(max_shift=1, noise_std=0.05)
+        out = aug(batch, rng)
+        assert out.shape == batch.shape

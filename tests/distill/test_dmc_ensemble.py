@@ -1,0 +1,138 @@
+"""DMC merging and ensemble combiners (paper related-work claims)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.distill import (
+    DisjointEnsemble,
+    TrainConfig,
+    average_probabilities,
+    batched_forward,
+    majority_vote,
+    merge_dmc,
+)
+
+
+@pytest.fixture
+def merge_problem(rng):
+    dim, per = 6, 40
+    centers = rng.standard_normal((4, dim)) * 3
+    labels = np.repeat(np.arange(4), per)
+    x = (centers[labels] + 0.3 * rng.standard_normal((len(labels), dim))).astype(np.float32)
+    teachers = []
+    for pair in ((0, 1), (2, 3)):
+        t = nn.Linear(dim, 2)
+        t.weight.data = centers[list(pair)].astype(np.float32)
+        t.bias.data = (-0.5 * (centers[list(pair)] ** 2).sum(axis=1)).astype(np.float32)
+        t.eval()
+        teachers.append(t)
+    return x, labels, teachers
+
+
+def accuracy(model, x, labels):
+    return float((batched_forward(model, x).argmax(axis=1) == labels).mean())
+
+
+def student_factory(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(nn.Linear(6, 32, rng=rng), nn.ReLU(), nn.Linear(32, 4, rng=rng))
+
+
+class TestDMC:
+    def test_merges_disjoint_teachers(self, merge_problem):
+        x, labels, teachers = merge_problem
+        student = student_factory(1)
+        merge_dmc(teachers, student, x, TrainConfig(epochs=40, batch_size=32, lr=0.1, seed=0))
+        # DMC's standardisation discards cross-block scale, so — exactly as
+        # the PoE paper argues ("DMC ... would suffer from the same issue as
+        # UHC when multiple models have to be merged") — it recovers the
+        # within-block structure but not the full union ordering: above
+        # chance overall, near-perfect within each teacher's block.
+        assert accuracy(student, x, labels) > 0.3  # chance is 0.25
+        logits = batched_forward(student, x)
+        for block, sl in ((labels < 2, slice(0, 2)), (labels >= 2, slice(2, 4))):
+            local = labels[block] % 2
+            in_block = (logits[block][:, sl].argmax(1) == local).mean()
+            assert in_block > 0.9
+
+    def test_width_mismatch_raises(self, merge_problem):
+        x, _, teachers = merge_problem
+        student = nn.Linear(6, 3)  # teachers cover 4 classes
+        with pytest.raises(ValueError):
+            merge_dmc(teachers, student, x, TrainConfig(epochs=1, batch_size=32))
+
+    def test_accepts_precomputed_blocks(self, merge_problem):
+        x, labels, teachers = merge_problem
+        blocks = [batched_forward(t, x) for t in teachers]
+        student = student_factory(2)
+        history = merge_dmc(blocks, student, x, TrainConfig(epochs=10, batch_size=32, lr=0.1))
+        assert len(history.points) == 10
+
+    def test_scale_invariance_of_dmc(self, merge_problem):
+        """DMC standardises per teacher, so rescaling one teacher's logits
+        must not change the target (its answer to the scale problem)."""
+        x, labels, teachers = merge_problem
+        blocks = [batched_forward(t, x) for t in teachers]
+        s1, s2 = student_factory(3), student_factory(3)
+        cfg = TrainConfig(epochs=15, batch_size=32, lr=0.1, seed=0)
+        merge_dmc(blocks, s1, x, cfg)
+        merge_dmc([blocks[0] * 7.0, blocks[1]], s2, x, cfg)
+        assert accuracy(s1, x, labels) == pytest.approx(accuracy(s2, x, labels), abs=0.05)
+
+
+class TestHomogeneousEnsembles:
+    def test_average_probabilities_improves_weak_members(self, rng):
+        centers = rng.standard_normal((3, 6)) * 2.5
+        labels = np.repeat(np.arange(3), 30)
+        x = (centers[labels] + 0.8 * rng.standard_normal((90, 6))).astype(np.float32)
+        members = []
+        for seed in range(5):
+            noisy = nn.Linear(6, 3)
+            noisy.weight.data = (centers + rng.standard_normal((3, 6))).astype(np.float32)
+            noisy.bias.data = np.zeros(3, dtype=np.float32)
+            members.append(noisy)
+        member_accs = [accuracy(m, x, labels) for m in members]
+        ens_acc = (average_probabilities(members, x).argmax(1) == labels).mean()
+        assert ens_acc >= np.mean(member_accs) - 0.02
+
+    def test_average_requires_common_space(self, rng):
+        a, b = nn.Linear(4, 3), nn.Linear(4, 5)
+        with pytest.raises(ValueError):
+            average_probabilities([a, b], rng.standard_normal((4, 4)).astype(np.float32))
+
+    def test_majority_vote_shape(self, rng):
+        members = [nn.Linear(4, 3) for _ in range(3)]
+        votes = majority_vote(members, rng.standard_normal((10, 4)).astype(np.float32))
+        assert votes.shape == (10,)
+        assert set(votes).issubset({0, 1, 2})
+
+
+class TestDisjointEnsembleCounterExample:
+    def test_overlapping_members_rejected(self, merge_problem):
+        _, _, teachers = merge_problem
+        with pytest.raises(ValueError):
+            DisjointEnsemble([(teachers[0], [0, 1]), (teachers[1], [1, 2])], 4)
+
+    def test_disjoint_padding_fails_under_confidence_skew(self, merge_problem):
+        """The paper's claim: ensembles cannot merge disjoint specialists.
+
+        If one member is systematically more self-confident (e.g. trained
+        with sharper logits), the padded-average ensemble funnels *all*
+        predictions into that member's classes — accuracy collapses on the
+        other member's half of the data."""
+        x, labels, teachers = merge_problem
+        sharp = nn.Linear(6, 2)
+        sharp.weight.data = teachers[0].weight.data * 10  # overconfident member
+        sharp.bias.data = teachers[0].bias.data * 10
+        ensemble = DisjointEnsemble([(sharp, [0, 1]), (teachers[1], [2, 3])], 4)
+        preds = ensemble.predict(x)
+        second_half = labels >= 2
+        acc_second = (preds[second_half] == labels[second_half]).mean()
+        assert acc_second < 0.6  # dragged down by the louder member
+
+    def test_probabilities_normalised(self, merge_problem):
+        x, _, teachers = merge_problem
+        ensemble = DisjointEnsemble([(teachers[0], [0, 1]), (teachers[1], [2, 3])], 4)
+        probs = ensemble.predict_proba(x[:10])
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-4)

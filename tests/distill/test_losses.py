@@ -1,0 +1,134 @@
+"""Distillation losses: sub-logits, L_soft, L_scale, L_CKD composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.distill import (
+    ckd_loss,
+    kd_loss,
+    scale_subtask_loss,
+    soft_subtask_loss,
+    sub_logits,
+)
+from repro.tensor import Tensor
+
+LOGITS = hnp.arrays(np.float64, (4, 8), elements=st.floats(-5, 5))
+
+
+class TestSubLogits:
+    def test_selects_columns(self, rng):
+        logits = Tensor(rng.standard_normal((3, 10)))
+        sub = sub_logits(logits, [2, 5, 7])
+        assert sub.shape == (3, 3)
+        assert np.allclose(sub.numpy(), logits.numpy()[:, [2, 5, 7]])
+
+    def test_order_preserved(self, rng):
+        logits = Tensor(rng.standard_normal((2, 6)))
+        sub = sub_logits(logits, [5, 0])
+        assert np.allclose(sub.numpy()[:, 0], logits.numpy()[:, 5])
+
+    def test_gradient_scatters_back(self, rng):
+        logits = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        sub_logits(logits, [1, 3]).sum().backward()
+        grad = logits.grad
+        assert np.allclose(grad[:, [1, 3]], 1.0)
+        assert np.allclose(grad[:, [0, 2, 4, 5]], 0.0)
+
+
+class TestSoftSubtaskLoss:
+    def test_zero_when_student_matches_teacher_subtask(self, rng):
+        t = rng.standard_normal((5, 8))
+        classes = [1, 4, 6]
+        s = Tensor(t[:, classes])
+        loss = soft_subtask_loss(Tensor(t), s, classes, temperature=3.0)
+        assert abs(loss.item()) < 1e-4
+
+    def test_shape_mismatch_raises(self, rng):
+        t = Tensor(rng.standard_normal((3, 8)))
+        s = Tensor(rng.standard_normal((3, 4)))
+        with pytest.raises(ValueError):
+            soft_subtask_loss(t, s, [0, 1], temperature=2.0)
+
+    def test_none_classes_is_standard_kd(self, rng):
+        t, s = rng.standard_normal((3, 5)), rng.standard_normal((3, 5))
+        a = soft_subtask_loss(Tensor(t), Tensor(s), None, temperature=4.0).item()
+        b = kd_loss(Tensor(t), Tensor(s), temperature=4.0).item()
+        assert np.isclose(a, b)
+
+    @given(LOGITS, LOGITS)
+    def test_nonnegative(self, t, s):
+        classes = [0, 3, 5]
+        loss = soft_subtask_loss(Tensor(t), Tensor(s[:, :3]), classes, temperature=2.0)
+        assert loss.item() > -1e-5
+
+    def test_invariant_to_shift_of_student(self, rng):
+        """KL on softmax sees only logit differences — the very reason the
+        scale information is lost and L_scale is needed (paper §4.2)."""
+        t = rng.standard_normal((4, 6))
+        s = rng.standard_normal((4, 3))
+        classes = [0, 2, 4]
+        l1 = soft_subtask_loss(Tensor(t), Tensor(s), classes, temperature=2.0).item()
+        l2 = soft_subtask_loss(Tensor(t), Tensor(s + 100.0), classes, temperature=2.0).item()
+        assert np.isclose(l1, l2, atol=1e-3)
+
+
+class TestScaleSubtaskLoss:
+    def test_l1_zero_at_match(self, rng):
+        t = rng.standard_normal((4, 6))
+        classes = [1, 2]
+        s = Tensor(t[:, classes])
+        assert scale_subtask_loss(Tensor(t), s, classes).item() < 1e-7
+
+    def test_sensitive_to_shift(self, rng):
+        """Unlike L_soft, L_scale *does* see global logit shifts."""
+        t = rng.standard_normal((4, 6))
+        classes = [1, 2]
+        s = Tensor(t[:, classes] + 10.0)
+        assert scale_subtask_loss(Tensor(t), s, classes).item() == pytest.approx(10.0, rel=1e-4)
+
+    def test_l2_variant(self, rng):
+        t = rng.standard_normal((3, 4))
+        s = Tensor(t + 2.0)
+        loss = scale_subtask_loss(Tensor(t), s, None, norm="l2")
+        assert loss.item() == pytest.approx(4.0, rel=1e-4)
+
+    def test_unknown_norm(self, rng):
+        t = Tensor(rng.standard_normal((2, 2)))
+        with pytest.raises(ValueError):
+            scale_subtask_loss(t, t, None, norm="linf")
+
+
+class TestCKDLoss:
+    def test_combines_both_terms(self, rng):
+        t = rng.standard_normal((4, 8))
+        classes = [0, 1, 2]
+        s = Tensor(rng.standard_normal((4, 3)))
+        both = ckd_loss(Tensor(t), s, classes, temperature=2.0, alpha=0.3).item()
+        soft_only = ckd_loss(Tensor(t), s, classes, temperature=2.0, alpha=0.0).item()
+        scale_only = ckd_loss(
+            Tensor(t), s, classes, temperature=2.0, alpha=0.3, soft_weight=0.0
+        ).item()
+        assert both == pytest.approx(soft_only + scale_only, rel=1e-4)
+
+    def test_alpha_weighting(self, rng):
+        t = rng.standard_normal((4, 6))
+        s = Tensor(rng.standard_normal((4, 2)))
+        l1 = ckd_loss(Tensor(t), s, [0, 1], alpha=1.0, soft_weight=0.0).item()
+        l2 = ckd_loss(Tensor(t), s, [0, 1], alpha=2.0, soft_weight=0.0).item()
+        assert l2 == pytest.approx(2 * l1, rel=1e-4)
+
+    def test_all_zero_weights_rejected(self, rng):
+        t = Tensor(rng.standard_normal((2, 4)))
+        s = Tensor(rng.standard_normal((2, 2)))
+        with pytest.raises(ValueError):
+            ckd_loss(t, s, [0, 1], alpha=0.0, soft_weight=0.0)
+
+    def test_gradient_flows_to_student_only(self, rng):
+        t = Tensor(rng.standard_normal((3, 6)), requires_grad=True)
+        s = Tensor(rng.standard_normal((3, 2)), requires_grad=True)
+        ckd_loss(t, s, [1, 4], temperature=3.0, alpha=0.3).backward()
+        assert t.grad is None
+        assert s.grad is not None

@@ -1,0 +1,113 @@
+"""SD / UHC merging baselines."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.distill import (
+    TrainConfig,
+    batched_forward,
+    merge_sd,
+    merge_uhc,
+    teacher_logit_blocks,
+)
+
+
+@pytest.fixture
+def merge_problem(rng):
+    """Two 2-class teachers over disjoint class pairs + merge data."""
+    dim, per = 6, 40
+    centers = rng.standard_normal((4, dim)) * 3
+    labels = np.repeat(np.arange(4), per)
+    x = (centers[labels] + 0.3 * rng.standard_normal((len(labels), dim))).astype(np.float32)
+
+    teachers = []
+    for pair in ((0, 1), (2, 3)):
+        t = nn.Linear(dim, 2)
+        t.weight.data = centers[list(pair)].astype(np.float32)
+        t.bias.data = (-0.5 * (centers[list(pair)] ** 2).sum(axis=1)).astype(np.float32)
+        t.eval()
+        teachers.append(t)
+    return x, labels, teachers
+
+
+def accuracy(model, x, labels):
+    return float((batched_forward(model, x).argmax(axis=1) == labels).mean())
+
+
+def student_factory(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(nn.Linear(6, 32, rng=rng), nn.ReLU(), nn.Linear(32, 4, rng=rng))
+
+
+class TestTeacherBlocks:
+    def test_block_shapes(self, merge_problem):
+        x, _, teachers = merge_problem
+        blocks = teacher_logit_blocks(teachers, x)
+        assert len(blocks) == 2
+        assert all(b.shape == (len(x), 2) for b in blocks)
+
+
+class TestSD:
+    def test_merges_consistent_teachers(self, merge_problem):
+        x, labels, teachers = merge_problem
+        student = student_factory(1)
+        merge_sd(teachers, student, x,
+                 TrainConfig(epochs=30, batch_size=32, lr=0.1, seed=0), temperature=3.0)
+        assert accuracy(student, x, labels) > 0.85
+
+    def test_scale_mismatch_hurts_sd(self, merge_problem):
+        """The logit scale problem: scaling ONE teacher's logits corrupts the
+        concatenated target and drags SD's accuracy down (paper §4.2)."""
+        x, labels, teachers = merge_problem
+        blocks = teacher_logit_blocks(teachers, x)
+        consistent = student_factory(2)
+        merge_sd(list(blocks), consistent, x,
+                 TrainConfig(epochs=25, batch_size=32, lr=0.1, seed=0), temperature=3.0)
+        skewed_blocks = [blocks[0] * 5.0, blocks[1] * 0.2]
+        skewed = student_factory(2)
+        merge_sd(skewed_blocks, skewed, x,
+                 TrainConfig(epochs=25, batch_size=32, lr=0.1, seed=0), temperature=3.0)
+        assert accuracy(skewed, x, labels) < accuracy(consistent, x, labels) - 0.1
+
+
+class TestUHC:
+    def test_merges_consistent_teachers(self, merge_problem):
+        x, labels, teachers = merge_problem
+        student = student_factory(3)
+        merge_uhc(teachers, student, x,
+                  TrainConfig(epochs=30, batch_size=32, lr=0.1, seed=0), temperature=3.0)
+        assert accuracy(student, x, labels) > 0.85
+
+    def test_accepts_precomputed_blocks(self, merge_problem):
+        x, labels, teachers = merge_problem
+        blocks = teacher_logit_blocks(teachers, x)
+        student = student_factory(4)
+        merge_uhc(blocks, student, x,
+                  TrainConfig(epochs=20, batch_size=32, lr=0.1, seed=0))
+        assert accuracy(student, x, labels) > 0.8
+
+    def test_uhc_depends_on_teacher_scale(self, merge_problem):
+        """UHC's block-mass term reads the teachers' logit scales: shifting
+        one teacher's logits up re-weights its whole class block, corrupting
+        the unified posterior.  This is the mechanism behind the paper's
+        UHC+Scratch collapse (teachers with arbitrary scales)."""
+        x, labels, teachers = merge_problem
+        blocks = teacher_logit_blocks(teachers, x)
+        shifted = [blocks[0] + 50.0, blocks[1]]
+        s1, s2 = student_factory(5), student_factory(5)
+        cfg = TrainConfig(epochs=20, batch_size=32, lr=0.1, seed=0)
+        merge_uhc(blocks, s1, x, cfg, temperature=3.0)
+        merge_uhc(shifted, s2, x, cfg, temperature=3.0)
+        assert accuracy(s2, x, labels) < accuracy(s1, x, labels) - 0.1
+
+    def test_mass_weight_zero_leaves_blocks_uncoupled(self, merge_problem):
+        """Without the block-mass term the objective cannot identify the
+        cross-block calibration for disjoint teachers (ablation of the
+        probability-combination step)."""
+        x, labels, teachers = merge_problem
+        s_with, s_without = student_factory(6), student_factory(6)
+        cfg = TrainConfig(epochs=25, batch_size=32, lr=0.1, seed=0)
+        merge_uhc(teachers, s_with, x, cfg, temperature=3.0, mass_weight=1.0)
+        merge_uhc(teachers, s_without, x, cfg, temperature=3.0, mass_weight=0.0)
+        assert accuracy(s_with, x, labels) > accuracy(s_without, x, labels)

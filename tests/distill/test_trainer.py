@@ -1,0 +1,132 @@
+"""Trainer mechanics: history recording, schedules, convergence."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.distill import TrainConfig, Trainer, cross_entropy
+from repro.distill.trainer import History, HistoryPoint
+from repro.tensor import Tensor
+
+
+def linear_separable_problem(rng, n=120, dim=6, classes=3):
+    """A linearly separable toy classification problem."""
+    centers = rng.standard_normal((classes, dim)) * 4
+    labels = rng.integers(0, classes, n)
+    x = centers[labels] + 0.3 * rng.standard_normal((n, dim))
+    return x.astype(np.float32), labels.astype(np.int64)
+
+
+@pytest.fixture
+def problem(rng):
+    return linear_separable_problem(rng)
+
+
+def make_trainer(model, labels, **cfg):
+    def loss_fn(m, batch, idx):
+        return cross_entropy(m(Tensor(batch)), labels[idx])
+
+    return Trainer(model, loss_fn, TrainConfig(**cfg))
+
+
+class TestFit:
+    def test_converges_on_separable_data(self, problem):
+        x, y = problem
+        model = nn.Linear(6, 3, rng=np.random.default_rng(0))
+        trainer = make_trainer(model, y, epochs=25, batch_size=32, lr=0.1, seed=0)
+        history = trainer.fit(x)
+        assert history.points[-1].loss < 0.1
+
+    def test_history_one_point_per_epoch(self, problem):
+        x, y = problem
+        model = nn.Linear(6, 3)
+        history = make_trainer(model, y, epochs=7, batch_size=32).fit(x)
+        assert len(history.points) == 7
+        assert [p.epoch for p in history.points] == list(range(1, 8))
+
+    def test_wall_clock_monotone(self, problem):
+        x, y = problem
+        model = nn.Linear(6, 3)
+        history = make_trainer(model, y, epochs=5, batch_size=32).fit(x)
+        seconds = [p.seconds for p in history.points]
+        assert all(a <= b for a, b in zip(seconds, seconds[1:]))
+
+    def test_eval_every(self, problem):
+        x, y = problem
+        model = nn.Linear(6, 3)
+        trainer = make_trainer(model, y, epochs=6, batch_size=32, eval_every=2)
+        history = trainer.fit(x, eval_fn=lambda m: 0.5)
+        evaluated = [p.epoch for p in history.points if p.accuracy is not None]
+        assert evaluated == [2, 4, 6]
+
+    def test_model_left_in_eval_mode(self, problem):
+        x, y = problem
+        model = nn.Sequential(nn.Linear(6, 3), nn.Dropout(0.5))
+        make_trainer(model, y, epochs=1, batch_size=32).fit(x)
+        assert not model.training
+
+    def test_epochs_override(self, problem):
+        x, y = problem
+        model = nn.Linear(6, 3)
+        history = make_trainer(model, y, epochs=10, batch_size=32).fit(x, epochs=2)
+        assert len(history.points) == 2
+
+    def test_frozen_parameters_not_updated(self, problem):
+        x, y = problem
+        frozen = nn.Linear(6, 6, rng=np.random.default_rng(1))
+        frozen.requires_grad_(False)
+        head = nn.Linear(6, 3, rng=np.random.default_rng(2))
+        model = nn.Sequential(frozen, nn.ReLU(), head)
+        before = frozen.weight.numpy().copy()
+        make_trainer(model, y, epochs=2, batch_size=32).fit(x)
+        assert np.allclose(frozen.weight.numpy(), before)
+
+    def test_unknown_schedule_rejected(self, problem):
+        x, y = problem
+        with pytest.raises(ValueError):
+            make_trainer(nn.Linear(6, 3), y, epochs=1, schedule="warmup")
+
+    def test_seeded_runs_identical(self, problem):
+        x, y = problem
+        results = []
+        for _ in range(2):
+            model = nn.Linear(6, 3, rng=np.random.default_rng(5))
+            history = make_trainer(model, y, epochs=3, batch_size=32, seed=7).fit(x)
+            results.append(history.points[-1].loss)
+        assert results[0] == pytest.approx(results[1], rel=1e-5)
+
+
+class TestHistory:
+    def _history(self):
+        h = History()
+        h.append(HistoryPoint(1, 1.0, 0.9, 0.5))
+        h.append(HistoryPoint(2, 2.0, 0.5, 0.8))
+        h.append(HistoryPoint(3, 3.0, 0.4, 0.75))
+        return h
+
+    def test_final_accuracy(self):
+        assert self._history().final_accuracy == 0.75
+
+    def test_best_accuracy(self):
+        assert self._history().best_accuracy == 0.8
+
+    def test_time_to_best(self):
+        assert self._history().time_to_best() == 2.0
+
+    def test_time_to_best_with_tolerance(self):
+        assert self._history().time_to_best(tolerance=0.3) == 1.0
+
+    def test_total_seconds(self):
+        assert self._history().total_seconds == 3.0
+
+    def test_curve_skips_unevaluated(self):
+        h = self._history()
+        h.append(HistoryPoint(4, 4.0, 0.3, None))
+        assert len(h.curve()) == 3
+
+    def test_empty_history(self):
+        h = History()
+        assert h.final_accuracy is None
+        assert h.best_accuracy is None
+        assert h.time_to_best() is None
+        assert h.total_seconds == 0.0

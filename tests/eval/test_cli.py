@@ -1,0 +1,36 @@
+"""CLI surface (parsing + the cheap subcommands)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParsing:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_query_requires_tasks(self):
+        with pytest.raises(SystemExit):
+            main(["query"])
+
+
+class TestInfo:
+    def test_info_lists_registries(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "WRN-40-(4, 4)" in out
+        assert "cifar100/oracle" in out
+        assert "synth-cifar/expert" in out
+
+
+class TestReport:
+    def test_report_without_artifacts(self, tmp_path, capsys):
+        out_file = str(tmp_path / "EXP.md")
+        assert main(["report", "--root", str(tmp_path / "none"), "--out", out_file]) == 0
+        text = open(out_file).read()
+        assert "artifacts not built yet" in text

@@ -1,0 +1,166 @@
+"""End-to-end integration: the full experiment machinery on a micro track.
+
+Builds a real (tiny) oracle, extracts a pool, runs every specialization and
+consolidation method through the artifact store, and checks the qualitative
+properties the paper's evaluation rests on.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    ArtifactStore,
+    TrackConfig,
+    confidence_figure,
+    run_service_method,
+    run_specialization,
+    select_combos,
+)
+from repro.eval.service import SERVICE_METHODS
+
+
+@pytest.fixture(scope="session")
+def micro_track():
+    return TrackConfig(
+        name="micro",
+        kind="cifar",
+        num_superclasses=4,
+        classes_per_super=2,
+        train_per_class=40,
+        test_per_class=15,
+        image_size=6,
+        noise_std=0.5,
+        oracle_k=2.0,
+        library_k=1.0,
+        batch_size=32,
+        oracle_epochs=8,
+        library_epochs=6,
+        expert_epochs=6,
+        service_epochs=5,
+        num_selected_tasks=4,
+        combos_per_nq=1,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def store(tmp_path_factory):
+    return ArtifactStore(str(tmp_path_factory.mktemp("artifacts")))
+
+
+class TestArtifactStore:
+    def test_oracle_trains_once_and_caches(self, micro_track, store):
+        model1, meta1 = store.oracle(micro_track)
+        model2, meta2 = store.oracle(micro_track)
+        assert model1 is model2
+        assert meta1["test_accuracy"] > 0.8
+        # a fresh store instance reloads from disk instead of retraining
+        reload_store = ArtifactStore(store.root)
+        model3, meta3 = reload_store.oracle(micro_track)
+        x = store.dataset(micro_track).test.images[:4]
+        from repro.distill import batched_forward
+
+        assert np.allclose(batched_forward(model1, x), batched_forward(model3, x), atol=1e-5)
+
+    def test_pool_cached_on_disk(self, micro_track, store):
+        pool1 = store.pool(micro_track)
+        reload_store = ArtifactStore(store.root)
+        pool2 = reload_store.pool(micro_track)
+        assert set(pool1.expert_names()) == set(pool2.expert_names())
+
+    def test_result_records_cached(self, micro_track, store):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"x": 1}
+
+        store.result(micro_track, "unit", "probe", compute)
+        store.result(micro_track, "unit", "probe", compute)
+        assert len(calls) == 1
+
+
+class TestSpecializationPipeline:
+    @pytest.mark.parametrize("method", ["oracle", "kd", "scratch", "transfer", "ckd"])
+    def test_each_method_produces_record(self, micro_track, store, method):
+        data = store.dataset(micro_track)
+        task = micro_track.selected_tasks(data.hierarchy)[0]
+        record = run_specialization(micro_track, store, method, task)
+        assert 0.0 <= record["accuracy"] <= 1.0
+        assert record["params"] > 0
+        assert record["flops"] > 0
+
+    def test_oracle_upper_bounds_kd(self, micro_track, store):
+        data = store.dataset(micro_track)
+        task = micro_track.selected_tasks(data.hierarchy)[0]
+        oracle_acc = run_specialization(micro_track, store, "oracle", task)["accuracy"]
+        kd_acc = run_specialization(micro_track, store, "kd", task)["accuracy"]
+        assert oracle_acc >= kd_acc - 0.05
+
+    def test_specialists_much_smaller_than_oracle(self, micro_track, store):
+        data = store.dataset(micro_track)
+        task = micro_track.selected_tasks(data.hierarchy)[0]
+        oracle_rec = run_specialization(micro_track, store, "oracle", task)
+        ckd_rec = run_specialization(micro_track, store, "ckd", task)
+        assert ckd_rec["params"] < oracle_rec["params"] / 3
+
+    def test_confidence_figure_structure(self, micro_track, store):
+        fig = confidence_figure(micro_track, store)
+        for method in ("scratch", "transfer", "ckd"):
+            assert len(fig[method]["histogram"]) == 10
+            assert 0.0 <= fig[method]["overconfident_rate"] <= 1.0
+
+
+class TestServicePipeline:
+    def test_every_method_runs(self, micro_track, store):
+        data = store.dataset(micro_track)
+        tasks = micro_track.selected_tasks(data.hierarchy)
+        combo = select_combos(tasks, 2, 1, seed=0)[0]
+        for method in SERVICE_METHODS:
+            record = run_service_method(micro_track, store, method, combo)
+            assert 0.0 <= record["accuracy"] <= 1.0, method
+            assert record["params"] > 0
+
+    def test_poe_is_train_free(self, micro_track, store):
+        data = store.dataset(micro_track)
+        tasks = micro_track.selected_tasks(data.hierarchy)
+        combo = select_combos(tasks, 2, 1, seed=0)[0]
+        record = run_service_method(micro_track, store, "poe", combo)
+        assert record["train_seconds"] < 0.05  # assembly, not training
+
+    def test_poe_beats_chance_comfortably(self, micro_track, store):
+        data = store.dataset(micro_track)
+        tasks = micro_track.selected_tasks(data.hierarchy)
+        combo = select_combos(tasks, 3, 1, seed=0)[0]
+        record = run_service_method(micro_track, store, "poe", combo)
+        chance = 1.0 / record["num_classes"]
+        assert record["accuracy"] > 2.5 * chance
+
+    def test_training_methods_record_curves(self, micro_track, store):
+        data = store.dataset(micro_track)
+        tasks = micro_track.selected_tasks(data.hierarchy)
+        combo = select_combos(tasks, 2, 1, seed=0)[0]
+        record = run_service_method(micro_track, store, "scratch", combo)
+        assert len(record["curve"]) >= 1
+        assert record["train_seconds"] > 0
+        assert record["time_to_best"] is not None
+
+    def test_poe_ablation_variants_run(self, micro_track, store):
+        data = store.dataset(micro_track)
+        tasks = micro_track.selected_tasks(data.hierarchy)
+        combo = select_combos(tasks, 2, 1, seed=0)[0]
+        accs = {}
+        for variant in ("poe", "poe-soft", "poe-scale"):
+            accs[variant] = run_service_method(micro_track, store, variant, combo)["accuracy"]
+        assert all(0.0 <= a <= 1.0 for a in accs.values())
+
+    def test_branched_poe_smaller_than_wide_students(self, micro_track, store):
+        """The branched architecture's param advantage (Table 3)."""
+        data = store.dataset(micro_track)
+        tasks = micro_track.selected_tasks(data.hierarchy)
+        combo = select_combos(tasks, 3, 1, seed=0)[0]
+        poe = run_service_method(micro_track, store, "poe", combo)
+        scratch = run_service_method(micro_track, store, "scratch", combo)
+        assert poe["params"] < scratch["params"]

@@ -1,0 +1,117 @@
+"""The branched task-specific architecture (paper Fig. 3) and its
+parameter-efficiency property (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BranchedSpecialistNet,
+    WideResNet,
+    WRNHead,
+    WRNTrunk,
+    count_params,
+)
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture
+def trunk():
+    return WRNTrunk(10, 1, 0.25, library_level=3, rng=np.random.default_rng(0))
+
+
+def make_head(num_classes, seed=1):
+    return WRNHead(10, 1, 0.25, num_classes, library_level=3, rng=np.random.default_rng(seed))
+
+
+class TestAssembly:
+    def test_needs_heads(self, trunk):
+        with pytest.raises(ValueError):
+            BranchedSpecialistNet(trunk, [])
+
+    def test_duplicate_names_rejected(self, trunk):
+        with pytest.raises(ValueError):
+            BranchedSpecialistNet(trunk, [("a", make_head(2)), ("a", make_head(2))])
+
+    def test_num_classes_is_sum(self, trunk):
+        net = BranchedSpecialistNet(trunk, [("a", make_head(2)), ("b", make_head(3, 2))])
+        assert net.num_classes == 5
+        assert net.n_branches == 2
+
+    def test_weights_shared_by_reference(self, trunk):
+        """Consolidation must not copy weights — that is what makes it
+        train-free and instantaneous."""
+        head = make_head(2)
+        net = BranchedSpecialistNet(trunk, [("a", head)])
+        assert net.trunk is trunk
+        assert net.heads[0] is head
+
+
+class TestLogitConcatenation:
+    def test_unified_logits_match_subblocks(self, trunk, rng):
+        heads = [("a", make_head(2, 1)), ("b", make_head(3, 2)), ("c", make_head(4, 3))]
+        net = BranchedSpecialistNet(trunk, heads)
+        net.eval()
+        x = Tensor(rng.standard_normal((5, 3, 8, 8)).astype(np.float32))
+        with no_grad():
+            unified = net(x).numpy()
+            subs = net.sub_logits(x)
+        assert unified.shape == (5, 9)
+        assert np.allclose(unified[:, 0:2], subs["a"].numpy(), atol=1e-5)
+        assert np.allclose(unified[:, 2:5], subs["b"].numpy(), atol=1e-5)
+        assert np.allclose(unified[:, 5:9], subs["c"].numpy(), atol=1e-5)
+
+    def test_logit_slices(self, trunk):
+        net = BranchedSpecialistNet(trunk, [("x", make_head(2)), ("y", make_head(5, 2))])
+        slices = net.logit_slices()
+        assert slices["x"] == slice(0, 2)
+        assert slices["y"] == slice(2, 7)
+
+    def test_single_branch_equals_head_output(self, trunk, rng):
+        head = make_head(3)
+        net = BranchedSpecialistNet(trunk, [("only", head)])
+        net.eval()
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        with no_grad():
+            expected = head(trunk(x)).numpy()
+            got = net(x).numpy()
+        assert np.allclose(got, expected, atol=1e-6)
+
+    def test_branch_order_defines_layout(self, trunk, rng):
+        ha, hb = make_head(2, 1), make_head(2, 2)
+        net_ab = BranchedSpecialistNet(trunk, [("a", ha), ("b", hb)])
+        net_ba = BranchedSpecialistNet(trunk, [("b", hb), ("a", ha)])
+        net_ab.eval(), net_ba.eval()
+        x = Tensor(rng.standard_normal((3, 3, 8, 8)).astype(np.float32))
+        with no_grad():
+            ab = net_ab(x).numpy()
+            ba = net_ba(x).numpy()
+        assert np.allclose(ab[:, :2], ba[:, 2:], atol=1e-6)
+        assert np.allclose(ab[:, 2:], ba[:, :2], atol=1e-6)
+
+
+class TestParameterEfficiency:
+    def test_branches_linear_single_wide_quadratic(self):
+        """Paper §5.1: n(Q) conv4 branches of width 64·k_s cost ~n(Q)× one
+        branch, whereas one conv4 of width n(Q)·64·k_s costs ~n(Q)²×."""
+        n = 4
+        trunk = WRNTrunk(10, 1, 0.25, library_level=3)
+        one_branch = count_params(make_head(3))
+        branched = BranchedSpecialistNet(
+            trunk, [(f"t{i}", make_head(3, i)) for i in range(n)]
+        )
+        branched_heads = count_params(branched) - count_params(trunk)
+        single_wide = count_params(
+            WRNHead(10, 1, 0.25 * n, num_classes=3 * n, library_level=3)
+        )
+        assert branched_heads == pytest.approx(n * one_branch, rel=0.05)
+        assert single_wide > 1.5 * branched_heads  # super-linear blow-up
+
+        # At paper-scale widths the conv4 self-connection dominates and the
+        # single wide block approaches the full n^2/n = n ratio.
+        wide_one = count_params(WRNHead(16, 4, 1.0, num_classes=5))
+        wide_single = count_params(WRNHead(16, 4, 1.0 * n, num_classes=5 * n))
+        assert wide_single > 0.7 * n * (n * wide_one) / n  # ~n x the n branches
+
+    def test_arch_name_lists_branches(self, trunk):
+        net = BranchedSpecialistNet(trunk, [("a", make_head(2)), ("b", make_head(2, 2))])
+        assert net.arch_name() == "WRN-10-(1, [0.25, 0.25]^T)"

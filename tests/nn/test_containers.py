@@ -1,0 +1,61 @@
+"""Sequential / ModuleList containers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TestSequential:
+    def test_chains_modules(self, rng):
+        seq = nn.Sequential(nn.Linear(4, 4), nn.ReLU(), nn.Linear(4, 2))
+        out = seq(Tensor(rng.standard_normal((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_len_iter_getitem(self):
+        seq = nn.Sequential(nn.ReLU(), nn.Identity())
+        assert len(seq) == 2
+        assert isinstance(seq[0], nn.ReLU)
+        assert isinstance(list(seq)[1], nn.Identity)
+
+    def test_slice_returns_sequential(self):
+        seq = nn.Sequential(nn.ReLU(), nn.Identity(), nn.Flatten())
+        sub = seq[:2]
+        assert isinstance(sub, nn.Sequential)
+        assert len(sub) == 2
+
+    def test_parameters_aggregated(self):
+        seq = nn.Sequential(nn.Linear(2, 2), nn.Linear(2, 2))
+        assert len(list(seq.parameters())) == 4
+
+    def test_empty_sequential_is_identity_pipeline(self, rng):
+        seq = nn.Sequential()
+        x = Tensor(rng.standard_normal(3))
+        assert np.allclose(seq(x).numpy(), x.numpy())
+
+
+class TestModuleList:
+    def test_registration(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(ml) == 2
+        assert len(list(ml.parameters())) == 4
+
+    def test_append(self):
+        ml = nn.ModuleList()
+        ml.append(nn.Linear(3, 3))
+        assert len(ml) == 1
+        assert len(list(ml.parameters())) == 2
+
+    def test_indexing_and_iter(self):
+        layers = [nn.ReLU(), nn.Identity()]
+        ml = nn.ModuleList(layers)
+        assert ml[0] is layers[0]
+        assert list(ml) == layers
+
+    def test_train_eval_propagates(self):
+        ml = nn.ModuleList([nn.Dropout(0.5)])
+        parent = nn.Sequential()
+        parent.list = ml
+        parent.eval()
+        assert not ml[0].training

@@ -1,0 +1,120 @@
+"""Layer behaviour: Linear, Conv2d, BatchNorm2d, pooling wrappers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, no_grad
+
+
+class TestLinear:
+    def test_forward_matches_manual(self, rng):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        x = rng.standard_normal((4, 3)).astype(np.float32)
+        expected = x @ layer.weight.numpy().T + layer.bias.numpy()
+        assert np.allclose(layer(Tensor(x)).numpy(), expected, atol=1e-5)
+
+    def test_no_bias(self):
+        layer = nn.Linear(3, 2, bias=False)
+        assert layer.bias is None
+        assert layer.num_parameters() == 6
+
+    def test_gradient_shapes(self, rng):
+        layer = nn.Linear(5, 3)
+        x = Tensor(rng.standard_normal((2, 5)))
+        layer(x).sum().backward()
+        assert layer.weight.grad.shape == (3, 5)
+        assert layer.bias.grad.shape == (3,)
+
+
+class TestConv2dLayer:
+    def test_output_shape(self, rng):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        out = layer(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_default_no_bias(self):
+        assert nn.Conv2d(3, 8, 3).bias is None  # WRN convention
+
+    def test_bias_opt_in(self):
+        layer = nn.Conv2d(3, 8, 3, bias=True)
+        assert layer.bias is not None
+
+
+class TestBatchNorm2d:
+    def test_train_normalises_batch(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(rng.standard_normal((16, 4, 3, 3)) * 5 + 2)
+        out = bn(x).numpy()
+        assert abs(out.mean()) < 1e-3
+        assert abs(out.std() - 1.0) < 1e-2
+
+    def test_running_stats_update(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.full((8, 2, 2, 2), 3.0, dtype=np.float32))
+        bn(x)
+        assert np.allclose(bn.running_mean, 1.5)  # 0.5*0 + 0.5*3
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.standard_normal((32, 3, 4, 4)) * 2 + 1)
+        for _ in range(50):
+            bn(x)
+        bn.eval()
+        out_eval = bn(x).numpy()
+        # after many updates, running stats approximate batch stats
+        assert abs(out_eval.mean()) < 0.1
+        assert abs(out_eval.std() - 1.0) < 0.1
+
+    def test_eval_mode_no_stat_update(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(Tensor(rng.standard_normal((4, 2, 2, 2)) + 10))
+        assert np.allclose(bn.running_mean, before)
+
+    def test_affine_params_learnable(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)))
+        bn(x).sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+
+    def test_rejects_non_nchw(self, rng):
+        bn = nn.BatchNorm2d(2)
+        with pytest.raises(ValueError):
+            bn(Tensor(rng.standard_normal((4, 2))))
+
+
+class TestPoolingAndShapes:
+    def test_flatten(self, rng):
+        out = nn.Flatten()(Tensor(rng.standard_normal((2, 3, 4, 4))))
+        assert out.shape == (2, 48)
+
+    def test_global_avg_pool_module(self, rng):
+        out = nn.GlobalAvgPool2d()(Tensor(rng.standard_normal((2, 5, 3, 3))))
+        assert out.shape == (2, 5)
+
+    def test_avgpool_module(self, rng):
+        out = nn.AvgPool2d(2)(Tensor(rng.standard_normal((1, 2, 4, 4))))
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_maxpool_module(self, rng):
+        out = nn.MaxPool2d(2)(Tensor(rng.standard_normal((1, 2, 6, 6))))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_identity(self, rng):
+        x = Tensor(rng.standard_normal((3, 3)))
+        assert np.allclose(nn.Identity()(x).numpy(), x.numpy())
+
+    def test_relu_module(self):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 2.0])))
+        assert np.allclose(out.numpy(), [0.0, 2.0])
+
+    def test_dropout_respects_training_flag(self, rng):
+        layer = nn.Dropout(0.9, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((10, 10)))
+        layer.eval()
+        assert np.allclose(layer(x).numpy(), 1.0)
+        layer.train()
+        assert not np.allclose(layer(x).numpy(), 1.0)

@@ -1,0 +1,132 @@
+"""Module system: registration, traversal, state dicts, freezing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+def make_mlp(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return nn.Sequential(
+        nn.Linear(4, 8, rng=rng),
+        nn.ReLU(),
+        nn.Linear(8, 2, rng=rng),
+    )
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        model = make_mlp()
+        names = [n for n, _ in model.named_parameters()]
+        assert "0.weight" in names and "0.bias" in names
+        assert "2.weight" in names and "2.bias" in names
+        assert len(names) == 4
+
+    def test_num_parameters(self):
+        model = make_mlp()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_module_children(self):
+        model = make_mlp()
+        assert len(list(model.children())) == 3
+        assert len(list(model.modules())) == 4  # self + 3 children
+
+    def test_reassignment_replaces(self):
+        class M(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = nn.Linear(2, 2)
+
+        m = M()
+        m.layer = nn.Linear(2, 3)
+        params = dict(m.named_parameters())
+        assert params["layer.weight"].shape == (3, 2)
+        assert len(params) == 2
+
+    def test_buffers_registered(self):
+        bn = nn.BatchNorm2d(4)
+        buffer_names = [n for n, _ in bn.named_buffers()]
+        assert set(buffer_names) == {"running_mean", "running_var"}
+
+    def test_update_unknown_buffer_raises(self):
+        bn = nn.BatchNorm2d(2)
+        with pytest.raises(KeyError):
+            bn._update_buffer("nope", np.zeros(2))
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        model = make_mlp()
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears(self):
+        model = make_mlp()
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 4)))
+        model(x).sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_requires_grad_freezes(self):
+        model = make_mlp()
+        model.requires_grad_(False)
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 4)))
+        out = model(x)
+        assert not out.requires_grad  # nothing to differentiate
+        model.requires_grad_(True)
+        assert all(p.requires_grad for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip_identical_outputs(self, rng):
+        m1 = make_mlp(np.random.default_rng(1))
+        m2 = make_mlp(np.random.default_rng(2))
+        x = Tensor(rng.standard_normal((5, 4)))
+        assert not np.allclose(m1(x).numpy(), m2(x).numpy())
+        m2.load_state_dict(m1.state_dict())
+        assert np.allclose(m1(x).numpy(), m2(x).numpy())
+
+    def test_missing_key_strict_raises(self):
+        m = make_mlp()
+        state = m.state_dict()
+        state.pop("0.weight")
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_unexpected_key_strict_raises(self):
+        m = make_mlp()
+        state = m.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_non_strict_ignores_mismatch(self):
+        m = make_mlp()
+        state = m.state_dict()
+        state.pop("0.weight")
+        state["bogus"] = np.zeros(3)
+        m.load_state_dict(state, strict=False)  # no raise
+
+    def test_shape_mismatch_raises(self):
+        m = make_mlp()
+        state = m.state_dict()
+        state["0.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+    def test_buffers_in_state_dict(self):
+        bn = nn.BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_state_dict_copies_into_params(self):
+        m1, m2 = make_mlp(np.random.default_rng(1)), make_mlp(np.random.default_rng(3))
+        m2.load_state_dict(m1.state_dict())
+        # mutate m1 afterwards; m2 must NOT change (load copies)
+        next(m1.parameters()).data[:] = 0.0
+        assert not np.allclose(next(m2.parameters()).data, 0.0)

@@ -1,0 +1,97 @@
+"""State persistence: npz save/load and byte accounting."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import load_into, load_state, save_module, save_state, state_dict_nbytes
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def model():
+    rng = np.random.default_rng(7)
+    return nn.Sequential(nn.Linear(4, 6, rng=rng), nn.ReLU(), nn.Linear(6, 2, rng=rng))
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, model, tmp_path, rng):
+        path = str(tmp_path / "model.npz")
+        save_module(model, path)
+        other = nn.Sequential(nn.Linear(4, 6), nn.ReLU(), nn.Linear(6, 2))
+        load_into(other, path)
+        x = Tensor(rng.standard_normal((3, 4)))
+        assert np.allclose(model(x).numpy(), other(x).numpy())
+
+    def test_save_state_creates_dirs(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "state.npz")
+        save_state({"x": np.ones(3)}, path)
+        assert os.path.exists(path)
+
+    def test_load_state_keys(self, model, tmp_path):
+        path = str(tmp_path / "m.npz")
+        save_module(model, path)
+        state = load_state(path)
+        assert set(state) == set(model.state_dict())
+
+    def test_bn_buffers_roundtrip(self, tmp_path, rng):
+        bn = nn.BatchNorm2d(3)
+        bn(Tensor(rng.standard_normal((8, 3, 2, 2)) + 5))
+        path = str(tmp_path / "bn.npz")
+        save_module(bn, path)
+        fresh = nn.BatchNorm2d(3)
+        load_into(fresh, path)
+        assert np.allclose(fresh.running_mean, bn.running_mean)
+        assert np.allclose(fresh.running_var, bn.running_var)
+
+
+class TestNbytes:
+    def test_raw_bytes(self):
+        state = {"w": np.zeros((10, 10), dtype=np.float32), "b": np.zeros(10, dtype=np.float32)}
+        assert state_dict_nbytes(state) == 4 * (100 + 10)
+
+    def test_compressed_smaller_for_zeros(self):
+        state = {"w": np.zeros((100, 100), dtype=np.float32)}
+        assert state_dict_nbytes(state, compressed=True) < state_dict_nbytes(state)
+
+    def test_monotone_in_model_size(self):
+        small = nn.Linear(4, 4).state_dict()
+        large = nn.Linear(64, 64).state_dict()
+        assert state_dict_nbytes(large) > state_dict_nbytes(small)
+
+
+class TestInit:
+    def test_kaiming_normal_scale(self):
+        from repro.nn.init import kaiming_normal
+
+        w = kaiming_normal((256, 128), np.random.default_rng(0))
+        assert abs(w.std() - np.sqrt(2.0 / 128)) < 0.01
+
+    def test_kaiming_uniform_bounds(self):
+        from repro.nn.init import kaiming_uniform
+
+        w = kaiming_uniform((64, 64), np.random.default_rng(0))
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 64)
+        assert w.min() >= -bound and w.max() <= bound
+
+    def test_conv_fan_in(self):
+        from repro.nn.init import fan_in_out
+
+        fan_in, fan_out = fan_in_out((16, 8, 3, 3))
+        assert fan_in == 8 * 9
+        assert fan_out == 16 * 9
+
+    def test_bad_shape_raises(self):
+        from repro.nn.init import fan_in_out
+
+        with pytest.raises(ValueError):
+            fan_in_out((3,))
+
+    def test_xavier_bounds(self):
+        from repro.nn.init import xavier_uniform
+
+        w = xavier_uniform((32, 32), np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 64)
+        assert w.min() >= -bound and w.max() <= bound

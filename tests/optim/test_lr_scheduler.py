@@ -1,0 +1,69 @@
+"""Learning-rate schedule behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import SGD, ConstantLR, CosineAnnealingLR, MultiStepLR, StepLR
+
+
+@pytest.fixture
+def opt():
+    return SGD([Parameter(np.ones(1))], lr=1.0)
+
+
+class TestConstant:
+    def test_never_changes(self, opt):
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            assert sched.step() == 1.0
+
+
+class TestStepLR:
+    def test_decays_every_step_size(self, opt):
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(6)]
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01, 0.01, 0.001])
+
+    def test_updates_optimizer(self, opt):
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.lr == 0.5
+
+
+class TestMultiStepLR:
+    def test_milestones(self, opt):
+        sched = MultiStepLR(opt, milestones=[2, 4], gamma=0.1)
+        lrs = [sched.step() for _ in range(5)]
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_unsorted_milestones_ok(self, opt):
+        sched = MultiStepLR(opt, milestones=[4, 2], gamma=0.1)
+        sched.step()
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+
+class TestCosine:
+    def test_monotone_decreasing(self, opt):
+        sched = CosineAnnealingLR(opt, t_max=10)
+        lrs = [sched.step() for _ in range(10)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_reaches_eta_min(self, opt):
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.01)
+        for _ in range(10):
+            lr = sched.step()
+        assert lr == pytest.approx(0.01)
+
+    def test_clamps_past_t_max(self, opt):
+        sched = CosineAnnealingLR(opt, t_max=5)
+        for _ in range(10):
+            lr = sched.step()
+        assert lr == pytest.approx(0.0, abs=1e-9)
+
+    def test_half_period_half_lr(self, opt):
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            lr = sched.step()
+        assert lr == pytest.approx(0.5)

@@ -1,0 +1,162 @@
+"""Backward-pass mechanics: accumulation, graph traversal, grad modes."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, enable_grad, is_grad_enabled, no_grad
+
+
+class TestBackwardBasics:
+    def test_scalar_backward_default_grad(self):
+        x = Tensor(np.array(3.0), requires_grad=True)
+        y = x * x
+        y.backward()
+        assert np.isclose(x.grad, 6.0)
+
+    def test_backward_requires_grad_flag(self):
+        x = Tensor(np.array(3.0))
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_nonscalar_needs_explicit_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_explicit_grad_seed(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2.0).backward(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(x.grad, [2.0, 4.0, 6.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor(np.array(2.0), requires_grad=True)
+        (x * 3).backward()
+        (x * 3).backward()
+        assert np.isclose(x.grad, 6.0)
+
+    def test_zero_grad(self):
+        x = Tensor(np.array(2.0), requires_grad=True)
+        (x * 3).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestFanoutAndReuse:
+    def test_diamond_graph(self):
+        # y = (x*2) + (x*3) -> dy/dx = 5
+        x = Tensor(np.array(1.0), requires_grad=True)
+        y = x * 2 + x * 3
+        y.backward()
+        assert np.isclose(x.grad, 5.0)
+
+    def test_reused_tensor_in_product(self):
+        # y = x * x * x -> 3x^2
+        x = Tensor(np.array(2.0), requires_grad=True)
+        (x * x * x).backward()
+        assert np.isclose(x.grad, 12.0)
+
+    def test_deep_chain(self):
+        x = Tensor(np.array(1.0), requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.1
+        y.backward()
+        assert np.isclose(x.grad, 1.1**50, rtol=1e-4)
+
+    def test_broadcast_grad_shape(self):
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        ((x + b).sum()).backward()
+        assert x.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 3.0)  # summed over the broadcast rows
+
+    def test_scalar_broadcast_grad(self):
+        s = Tensor(np.array(2.0), requires_grad=True)
+        x = Tensor(np.ones((2, 5)))
+        ((x * s).sum()).backward()
+        assert np.isclose(s.grad, 10.0)
+
+
+class TestGradModes:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._parents == ()
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with enable_grad():
+                assert is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        try:
+            with no_grad():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+    def test_ops_on_non_grad_tensors_record_nothing(self):
+        x = Tensor(np.ones(3))
+        y = x * 2 + 1
+        assert y._parents == ()
+        assert y._backward is None
+
+
+class TestGradientFlowThroughViews:
+    def test_getitem_scatter(self):
+        x = Tensor(np.arange(6, dtype=np.float64).reshape(2, 3), requires_grad=True)
+        y = x[0]
+        y.sum().backward()
+        assert np.allclose(x.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_fancy_index_repeats_accumulate(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        x[idx].sum().backward()
+        assert np.allclose(x.grad, [2.0, 0.0, 1.0])
+
+    def test_concat_splits_gradient(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=1)
+        (out * Tensor(np.arange(10, dtype=np.float64).reshape(2, 5))).sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+        assert np.allclose(a.grad, [[0, 1], [5, 6]])
+        assert np.allclose(b.grad, [[2, 3, 4], [7, 8, 9]])
+
+    def test_reshape_roundtrip_grad(self):
+        x = Tensor(np.ones((2, 6)), requires_grad=True)
+        x.reshape(3, 4).sum().backward()
+        assert np.allclose(x.grad, np.ones((2, 6)))
+
+    def test_stack_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        Tensor.stack([a, b], axis=0).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 1.0)
+
+
+class TestMixedRequiresGrad:
+    def test_constant_branch_gets_no_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        c = Tensor(np.full(3, 5.0))
+        (x * c).sum().backward()
+        assert np.allclose(x.grad, 5.0)
+        assert c.grad is None
+
+    def test_detached_branch_blocks_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2).detach() * x
+        y.sum().backward()
+        # d/dx of (const * x) = const = 2
+        assert np.allclose(x.grad, 2.0)

@@ -1,0 +1,130 @@
+"""Convolution and pooling: shape math, reference values, gradients."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.tensor import (
+    Tensor,
+    avg_pool2d,
+    conv2d,
+    conv_output_size,
+    global_avg_pool2d,
+    gradcheck,
+    max_pool2d,
+)
+
+
+class TestOutputSize:
+    @pytest.mark.parametrize(
+        "size,k,s,p,expected",
+        [
+            (8, 3, 1, 1, 8),
+            (8, 3, 2, 1, 4),
+            (8, 1, 1, 0, 8),
+            (8, 1, 2, 0, 4),
+            (7, 3, 2, 1, 4),
+            (32, 3, 1, 1, 32),
+        ],
+    )
+    def test_formula(self, size, k, s, p, expected):
+        assert conv_output_size(size, k, s, p) == expected
+
+
+class TestConvForward:
+    def test_matches_scipy_correlate(self, rng):
+        x = rng.standard_normal((1, 1, 6, 6))
+        w = rng.standard_normal((1, 1, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), stride=1, padding=0).numpy()
+        ref = signal.correlate2d(x[0, 0], w[0, 0], mode="valid")
+        assert np.allclose(out[0, 0], ref, atol=1e-4)
+
+    def test_multi_channel_sums_inputs(self, rng):
+        x = rng.standard_normal((1, 3, 5, 5))
+        w = rng.standard_normal((2, 3, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), padding=0).numpy()
+        ref = np.zeros((2, 3, 3))
+        for o in range(2):
+            for c in range(3):
+                ref[o] += signal.correlate2d(x[0, c], w[o, c], mode="valid")
+        assert np.allclose(out[0], ref, atol=1e-4)
+
+    def test_bias_added_per_channel(self, rng):
+        x = rng.standard_normal((2, 1, 4, 4))
+        w = np.zeros((3, 1, 1, 1))
+        b = np.array([1.0, 2.0, 3.0])
+        out = conv2d(Tensor(x), Tensor(w), Tensor(b)).numpy()
+        assert np.allclose(out[:, 0], 1.0)
+        assert np.allclose(out[:, 2], 3.0)
+
+    def test_stride_two_shape(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        w = rng.standard_normal((4, 3, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), stride=2, padding=1)
+        assert out.shape == (2, 4, 4, 4)
+
+    def test_identity_kernel(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4))
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0
+        out = conv2d(Tensor(x), Tensor(w), padding=1).numpy()
+        assert np.allclose(out, x, atol=1e-6)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 4, 4)))
+        w = Tensor(rng.standard_normal((2, 4, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d(x, w)
+
+
+class TestConvBackward:
+    def test_gradcheck_basic(self, rng):
+        x = rng.standard_normal((2, 2, 5, 5))
+        w = rng.standard_normal((3, 2, 3, 3))
+        b = rng.standard_normal(3)
+        gradcheck(lambda x_, w_, b_: conv2d(x_, w_, b_, padding=1), [x, w, b])
+
+    def test_gradcheck_strided(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6))
+        w = rng.standard_normal((2, 2, 3, 3))
+        gradcheck(lambda x_, w_: conv2d(x_, w_, stride=2, padding=1), [x, w])
+
+    def test_gradcheck_1x1(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        w = rng.standard_normal((5, 3, 1, 1))
+        gradcheck(lambda x_, w_: conv2d(x_, w_, stride=2), [x, w])
+
+    def test_no_grad_to_frozen_input(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)).astype(np.float32))
+        w = Tensor(rng.standard_normal((1, 1, 3, 3)).astype(np.float32), requires_grad=True)
+        conv2d(x, w, padding=1).sum().backward()
+        assert x.grad is None
+        assert w.grad is not None
+
+
+class TestPooling:
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = avg_pool2d(Tensor(x), 2).numpy()
+        assert np.allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(x), 2).numpy()
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_gradcheck(self, rng):
+        gradcheck(lambda x: avg_pool2d(x, 2), [rng.standard_normal((1, 2, 4, 4))])
+
+    def test_max_pool_gradcheck(self, rng):
+        x = rng.permutation(32).reshape(1, 2, 4, 4).astype(np.float64)
+        gradcheck(lambda x_: max_pool2d(x_, 2), [x])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((3, 4, 5, 5))
+        out = global_avg_pool2d(Tensor(x))
+        assert out.shape == (3, 4)
+        assert np.allclose(out.numpy(), x.mean(axis=(2, 3)), atol=1e-6)
+
+    def test_global_avg_pool_gradcheck(self, rng):
+        gradcheck(lambda x: global_avg_pool2d(x), [rng.standard_normal((2, 3, 3, 3))])

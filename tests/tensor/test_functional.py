@@ -1,0 +1,149 @@
+"""Functional ops and loss semantics (softmax, KD losses, CE)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+LOGITS = hnp.arrays(np.float64, (4, 6), elements=st.floats(-8, 8))
+
+
+class TestSoftmax:
+    @given(LOGITS)
+    def test_softmax_sums_to_one(self, a):
+        probs = F.softmax(Tensor(a)).numpy()
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+        assert (probs >= 0).all()
+
+    @given(LOGITS)
+    def test_log_softmax_consistent(self, a):
+        assert np.allclose(
+            F.log_softmax(Tensor(a)).numpy(),
+            np.log(F.softmax(Tensor(a)).numpy() + 1e-12),
+            atol=1e-4,
+        )
+
+    @given(LOGITS)
+    def test_softmax_shift_invariant(self, a):
+        p1 = F.softmax(Tensor(a)).numpy()
+        p2 = F.softmax(Tensor(a + 100.0)).numpy()
+        assert np.allclose(p1, p2, atol=1e-5)
+
+    def test_temperature_flattens(self):
+        logits = Tensor(np.array([[4.0, 0.0, -4.0]]))
+        sharp = F.softmax(logits).numpy()
+        soft = F.softmax(logits * (1 / 8.0)).numpy()
+        assert soft.max() < sharp.max()
+        assert soft.min() > sharp.min()
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -20.0)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 2])).item()
+        assert loss < 1e-3
+
+    def test_uniform_prediction_log_k(self):
+        logits = np.zeros((5, 4))
+        loss = F.cross_entropy(Tensor(logits), np.zeros(5, dtype=int)).item()
+        assert np.isclose(loss, np.log(4), atol=1e-5)
+
+    def test_matches_manual_nll(self, rng):
+        logits = rng.standard_normal((6, 5))
+        labels = rng.integers(0, 5, 6)
+        expected = -np.mean(
+            [
+                logits[i, labels[i]] - np.log(np.exp(logits[i]).sum())
+                for i in range(6)
+            ]
+        )
+        assert np.isclose(F.cross_entropy(Tensor(logits), labels).item(), expected, atol=1e-5)
+
+    def test_one_hot(self):
+        oh = F.one_hot(np.array([0, 2]), 3)
+        assert np.allclose(oh, [[1, 0, 0], [0, 0, 1]])
+
+
+class TestKLDivergence:
+    @given(LOGITS)
+    def test_self_kl_zero(self, a):
+        loss = F.kl_div_from_logits(Tensor(a), Tensor(a), temperature=3.0).item()
+        assert abs(loss) < 1e-4
+
+    @given(LOGITS, LOGITS)
+    def test_kl_nonnegative(self, t, s):
+        loss = F.kl_div_from_logits(Tensor(t), Tensor(s), temperature=2.0).item()
+        assert loss > -1e-5
+
+    def test_teacher_detached(self, rng):
+        t = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        s = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        F.kl_div_from_logits(t, s, temperature=2.0).backward()
+        assert t.grad is None
+        assert s.grad is not None
+
+    def test_t_squared_scaling(self, rng):
+        """Gradient magnitude stays O(1) in T (Hinton's T^2 convention)."""
+        t = rng.standard_normal((8, 5))
+        grads = {}
+        for temp in (1.0, 8.0):
+            s = Tensor(np.zeros((8, 5)), requires_grad=True)
+            F.kl_div_from_logits(Tensor(t), s, temperature=temp).backward()
+            grads[temp] = np.abs(s.grad).mean()
+        ratio = grads[1.0] / grads[8.0]
+        assert 0.05 < ratio < 20.0  # same order of magnitude
+
+    def test_kd_loss_alias(self, rng):
+        t, s = rng.standard_normal((2, 3)), rng.standard_normal((2, 3))
+        a = F.kd_loss(Tensor(t), Tensor(s), temperature=4.0).item()
+        b = F.kl_div_from_logits(Tensor(t), Tensor(s), temperature=4.0).item()
+        assert np.isclose(a, b)
+
+
+class TestRegressionLosses:
+    def test_l1_value(self):
+        pred = Tensor(np.array([[1.0, 2.0]]))
+        target = Tensor(np.array([[0.0, 4.0]]))
+        assert np.isclose(F.l1_loss(pred, target).item(), 1.5)
+
+    def test_mse_value(self):
+        pred = Tensor(np.array([[1.0, 2.0]]))
+        target = Tensor(np.array([[0.0, 4.0]]))
+        assert np.isclose(F.mse_loss(pred, target).item(), 2.5)
+
+    def test_l1_target_detached(self, rng):
+        t = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        s = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        F.l1_loss(s, t).backward()
+        assert t.grad is None
+
+    def test_l1_robustness_vs_l2(self):
+        """The paper's reason for L1 in L_scale: outliers dominate L2."""
+        target = Tensor(np.zeros((1, 4)))
+        small = Tensor(np.array([[0.5, 0.5, 0.5, 0.5]]))
+        outlier = Tensor(np.array([[2.0, 0.0, 0.0, 0.0]]))
+        # equal L1, very different L2
+        assert np.isclose(F.l1_loss(small, target).item(), F.l1_loss(outlier, target).item())
+        assert F.mse_loss(outlier, target).item() > 3 * F.mse_loss(small, target).item()
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        out = F.dropout(x, 0.5, training=False)
+        assert np.allclose(out.numpy(), x.numpy())
+
+    def test_zero_p_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert np.allclose(F.dropout(x, 0.0, training=True).numpy(), x.numpy())
+
+    def test_scaling_preserves_expectation(self):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, rng=np.random.default_rng(0), training=True)
+        assert abs(out.numpy().mean() - 1.0) < 0.05

@@ -1,0 +1,183 @@
+"""Property-based gradient checks: autograd vs central finite differences.
+
+These are the load-bearing correctness tests of the substrate — every op
+used by the distillation framework is checked on hypothesis-generated
+inputs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor, functional as F, gradcheck
+
+SMALL = hnp.arrays(
+    np.float64,
+    hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+    elements=st.floats(-2.0, 2.0, allow_nan=False),
+)
+POSITIVE = hnp.arrays(
+    np.float64,
+    hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=4),
+    elements=st.floats(0.2, 3.0, allow_nan=False),
+)
+MATRIX = hnp.arrays(
+    np.float64, (3, 5), elements=st.floats(-3.0, 3.0, allow_nan=False)
+)
+
+
+class TestElementwiseGrads:
+    @given(SMALL)
+    def test_add_mul(self, a):
+        gradcheck(lambda x: x * 3.0 + x, [a])
+
+    @given(SMALL)
+    def test_square(self, a):
+        gradcheck(lambda x: x * x, [a])
+
+    @given(POSITIVE)
+    def test_div(self, a):
+        gradcheck(lambda x: 1.0 / x, [a])
+
+    @given(POSITIVE)
+    def test_log(self, a):
+        gradcheck(lambda x: x.log(), [a])
+
+    @given(SMALL)
+    def test_exp(self, a):
+        gradcheck(lambda x: x.exp(), [a])
+
+    @given(POSITIVE)
+    def test_sqrt(self, a):
+        gradcheck(lambda x: x.sqrt(), [a])
+
+    @given(POSITIVE)
+    def test_pow(self, a):
+        gradcheck(lambda x: x**2.5, [a])
+
+    @given(SMALL)
+    def test_tanh(self, a):
+        gradcheck(lambda x: x.tanh(), [a])
+
+    @given(SMALL)
+    def test_sigmoid(self, a):
+        gradcheck(lambda x: x.sigmoid(), [a])
+
+    @given(SMALL.filter(lambda a: (np.abs(a) > 1e-2).all()))
+    def test_abs_away_from_zero(self, a):
+        gradcheck(lambda x: x.abs(), [a])
+
+    @given(SMALL.filter(lambda a: (np.abs(a) > 1e-2).all()))
+    def test_relu_away_from_zero(self, a):
+        gradcheck(lambda x: x.relu(), [a])
+
+
+class TestReductionGrads:
+    @given(SMALL)
+    def test_sum_all(self, a):
+        gradcheck(lambda x: x.sum(), [a])
+
+    @given(MATRIX)
+    def test_sum_axis0(self, a):
+        gradcheck(lambda x: x.sum(axis=0), [a])
+
+    @given(MATRIX)
+    def test_sum_axis_keepdims(self, a):
+        gradcheck(lambda x: x.sum(axis=1, keepdims=True), [a])
+
+    @given(MATRIX)
+    def test_mean(self, a):
+        gradcheck(lambda x: x.mean(axis=1), [a])
+
+    @given(MATRIX)
+    def test_var(self, a):
+        gradcheck(lambda x: x.var(axis=0), [a])
+
+    @given(MATRIX)
+    def test_logsumexp(self, a):
+        gradcheck(lambda x: x.logsumexp(axis=1), [a])
+
+    def test_max_unique(self, rng):
+        # ties break gradient smoothness; use distinct values
+        a = rng.permutation(20).reshape(4, 5).astype(np.float64)
+        gradcheck(lambda x: x.max(axis=1), [a])
+
+
+class TestMatmulGrads:
+    @given(
+        hnp.arrays(np.float64, (3, 4), elements=st.floats(-2, 2)),
+        hnp.arrays(np.float64, (4, 2), elements=st.floats(-2, 2)),
+    )
+    def test_matmul_2d(self, a, b):
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+    @given(
+        hnp.arrays(np.float64, (3, 4), elements=st.floats(-2, 2)),
+        hnp.arrays(np.float64, (4,), elements=st.floats(-2, 2)),
+    )
+    def test_matmul_matvec(self, a, b):
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+    @given(
+        hnp.arrays(np.float64, (4,), elements=st.floats(-2, 2)),
+        hnp.arrays(np.float64, (4,), elements=st.floats(-2, 2)),
+    )
+    def test_dot(self, a, b):
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+
+class TestShapeOpGrads:
+    @given(MATRIX)
+    def test_reshape(self, a):
+        gradcheck(lambda x: x.reshape(5, 3) * 2.0, [a])
+
+    @given(MATRIX)
+    def test_transpose(self, a):
+        gradcheck(lambda x: x.T @ x, [a])
+
+    @given(MATRIX)
+    def test_slice(self, a):
+        gradcheck(lambda x: x[1:, 2:], [a])
+
+    @given(MATRIX)
+    def test_concat_self(self, a):
+        gradcheck(lambda x: Tensor.concatenate([x[:, :2], x[:, 2:] * 2.0], axis=1), [a])
+
+    def test_pad2d(self, rng):
+        a = rng.standard_normal((1, 2, 3, 3))
+        gradcheck(lambda x: x.pad2d(1), [a])
+
+
+class TestFunctionalGrads:
+    @given(MATRIX)
+    def test_log_softmax(self, a):
+        gradcheck(lambda x: F.log_softmax(x), [a])
+
+    @given(MATRIX)
+    def test_softmax(self, a):
+        gradcheck(lambda x: F.softmax(x), [a])
+
+    @given(MATRIX)
+    def test_cross_entropy(self, a):
+        labels = np.array([0, 1, 2])
+        gradcheck(lambda x: F.cross_entropy(x, labels), [a])
+
+    @given(
+        hnp.arrays(np.float64, (3, 5), elements=st.floats(-3, 3)),
+        hnp.arrays(np.float64, (3, 5), elements=st.floats(-3, 3)),
+    )
+    def test_kl_from_logits_student_side(self, t, s):
+        gradcheck(lambda s_: F.kl_div_from_logits(Tensor(t), s_, temperature=2.0), [s])
+
+    @given(
+        hnp.arrays(np.float64, (3, 4), elements=st.floats(-3, 3)),
+        hnp.arrays(np.float64, (3, 4), elements=st.floats(-3, 3)),
+    )
+    def test_mse(self, t, s):
+        gradcheck(lambda s_: F.mse_loss(s_, Tensor(t)), [s])
+
+    def test_l1_away_from_equality(self, rng):
+        t = rng.standard_normal((3, 4))
+        s = t + np.sign(rng.standard_normal((3, 4))) * (0.1 + rng.random((3, 4)))
+        gradcheck(lambda s_: F.l1_loss(s_, Tensor(t)), [s])
