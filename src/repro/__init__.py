@@ -10,11 +10,13 @@ Layered architecture (see DESIGN.md):
 * ``repro.models``  — WRN-l-(k_c, k_s) zoo + branched PoE architecture
 * ``repro.distill`` — KD / CKD / Transfer / Scratch / SD / UHC
 * ``repro.core``    — Pool of Experts (the paper's contribution)
+* ``repro.serving`` — realtime serving gateway: caches, coalescing, loadgen
 * ``repro.eval``    — metrics, experiment tracks, benchmark runners
 """
 
-from . import core, data, distill, eval, models, nn, optim, tensor
+from . import core, data, distill, eval, models, nn, optim, serving, tensor
 from .core import ModelQueryEngine, PoEConfig, PoolOfExperts, TaskSpecificModel
+from .serving import ServingGateway
 
 __version__ = "1.0.0"
 
@@ -26,8 +28,10 @@ __all__ = [
     "models",
     "distill",
     "core",
+    "serving",
     "eval",
     "PoolOfExperts",
+    "ServingGateway",
     "PoEConfig",
     "ModelQueryEngine",
     "TaskSpecificModel",

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro.cli build   [--tracks ...] [--fast]   # train artifacts
     python -m repro.cli tables  [--tracks ...]            # print all tables
     python -m repro.cli query   --track T --tasks a,b     # serve one query
+    python -m repro.cli serve-bench [--mode closed|open]  # gateway load test
     python -m repro.cli report  [--out EXPERIMENTS.md]    # paper-vs-measured
     python -m repro.cli info                              # registry overview
 
@@ -97,6 +98,70 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Load-test the serving gateway and print latency/cache statistics."""
+    from .serving import (
+        GatewayConfig,
+        ServingGateway,
+        ZipfianWorkload,
+        build_demo_pool,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    from .core.server import TRANSPORTS
+
+    transports = tuple(args.transports.split(","))
+    unknown = [t for t in transports if t not in TRANSPORTS]
+    if unknown:
+        print(f"error: unknown transport(s) {unknown}; choose from {', '.join(TRANSPORTS)}")
+        return 2
+
+    if args.track == "micro":
+        print("building self-contained micro pool (seconds)...")
+        pool, _ = build_demo_pool(num_tasks=args.micro_tasks, seed=args.seed)
+    else:
+        store = ArtifactStore(args.root)
+        track = get_track(args.track, fast=args.fast or None)
+        pool = store.pool(track)
+
+    config = GatewayConfig(
+        max_workers=args.workers,
+        model_cache_bytes=0 if args.no_cache else args.model_cache_mb << 20,
+        payload_cache_bytes=0 if args.no_cache else args.payload_cache_mb << 20,
+    )
+    workload = ZipfianWorkload(
+        pool.expert_names(),
+        max_query_size=min(args.max_tasks, len(pool.expert_names())),
+        skew=args.skew,
+        universe_size=args.universe,
+        transports=transports,
+        seed=args.seed,
+    )
+    with ServingGateway(pool, config) as gateway:
+        if args.mode == "closed":
+            report = run_closed_loop(
+                gateway,
+                workload,
+                clients=args.clients,
+                requests_per_client=args.requests,
+                seed=args.seed,
+            )
+        else:
+            report = run_open_loop(
+                gateway,
+                workload,
+                rate_qps=args.rate,
+                duration_seconds=args.duration,
+                seed=args.seed,
+            )
+        print()
+        print(report.render())
+        print()
+        print(gateway.render_stats())
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .eval.report import generate_report
 
@@ -135,6 +200,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_query.add_argument("--fast", action="store_true")
     p_query.add_argument("--root", default=None)
     p_query.set_defaults(fn=cmd_query)
+
+    p_bench = sub.add_parser(
+        "serve-bench", help="load-test the serving gateway (Zipfian workload)"
+    )
+    p_bench.add_argument(
+        "--track",
+        default="micro",
+        help="'micro' builds a tiny pool inline; otherwise an artifact-store track",
+    )
+    p_bench.add_argument("--fast", action="store_true")
+    p_bench.add_argument("--root", default=None)
+    p_bench.add_argument("--mode", choices=("closed", "open"), default="closed")
+    p_bench.add_argument("--clients", type=int, default=8, help="closed-loop client threads")
+    p_bench.add_argument("--requests", type=int, default=100, help="requests per client")
+    p_bench.add_argument("--rate", type=float, default=200.0, help="open-loop offered qps")
+    p_bench.add_argument("--duration", type=float, default=2.0, help="open-loop seconds")
+    p_bench.add_argument("--workers", type=int, default=4, help="gateway worker threads")
+    p_bench.add_argument("--skew", type=float, default=1.1, help="Zipf skew exponent")
+    p_bench.add_argument("--max-tasks", type=int, default=3, help="max primitives per query")
+    p_bench.add_argument("--universe", type=int, default=32, help="distinct queries in workload")
+    p_bench.add_argument("--transports", default="float32", help="comma-separated transports")
+    p_bench.add_argument("--model-cache-mb", type=int, default=128)
+    p_bench.add_argument("--payload-cache-mb", type=int, default=128)
+    p_bench.add_argument("--no-cache", action="store_true", help="disable both cache tiers")
+    p_bench.add_argument("--micro-tasks", type=int, default=5, help="tasks in the micro pool")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.set_defaults(fn=cmd_serve_bench)
 
     p_report = sub.add_parser("report", help="write EXPERIMENTS.md")
     p_report.add_argument("--root", default=None)

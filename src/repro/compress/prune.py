@@ -8,7 +8,7 @@ quantifies how much further an expert could shrink.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -10,7 +10,7 @@ summary statistics that reproduce that figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple, Union
+from typing import Tuple, Union
 
 import numpy as np
 

@@ -5,12 +5,18 @@ the paper motivates: clients submit a composite task (a set of primitive
 task names), the engine assembles the task-specific model from the pool
 without any training and returns a :class:`TaskSpecificModel` handle that
 predicts *global* class ids / names directly.
+
+The engine is a thin shim over :mod:`repro.serving`: cache keys are the
+canonical (sorted) task set, so permutations of the same query share one
+cache entry, and the memo itself is a byte-budgeted LRU rather than an
+unbounded dict.  For concurrent serving, payload delivery and load
+tooling, use :class:`repro.serving.ServingGateway` directly.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -23,6 +29,11 @@ from ..tensor.functional import softmax
 from .pool import PoolOfExperts
 
 __all__ = ["TaskSpecificModel", "QueryRecord", "ModelQueryEngine"]
+
+# A cache entry keeps at most this many head-order variants of one
+# consolidated model; a 6-task query has 720 permutations and the byte
+# budget only charges the weights once, so wrapper growth must be bounded.
+_MAX_ORDER_VARIANTS = 8
 
 
 class TaskSpecificModel:
@@ -98,15 +109,25 @@ class ModelQueryEngine:
     Python object construction — microseconds, versus the minutes of
     training that Scratch/Transfer/SD/UHC/CKD would need (Fig. 6-7).
 
-    An optional memo cache returns previously assembled models; since
-    consolidation shares weights by reference anyway, the cache only avoids
-    re-wrapping, but it also makes repeated-query bookkeeping explicit.
+    The memo cache is keyed on the *canonical* task set
+    (:func:`repro.serving.canonical_tasks`), so ``query(["a", "b"])`` and
+    ``query(["b", "a"])`` share one consolidation; each requested head
+    order is materialised at most once per entry (weights are shared by
+    reference, so an order variant costs a wrapper, not a copy).  The cache
+    is byte-budgeted LRU — hot queries stay, cold ones age out.
     """
 
-    def __init__(self, pool: PoolOfExperts, cache_models: bool = True) -> None:
+    def __init__(
+        self,
+        pool: PoolOfExperts,
+        cache_models: bool = True,
+        cache_bytes: int = 64 << 20,
+    ) -> None:
+        from ..serving.cache import ByteBudgetLRU
+
         self.pool = pool
         self.cache_models = cache_models
-        self._cache: Dict[Tuple[str, ...], TaskSpecificModel] = {}
+        self._cache = ByteBudgetLRU(cache_bytes if cache_models else 0)
         self.records: List[QueryRecord] = []
 
     def available_tasks(self) -> Tuple[str, ...]:
@@ -114,26 +135,58 @@ class ModelQueryEngine:
         return self.pool.expert_names()
 
     def query(self, tasks: Union[CompositeTask, Sequence[str]]) -> TaskSpecificModel:
-        """Assemble (or fetch) the task-specific model for ``tasks``."""
-        key = (
-            tuple(tasks.names)
-            if isinstance(tasks, CompositeTask)
-            else tuple(tasks)
-        )
+        """Assemble (or fetch) the task-specific model for ``tasks``.
+
+        The returned model's logit layout follows the *requested* task
+        order; caching happens at canonical-key granularity underneath.
+        """
+        from ..serving.cache import BYTES_PER_PARAM
+        from ..serving.canonical import canonical_tasks
+
+        order = tuple(tasks.names) if isinstance(tasks, CompositeTask) else tuple(tasks)
+        key = canonical_tasks(order) if order else order  # empty -> consolidate raises
         start = time.perf_counter()
-        cached = self.cache_models and key in self._cache
-        if cached:
-            model = self._cache[key]
-        else:
+        entry: Optional[Dict[Tuple[str, ...], TaskSpecificModel]] = self._cache.get(key)
+        cached = entry is not None
+        if entry is None:
             network, composite = self.pool.consolidate(tasks)
             model = TaskSpecificModel(network, composite)
-            if self.cache_models:
-                self._cache[key] = model
+            self._cache.put(key, {order: model}, model.num_params() * BYTES_PER_PARAM)
+        elif order in entry:
+            model = entry[order]
+        else:
+            model = self._rewrap(entry, order, tasks)
+            if len(entry) < _MAX_ORDER_VARIANTS:
+                entry[order] = model
         elapsed = time.perf_counter() - start
         self.records.append(
             QueryRecord(query=key, seconds=elapsed, params=model.num_params(), cached=cached)
         )
         return model
+
+    def _rewrap(
+        self,
+        entry: Dict[Tuple[str, ...], TaskSpecificModel],
+        order: Tuple[str, ...],
+        tasks: Union[CompositeTask, Sequence[str]],
+    ) -> TaskSpecificModel:
+        """Materialise a cached entry under a different head order.
+
+        Reuses the cached model's trunk and heads by reference — no pool
+        access, no weight movement, just a new wrapper in ``order``.
+        """
+        sibling = next(iter(entry.values()))
+        heads = dict(zip(sibling.network.head_names, sibling.network.heads))
+        composite = (
+            tasks
+            if isinstance(tasks, CompositeTask)
+            else self.pool.hierarchy.composite(order)
+        )
+        network = BranchedSpecialistNet(
+            sibling.network.trunk, [(name, heads[name]) for name in order]
+        )
+        network.eval()
+        return TaskSpecificModel(network, composite)
 
     def mean_latency(self) -> Optional[float]:
         """Mean consolidation latency over non-cached queries, in seconds."""

@@ -20,19 +20,19 @@ from __future__ import annotations
 
 import io
 import json
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..compress import dequantize_tensor, quantize_tensor
-from ..data.hierarchy import ClassHierarchy, CompositeTask, PrimitiveTask
+from ..data.hierarchy import CompositeTask, PrimitiveTask
 from ..models import BranchedSpecialistNet, WRNHead, WRNTrunk
 from .pool import PoolOfExperts
 from .query import TaskSpecificModel
 
 __all__ = [
+    "TRANSPORTS",
     "ModelQueryRequest",
     "ModelQueryResponse",
     "PoEServer",
@@ -41,7 +41,8 @@ __all__ = [
     "deserialize_task_model",
 ]
 
-_TRANSPORTS = ("float32", "uint8")
+#: Supported payload encodings; serving layers validate against this.
+TRANSPORTS = ("float32", "uint8")
 
 
 @dataclass(frozen=True)
@@ -54,19 +55,26 @@ class ModelQueryRequest:
     def __post_init__(self) -> None:
         if not self.tasks:
             raise ValueError("a query needs at least one primitive task")
-        if self.transport not in _TRANSPORTS:
-            raise ValueError(f"transport must be one of {_TRANSPORTS}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}")
 
 
 @dataclass(frozen=True)
 class ModelQueryResponse:
-    """The served model: payload bytes + service metadata."""
+    """The served model: payload bytes + service metadata.
+
+    ``tasks`` is the *canonical* (sorted) task order — the payload's head
+    and logit layout.  ``cache_hit``/``coalesced`` report whether the bytes
+    came from the payload cache or from another request's in-flight build.
+    """
 
     payload: bytes
     tasks: Tuple[str, ...]
     transport: str
     build_seconds: float
     payload_bytes: int
+    cache_hit: bool = False
+    coalesced: bool = False
 
 
 def serialize_task_model(
@@ -179,28 +187,38 @@ def deserialize_task_model(payload: bytes) -> TaskSpecificModel:
 
 
 class PoEServer:
-    """Server side of the realtime model-delivery service."""
+    """Server side of the realtime model-delivery service.
 
-    def __init__(self, pool: PoolOfExperts) -> None:
+    A thin shim over :class:`repro.serving.ServingGateway`: queries are
+    canonicalized, repeated shipments of the same model are served from a
+    byte-budgeted payload cache keyed on ``(canonical tasks, transport)``
+    (skipping ``np.savez_compressed``, the dominant serving cost), and
+    concurrent duplicates coalesce onto a single in-flight build.  Pass a
+    preconfigured gateway to share caches/metrics across servers or to
+    tune budgets; by default each server owns one.
+    """
+
+    def __init__(self, pool: PoolOfExperts, gateway=None) -> None:
+        from ..serving.gateway import ServingGateway
+
         self.pool = pool
+        self.gateway = gateway if gateway is not None else ServingGateway(pool)
         self.served: List[ModelQueryResponse] = []
 
     def available_tasks(self) -> Tuple[str, ...]:
-        return self.pool.expert_names()
+        return self.gateway.available_tasks()
 
     def handle(self, request: ModelQueryRequest) -> ModelQueryResponse:
-        """Consolidate + serialize the queried model (train-free)."""
-        start = time.perf_counter()
-        network, composite = self.pool.consolidate(list(request.tasks))
-        payload = serialize_task_model(
-            network, composite, self.pool.config, transport=request.transport
-        )
+        """Serve the queried model (train-free, cached, coalesced)."""
+        served = self.gateway.serve(request.tasks, transport=request.transport)
         response = ModelQueryResponse(
-            payload=payload,
-            tasks=tuple(request.tasks),
-            transport=request.transport,
-            build_seconds=time.perf_counter() - start,
-            payload_bytes=len(payload),
+            payload=served.payload,
+            tasks=served.tasks,
+            transport=served.transport,
+            build_seconds=served.service_seconds,
+            payload_bytes=served.payload_bytes,
+            cache_hit=served.payload_cache_hit,
+            coalesced=served.coalesced,
         )
         self.served.append(response)
         return response

@@ -14,12 +14,10 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
-
-import numpy as np
+from typing import Dict
 
 from ..data.hierarchy import ClassHierarchy
-from ..models import WideResNet, WRNHead, WRNTrunk
+from ..models import WRNHead, WRNTrunk
 from ..nn import Module, load_state, save_state, state_dict_nbytes
 from .pool import PoEConfig, PoolOfExperts
 

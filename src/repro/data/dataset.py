@@ -8,7 +8,7 @@ labels remapped into the local ``[0, |H|)`` index space of a task.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Sequence, Tuple, Union
 
 import numpy as np
 

@@ -14,7 +14,7 @@ imported from real semantic trees (e.g. WordNet subsets) plug in unchanged.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import networkx as nx

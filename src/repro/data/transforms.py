@@ -6,7 +6,7 @@ All transforms operate on float32 NCHW batches and are pure functions of
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Tuple
+from typing import Callable, Sequence
 
 import numpy as np
 

@@ -10,7 +10,7 @@ import numpy as np
 from ..nn import Module
 from ..tensor import Tensor
 from .caches import batched_forward
-from .losses import kd_loss, sub_logits
+from .losses import kd_loss
 from .trainer import EvalFn, History, TrainConfig, Trainer
 
 __all__ = ["distill_kd"]

@@ -19,16 +19,16 @@ from __future__ import annotations
 import json
 import os
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..core import ExpertStore, PoEConfig, PoolOfExperts
 from ..data import HierarchicalImageDataset, task_subset
-from ..distill import TrainConfig, train_scratch
-from ..eval.metrics import accuracy, task_specific_accuracy
+from ..distill import train_scratch
+from ..eval.metrics import accuracy
 from ..models import WideResNet, count_flops, count_params
-from ..nn import load_state, save_module, save_state
+from ..nn import load_state, save_module
 from .experiments import TrackConfig
 
 __all__ = ["ArtifactStore", "default_artifact_root"]

@@ -16,14 +16,13 @@ specialization/consolidation experiments are run over them.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data import (
     ClassHierarchy,
-    CompositeTask,
     HierarchicalImageDataset,
     make_synth_cifar,
     make_synth_tiny_imagenet,

@@ -9,7 +9,7 @@ scored with normal accuracy on the task's (label-remapped) test data.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Union
 
 import numpy as np
 

@@ -20,14 +20,12 @@ from ..core import ExpertStore
 from .artifacts import ArtifactStore
 from .experiments import TrackConfig, get_track
 from .service import (
-    SERVICE_METHODS,
     ablation_table,
     consolidation_times,
     learning_curves,
     service_table,
 )
 from .specialization import confidence_figure, specialization_table
-from .tables import format_count, render_table
 
 __all__ = ["build_track", "build_all", "main"]
 

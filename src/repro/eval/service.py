@@ -21,7 +21,7 @@ consolidate pools whose experts were extracted with an ablated CKD loss.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -29,13 +29,11 @@ from ..data import task_subset
 from ..distill import (
     batched_forward,
     distill_ckd_head,
-    distill_kd,
     merge_sd,
     merge_uhc,
     train_scratch,
     train_transfer,
 )
-from ..distill.ckd import CKDSettings
 from ..models import BranchedSpecialistNet, WideResNet, WRNHead, count_flops, count_params
 from .artifacts import ArtifactStore
 from .experiments import TrackConfig, select_combos

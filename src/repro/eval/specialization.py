@@ -17,16 +17,15 @@ profiles their confidence on out-of-distribution samples.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..core import ood_confidence_profile
 from ..core.pool import PoolOfExperts
 from ..data import task_subset
-from ..distill import CKDSettings, batched_forward, distill_ckd_head, train_scratch, train_transfer
-from ..models import BranchedSpecialistNet, WideResNet, WRNHead, count_flops, count_params
-from ..tensor import Tensor, no_grad
+from ..distill import batched_forward, train_transfer
+from ..models import BranchedSpecialistNet, WRNHead, count_flops, count_params
 from .artifacts import ArtifactStore
 from .experiments import TrackConfig
 from .metrics import accuracy_from_logits, specialized_accuracy, task_specific_accuracy

@@ -15,7 +15,7 @@ with n(Q)·64·k_s channels would cost n(Q)²× (§5.1, Table 3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..nn import Module, ModuleList
 from ..tensor import Tensor

@@ -20,7 +20,7 @@ and every expert all share one code path.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -31,8 +31,6 @@ from ..nn import (
     Linear,
     Module,
     ModuleList,
-    ReLU,
-    Sequential,
 )
 from ..tensor import Tensor
 from ..tensor import functional as F

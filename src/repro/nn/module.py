@@ -10,7 +10,7 @@ component is frozen while experts are extracted, paper §4.1).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 import numpy as np
 

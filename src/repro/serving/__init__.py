@@ -1,0 +1,48 @@
+"""repro.serving — the realtime serving gateway (pool → gateway → client).
+
+The paper's service phase is train-free, so a single query costs
+microseconds; this package makes that hold *under concurrent traffic*:
+
+* :mod:`~repro.serving.canonical` — one canonical query identity shared by
+  every cache layer (sorted, deduplicated task names).
+* :mod:`~repro.serving.cache` — byte-budgeted LRU tiers with TTL and
+  eviction stats for consolidated models and serialized payloads.
+* :mod:`~repro.serving.gateway` — :class:`ServingGateway`: request
+  coalescing (single flight), cache tiers, worker-pool dispatch.
+* :mod:`~repro.serving.metrics` — per-stage latency histograms with
+  p50/p95/p99 summaries and cache hit-rate reporting.
+* :mod:`~repro.serving.loadgen` — Zipfian workload generation plus
+  closed-loop and open-loop load drivers.
+* :mod:`~repro.serving.demo` — a self-contained micro pool so benchmarks
+  and demos run without prebuilt artifacts.
+
+:class:`~repro.core.server.PoEServer` and
+:class:`~repro.core.query.ModelQueryEngine` remain the stable public API;
+both are thin shims over this package.
+"""
+
+from .cache import ByteBudgetLRU, CacheStats
+from .canonical import canonical_tasks, model_key, payload_key
+from .demo import build_demo_pool
+from .gateway import GatewayConfig, GatewayResponse, ServingGateway
+from .loadgen import LoadReport, ZipfianWorkload, run_closed_loop, run_open_loop
+from .metrics import LatencyHistogram, ServingMetrics, percentile
+
+__all__ = [
+    "ByteBudgetLRU",
+    "CacheStats",
+    "canonical_tasks",
+    "model_key",
+    "payload_key",
+    "GatewayConfig",
+    "GatewayResponse",
+    "ServingGateway",
+    "ZipfianWorkload",
+    "LoadReport",
+    "run_closed_loop",
+    "run_open_loop",
+    "LatencyHistogram",
+    "ServingMetrics",
+    "percentile",
+    "build_demo_pool",
+]

@@ -1,0 +1,191 @@
+"""Byte-budgeted LRU caches for the serving tier.
+
+:class:`ByteBudgetLRU` is a thread-safe LRU keyed on canonical query keys
+(:mod:`repro.serving.canonical`) whose capacity is expressed in *bytes*, not
+entries — consolidated models and serialized payloads vary wildly in size,
+so an entry-count bound would make memory use unpredictable.  Optional TTL
+expires stale entries (a pool that re-extracts an expert should not keep
+serving yesterday's weights forever), and :class:`CacheStats` exposes the
+hit/eviction accounting the metrics layer reports.
+
+A budget of ``0`` disables the cache: every ``get`` misses and every ``put``
+is rejected.  That is how the gateway (and the throughput benchmark's
+"caches off" arm) turn a tier off without branching at every call site.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, List, Optional, Tuple
+
+__all__ = ["BYTES_PER_PARAM", "CacheStats", "ByteBudgetLRU"]
+
+#: Cache-sizing convention for in-memory models: float32 weights.
+BYTES_PER_PARAM = 4
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time accounting for one cache tier."""
+
+    budget_bytes: int
+    current_bytes: int = 0
+    current_entries: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    rejections: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class ByteBudgetLRU:
+    """Thread-safe LRU cache bounded by total byte size, with optional TTL.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Maximum total size of cached values.  ``0`` disables the cache.
+    ttl_seconds:
+        If set, entries older than this are treated as misses and dropped.
+    clock:
+        Monotonic time source; injectable for deterministic TTL tests.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None)")
+        self.budget_bytes = int(budget_bytes)
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        # key -> (value, size_bytes, stored_at)
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int, float]]" = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+        self._expirations = 0
+        self._rejections = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (refreshing recency) or ``default``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return default
+            value, size, stored_at = entry
+            if self.ttl_seconds is not None and self._clock() - stored_at > self.ttl_seconds:
+                del self._entries[key]
+                self._bytes -= size
+                self._expirations += 1
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any, size_bytes: int) -> bool:
+        """Insert ``value``; evict LRU entries until within budget.
+
+        Returns ``False`` (and caches nothing) when the value alone exceeds
+        the budget — oversized artifacts would only thrash the cache.
+        """
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+        with self._lock:
+            # budget 0 means disabled: reject everything, even 0-byte values
+            if self.budget_bytes == 0 or size_bytes > self.budget_bytes:
+                self._rejections += 1
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (value, size_bytes, self._clock())
+            self._bytes += size_bytes
+            self._insertions += 1
+            while self._bytes > self.budget_bytes:
+                _, (_, evicted_size, _) = self._entries.popitem(last=False)
+                self._bytes -= evicted_size
+                self._evictions += 1
+            return True
+
+    def discard(self, key: Hashable) -> bool:
+        """Drop one entry if present; returns whether it existed."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._bytes -= entry[1]
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Non-mutating membership test (no recency/stat side effects)."""
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> List[Hashable]:
+        """Keys from least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                budget_bytes=self.budget_bytes,
+                current_bytes=self._bytes,
+                current_entries=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                insertions=self._insertions,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                rejections=self._rejections,
+            )
+
+    def reset_stats(self) -> None:
+        """Zero the counters (contents stay); used between benchmark phases."""
+        with self._lock:
+            self._hits = self._misses = 0
+            self._insertions = self._evictions = 0
+            self._expirations = self._rejections = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        s = self.stats()
+        return (
+            f"ByteBudgetLRU(entries={s.current_entries}, "
+            f"bytes={s.current_bytes}/{s.budget_bytes}, "
+            f"hit_rate={s.hit_rate:.2f})"
+        )

@@ -1,0 +1,294 @@
+"""The serving gateway: canonicalize → coalesce → cache → consolidate.
+
+:class:`ServingGateway` is the concurrent front door of the model-delivery
+service (paper Fig. 1b at production traffic).  A request travels through
+four stages, each one metered:
+
+1. **canonicalize** — the query's task names are sorted/deduplicated
+   (:func:`repro.serving.canonical.canonical_tasks`) so every permutation
+   of the same composite task shares one identity.  Served payloads lay
+   their heads out in this canonical order and advertise it via
+   :attr:`GatewayResponse.tasks`; predictions are global class ids either
+   way, so clients are order-agnostic.
+2. **payload cache** — a byte-budgeted LRU keyed on ``(canonical tasks,
+   transport)`` skips ``np.savez_compressed`` (the dominant serving cost)
+   for repeated shipments.
+3. **single flight** — concurrent duplicate requests coalesce onto one
+   in-flight build; followers block on the leader's result instead of
+   consolidating/serializing the same model N times.
+4. **model cache + build** — a second LRU tier holds consolidated
+   :class:`~repro.core.query.TaskSpecificModel`\\ s (cheap: weights are
+   shared by reference with the pool, the cache bounds wrapper count), and
+   a miss falls through to train-free consolidation + serialization.
+
+``serve()`` runs the pipeline inline on the caller's thread (single-flight
+still applies across threads); ``submit()`` dispatches onto a worker pool
+and additionally records queue-wait latency, for open-loop load.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
+
+from ..core.query import TaskSpecificModel
+from .canonical import TaskQuery, canonical_tasks, payload_key
+from .cache import BYTES_PER_PARAM, ByteBudgetLRU, CacheStats
+from .metrics import ServingMetrics
+
+__all__ = ["GatewayConfig", "GatewayResponse", "ServingGateway"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Operating envelope of a :class:`ServingGateway`."""
+
+    max_workers: int = 4
+    model_cache_bytes: int = 128 << 20
+    payload_cache_bytes: int = 128 << 20
+    ttl_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+
+
+@dataclass(frozen=True)
+class GatewayResponse:
+    """One served query: payload bytes plus service telemetry.
+
+    ``tasks`` is the canonical task order — the payload's head/logit layout.
+    """
+
+    payload: bytes
+    tasks: Tuple[str, ...]
+    transport: str
+    payload_bytes: int
+    queue_seconds: float
+    service_seconds: float
+    #: True only when the model tier was consulted and hit; a payload-tier
+    #: hit short-circuits before the model tier, leaving this False.
+    model_cache_hit: bool
+    payload_cache_hit: bool
+    coalesced: bool
+
+
+class _Inflight:
+    """Result slot for one coalesced build (leader sets, followers wait)."""
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._value: object = None
+        self._error: Optional[BaseException] = None
+
+    def set_result(self, value: object) -> None:
+        self._value = value
+        self._done.set()
+
+    def set_exception(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def wait(self) -> object:
+        self._done.wait()
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class ServingGateway:
+    """Concurrent serving front door over a :class:`~repro.core.pool.PoolOfExperts`."""
+
+    def __init__(
+        self,
+        pool,
+        config: Optional[GatewayConfig] = None,
+        metrics: Optional[ServingMetrics] = None,
+    ) -> None:
+        self.pool = pool
+        self.config = config or GatewayConfig()
+        self.metrics = metrics or ServingMetrics()
+        self.model_cache = ByteBudgetLRU(
+            self.config.model_cache_bytes, ttl_seconds=self.config.ttl_seconds
+        )
+        self.payload_cache = ByteBudgetLRU(
+            self.config.payload_cache_bytes, ttl_seconds=self.config.ttl_seconds
+        )
+        self._gate = threading.Lock()
+        self._inflight: Dict[Hashable, _Inflight] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def available_tasks(self) -> Tuple[str, ...]:
+        return self.pool.expert_names()
+
+    def serve(self, tasks: TaskQuery, transport: str = "float32") -> GatewayResponse:
+        """Serve one query on the calling thread (blocking)."""
+        return self._serve(tasks, transport, enqueued_at=None)
+
+    def submit(self, tasks: TaskQuery, transport: str = "float32") -> "Future[GatewayResponse]":
+        """Dispatch one query onto the worker pool; returns a future.
+
+        The queue-wait between submission and a worker picking the request
+        up is recorded in the ``queue`` stage and on the response.
+        """
+        enqueued_at = perf_counter()
+        return self._ensure_executor().submit(self._serve, tasks, transport, enqueued_at)
+
+    def get_model(self, tasks: TaskQuery) -> TaskSpecificModel:
+        """The consolidated model for ``tasks``, in canonical task order."""
+        model, _ = self._model_for(canonical_tasks(tasks))
+        return model
+
+    def cache_stats(self) -> Dict[str, CacheStats]:
+        return {"model": self.model_cache.stats(), "payload": self.payload_cache.stats()}
+
+    def render_stats(self) -> str:
+        return self.metrics.render(cache_stats=self.cache_stats())
+
+    def close(self) -> None:
+        with self._executor_lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ServingGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+    def _serve(
+        self, tasks: TaskQuery, transport: str, enqueued_at: Optional[float]
+    ) -> GatewayResponse:
+        from ..core.server import TRANSPORTS
+
+        if transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
+        start = perf_counter()
+        queue_seconds = 0.0
+        if enqueued_at is not None:
+            queue_seconds = start - enqueued_at
+            self.metrics.observe("queue", queue_seconds)
+        self.metrics.increment("requests")
+        try:
+            names = canonical_tasks(tasks)
+            key = payload_key(names, transport)
+
+            payload = self.payload_cache.get(key)
+            if payload is not None:
+                model_hit, coalesced, payload_hit = False, False, True
+            else:
+                payload_hit = False
+                (payload, model_hit), coalesced = self._single_flight(
+                    key, lambda: self._build_payload(names, transport, key)
+                )
+                if coalesced:
+                    self.metrics.increment("coalesced")
+        except BaseException:
+            self.metrics.increment("errors")
+            raise
+
+        service_seconds = perf_counter() - start
+        self.metrics.observe("total", service_seconds)
+        return GatewayResponse(
+            payload=payload,
+            tasks=names,
+            transport=transport,
+            payload_bytes=len(payload),
+            queue_seconds=queue_seconds,
+            service_seconds=service_seconds,
+            model_cache_hit=model_hit,
+            payload_cache_hit=payload_hit,
+            coalesced=coalesced,
+        )
+
+    def _build_payload(
+        self, names: Tuple[str, ...], transport: str, key: Hashable
+    ) -> Tuple[bytes, bool]:
+        from ..core.server import serialize_task_model
+
+        model, model_hit = self._model_for(names)
+        with self.metrics.stage("serialize"):
+            payload = serialize_task_model(
+                model.network, model.task, self.pool.config, transport=transport
+            )
+        self.payload_cache.put(key, payload, len(payload))
+        return payload, model_hit
+
+    def _model_for(self, names: Tuple[str, ...]) -> Tuple[TaskSpecificModel, bool]:
+        model = self.model_cache.get(names)
+        if model is not None:
+            return model, True
+
+        def build() -> TaskSpecificModel:
+            with self.metrics.stage("consolidate"):
+                network, composite = self.pool.consolidate(list(names))
+                built = TaskSpecificModel(network, composite)
+            self.model_cache.put(names, built, built.num_params() * BYTES_PER_PARAM)
+            return built
+
+        built, _ = self._single_flight(("model", names), build)
+        return built, False
+
+    # ------------------------------------------------------------------
+    # Single flight
+    # ------------------------------------------------------------------
+    def _single_flight(self, key: Hashable, build: Callable[[], T]) -> Tuple[T, bool]:
+        """Run ``build`` once per key across concurrent callers.
+
+        Returns ``(value, coalesced)`` — ``coalesced`` is True for callers
+        that waited on another thread's in-flight build.  Errors propagate
+        to the leader *and* every follower of that flight.
+        """
+        with self._gate:
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._inflight[key] = _Inflight()
+        if not leader:
+            return flight.wait(), True  # type: ignore[return-value]
+        try:
+            value = build()
+        except BaseException as error:
+            flight.set_exception(error)
+            raise
+        else:
+            flight.set_result(value)
+            return value, False
+        finally:
+            with self._gate:
+                self._inflight.pop(key, None)
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        # _closed is checked under the same lock that creates the executor so
+        # a submit racing with close() cannot spawn an orphaned pool.
+        with self._executor_lock:
+            if self._closed:
+                raise RuntimeError("gateway is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.config.max_workers,
+                    thread_name_prefix="poe-serve",
+                )
+            return self._executor
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ServingGateway(tasks={len(self.available_tasks())}, "
+            f"workers={self.config.max_workers})"
+        )

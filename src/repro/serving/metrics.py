@@ -1,0 +1,208 @@
+"""Serving metrics: per-stage latency histograms and percentile summaries.
+
+Each pipeline stage (queue wait, consolidate, serialize, total) records into
+a :class:`LatencyHistogram` — log-spaced buckets for shape, plus a bounded
+reservoir of raw samples for exact p50/p95/p99 up to the reservoir size.
+:class:`ServingMetrics` aggregates the stage histograms with event counters
+(requests, coalesced builds, errors) behind one lock-protected facade that
+the gateway, the load drivers, and the CLI all share.
+
+Everything here is deterministic given the recorded values: the reservoir
+uses algorithm R with a seeded PRNG so benchmark output is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["percentile", "LatencyHistogram", "ServingMetrics"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of ``samples``."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+class LatencyHistogram:
+    """Latency distribution: log2 buckets + a reservoir for exact quantiles.
+
+    Buckets span 1 µs to ~67 s (powers of two); values outside fall into the
+    first/last bucket.  The reservoir keeps at most ``max_samples`` raw
+    values (algorithm R), so percentiles are exact until that many records
+    and statistically representative afterwards.
+    """
+
+    _MIN_BUCKET = 1e-6  # 1 µs
+    _NUM_BUCKETS = 27  # 2**26 µs ≈ 67 s
+
+    def __init__(self, max_samples: int = 65536, seed: int = 0) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self.max_samples = max_samples
+        self._rng = random.Random(seed)
+        self._samples: List[float] = []
+        self._buckets = [0] * self._NUM_BUCKETS
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    # ------------------------------------------------------------------
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("latency cannot be negative")
+        self._count += 1
+        self._total += seconds
+        self._min = min(self._min, seconds)
+        self._max = max(self._max, seconds)
+        self._buckets[self._bucket_index(seconds)] += 1
+        if len(self._samples) < self.max_samples:
+            self._samples.append(seconds)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.max_samples:
+                self._samples[slot] = seconds
+
+    def _bucket_index(self, seconds: float) -> int:
+        if seconds < self._MIN_BUCKET:
+            return 0
+        index = int(math.log2(seconds / self._MIN_BUCKET)) + 1
+        return min(index, self._NUM_BUCKETS - 1)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Percentile over the reservoir (``q`` in [0, 100])."""
+        if not self._samples:
+            return 0.0
+        return percentile(self._samples, q)
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound_seconds, count)`` pairs for non-empty buckets."""
+        out = []
+        for i, n in enumerate(self._buckets):
+            if n:
+                out.append((self._MIN_BUCKET * (2 ** i), n))
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        if not self._count:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "count": self._count,
+            "mean": self.mean,
+            "p50": self.quantile(50),
+            "p95": self.quantile(95),
+            "p99": self.quantile(99),
+            "max": self._max,
+        }
+
+
+class ServingMetrics:
+    """Thread-safe aggregate of stage histograms and event counters."""
+
+    def __init__(self, max_samples_per_stage: int = 65536) -> None:
+        self._lock = threading.Lock()
+        self._max_samples = max_samples_per_stage
+        self._stages: Dict[str, LatencyHistogram] = {}
+        self._counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one latency sample for ``stage``."""
+        with self._lock:
+            hist = self._stages.get(stage)
+            if hist is None:
+                hist = self._stages[stage] = LatencyHistogram(self._max_samples)
+            hist.record(seconds)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager timing one stage of the pipeline."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, perf_counter() - start)
+
+    def increment(self, counter: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + by
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def stage_summary(self, name: str) -> Optional[Dict[str, float]]:
+        with self._lock:
+            hist = self._stages.get(name)
+            return hist.summary() if hist is not None else None
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view of every stage summary and counter."""
+        with self._lock:
+            return {
+                "stages": {name: h.summary() for name, h in self._stages.items()},
+                "counters": dict(self._counters),
+            }
+
+    def render(self, cache_stats: Optional[Dict[str, object]] = None) -> str:
+        """Human-readable metrics table (stages, counters, cache tiers)."""
+        snap = self.snapshot()
+        lines = ["serving metrics"]
+        stages = snap["stages"]
+        if stages:
+            lines.append(
+                f"  {'stage':<12} {'count':>7} {'mean':>10} {'p50':>10} "
+                f"{'p95':>10} {'p99':>10} {'max':>10}"
+            )
+            for name in sorted(stages):
+                s = stages[name]
+                lines.append(
+                    f"  {name:<12} {int(s['count']):>7} "
+                    + " ".join(_fmt_latency(s[k]) for k in ("mean", "p50", "p95", "p99", "max"))
+                )
+        counters = snap["counters"]
+        if counters:
+            lines.append("  counters: " + ", ".join(f"{k}={v}" for k, v in sorted(counters.items())))
+        for tier, stats in (cache_stats or {}).items():
+            lines.append(
+                f"  cache[{tier}]: hit_rate={stats.hit_rate:.1%} "
+                f"hits={stats.hits} misses={stats.misses} "
+                f"evictions={stats.evictions} bytes={stats.current_bytes}/{stats.budget_bytes}"
+            )
+        return "\n".join(lines)
+
+
+def _fmt_latency(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:>9.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:>8.2f}ms"
+    return f"{seconds * 1e6:>8.1f}µs"

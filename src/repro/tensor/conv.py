@@ -14,7 +14,7 @@ from typing import Tuple
 
 import numpy as np
 
-from .tensor import Tensor, _unbroadcast
+from .tensor import Tensor
 
 __all__ = [
     "conv2d",

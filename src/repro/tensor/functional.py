@@ -10,7 +10,7 @@ Everything the distillation framework needs lives here:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -45,3 +45,43 @@ def tiny_dataset(tiny_hierarchy):
     return HierarchicalImageDataset(
         tiny_hierarchy, generator, train_per_class=20, test_per_class=10, seed=4
     )
+
+
+def build_micro_pool(hierarchy, seed=3, train_per_class=40, test_per_class=15):
+    """Train a micro oracle and preprocess a full pool over ``hierarchy``.
+
+    Delegates to the one micro-pool recipe, :func:`repro.serving.demo
+    .build_demo_pool`, with the training budgets the test suite has always
+    used (oracle 10 epochs, library/experts 8, train seed 0).
+    """
+    from repro.serving.demo import build_demo_pool
+
+    pool, data = build_demo_pool(
+        hierarchy=hierarchy,
+        seed=seed,
+        train_per_class=train_per_class,
+        test_per_class=test_per_class,
+        epochs=8,
+        oracle_epochs=10,
+        train_seed=0,
+    )
+    return pool, data, pool.oracle
+
+
+@pytest.fixture(scope="session")
+def micro_pool():
+    """(pool, data, oracle) over a 4x2 anonymous hierarchy."""
+    from repro.data import ClassHierarchy
+
+    return build_micro_pool(ClassHierarchy.uniform(4, 2, prefix="c"))
+
+
+@pytest.fixture(scope="session")
+def named_pool():
+    """(pool, data, oracle) over a small named hierarchy (service tests)."""
+    from repro.data import ClassHierarchy
+
+    hierarchy = ClassHierarchy(
+        {"pets": ["cat", "dog"], "birds": ["owl", "crow"], "fish": ["eel", "cod"]}
+    )
+    return build_micro_pool(hierarchy, seed=21)

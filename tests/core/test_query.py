@@ -52,6 +52,31 @@ class TestEngine:
         pool, _, _ = named_pool
         assert ModelQueryEngine(pool).mean_latency() is None
 
+    def test_permutations_share_cache_entry(self, micro_pool):
+        pool, _, _ = micro_pool
+        engine = ModelQueryEngine(pool)
+        a = engine.query(["c0", "c1"])
+        b = engine.query(["c1", "c0"])
+        assert [r.cached for r in engine.records] == [False, True]
+        # each order keeps its requested logit layout, weights shared
+        assert a.task.names == ("c0", "c1")
+        assert b.task.names == ("c1", "c0")
+        assert a.network.trunk is b.network.trunk
+
+    def test_order_variants_bounded_per_entry(self, micro_pool):
+        import itertools
+
+        from repro.core.query import _MAX_ORDER_VARIANTS
+        from repro.serving import canonical_tasks
+
+        pool, _, _ = micro_pool
+        engine = ModelQueryEngine(pool)
+        perms = list(itertools.permutations(["c0", "c1", "c2", "c3"]))
+        for perm in perms[: _MAX_ORDER_VARIANTS + 5]:
+            engine.query(list(perm))
+        entry = engine._cache.get(canonical_tasks(["c0", "c1", "c2", "c3"]))
+        assert len(entry) <= _MAX_ORDER_VARIANTS
+
 
 class TestTaskSpecificModel:
     def test_predict_returns_global_ids(self, named_pool):

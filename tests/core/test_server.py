@@ -46,16 +46,27 @@ class TestServer:
 
 class TestRoundtrip:
     def test_client_model_matches_server_model(self, named_pool):
-        """The shipped model must compute exactly the server-side logits."""
+        """The shipped model must compute exactly the server-side logits.
+
+        Payloads are laid out in canonical (sorted) task order, so the
+        reference consolidation uses the canonical order too; predictions
+        are global class ids and therefore identical for any request order.
+        """
+        from repro.serving import canonical_tasks
+
         pool, data, _ = named_pool
         server = PoEServer(pool)
         client = PoEClient(server)
         model = client.request_model(["pets", "birds"])
-        server_net, _ = pool.consolidate(["pets", "birds"])
+        canonical_net, _ = pool.consolidate(list(canonical_tasks(["pets", "birds"])))
+        request_net, request_comp = pool.consolidate(["pets", "birds"])
         x = data.test.images[:10]
         assert np.allclose(
-            model.logits(x), batched_forward(server_net, x), atol=1e-5
+            model.logits(x), batched_forward(canonical_net, x), atol=1e-5
         )
+        request_classes = np.asarray(request_comp.classes)
+        request_preds = request_classes[batched_forward(request_net, x).argmax(axis=1)]
+        assert np.array_equal(model.predict(x), request_preds)
 
     def test_class_names_travel(self, named_pool):
         pool, _, _ = named_pool

@@ -19,6 +19,12 @@ class TestParsing:
             main(["query"])
 
 
+class TestServeBench:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--mode", "sideways"])
+
+
 class TestInfo:
     def test_info_lists_registries(self, capsys):
         assert main(["info"]) == 0

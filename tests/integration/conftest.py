@@ -1,0 +1,39 @@
+"""Shared session fixtures for the integration suite.
+
+These used to live in ``test_end_to_end.py`` and be pulled into sibling
+modules with a relative import, which only works when the test directory
+is a package — a conftest is the supported way to share fixtures.
+"""
+
+import pytest
+
+from repro.eval import ArtifactStore, TrackConfig
+
+
+@pytest.fixture(scope="session")
+def micro_track():
+    return TrackConfig(
+        name="micro",
+        kind="cifar",
+        num_superclasses=4,
+        classes_per_super=2,
+        train_per_class=40,
+        test_per_class=15,
+        image_size=6,
+        noise_std=0.5,
+        oracle_k=2.0,
+        library_k=1.0,
+        batch_size=32,
+        oracle_epochs=8,
+        library_epochs=6,
+        expert_epochs=6,
+        service_epochs=5,
+        num_selected_tasks=4,
+        combos_per_nq=1,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def store(tmp_path_factory):
+    return ArtifactStore(str(tmp_path_factory.mktemp("artifacts")))

@@ -9,8 +9,6 @@ from repro.distill import batched_forward
 from repro.eval import select_combos
 from repro.eval.metrics import specialized_accuracy
 
-from .test_end_to_end import micro_track, store  # shared session fixtures
-
 
 class TestPoolVariants:
     def test_variants_share_library(self, micro_track, store):

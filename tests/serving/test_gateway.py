@@ -1,0 +1,216 @@
+"""ServingGateway: canonicalization, cache tiers, single-flight coalescing."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import GatewayConfig, ServingGateway, canonical_tasks
+
+
+@pytest.fixture()
+def gateway(named_pool):
+    pool, _, _ = named_pool
+    gw = ServingGateway(pool)
+    yield gw
+    gw.close()
+
+
+class CountingPool:
+    """Wraps a trained pool, counting (and optionally slowing) consolidations."""
+
+    def __init__(self, pool, delay=0.0):
+        self._pool = pool
+        self.delay = delay
+        self.consolidations = 0
+        self._lock = threading.Lock()
+        self.config = pool.config
+        self.hierarchy = pool.hierarchy
+
+    def consolidate(self, query):
+        with self._lock:
+            self.consolidations += 1
+        if self.delay:
+            time.sleep(self.delay)
+        return self._pool.consolidate(query)
+
+    def expert_names(self):
+        return self._pool.expert_names()
+
+
+class TestServe:
+    def test_serves_payload_with_canonical_tasks(self, gateway, named_pool):
+        response = gateway.serve(["pets", "birds"])
+        assert response.tasks == ("birds", "pets")
+        assert response.payload_bytes == len(response.payload) > 0
+        assert not response.payload_cache_hit and not response.coalesced
+
+    def test_permuted_requests_share_payload(self, gateway):
+        first = gateway.serve(["pets", "fish"])
+        second = gateway.serve(["fish", "pets"])
+        assert second.payload_cache_hit
+        assert second.payload is first.payload  # same cached object, no re-serialize
+        assert first.tasks == second.tasks
+
+    def test_transport_isolates_cache_entries(self, gateway):
+        full = gateway.serve(["pets"], transport="float32")
+        packed = gateway.serve(["pets"], transport="uint8")
+        assert not packed.payload_cache_hit
+        assert packed.payload_bytes < full.payload_bytes
+
+    def test_model_tier_shared_across_transports(self, gateway):
+        gateway.serve(["pets", "birds"], transport="float32")
+        response = gateway.serve(["pets", "birds"], transport="uint8")
+        assert response.model_cache_hit  # consolidation reused, only serialize redone
+
+    def test_unknown_task_raises_keyerror(self, gateway):
+        with pytest.raises(KeyError):
+            gateway.serve(["dragons"])
+
+    def test_unknown_transport_rejected(self, gateway):
+        with pytest.raises(ValueError, match="transport"):
+            gateway.serve(["pets"], transport="float16")
+
+    def test_failed_requests_counted(self, gateway):
+        with pytest.raises(KeyError):
+            gateway.serve(["dragons"])
+        assert gateway.metrics.counter("errors") == 1
+        assert gateway.metrics.counter("requests") == 1
+
+    def test_payload_deserializes_to_working_model(self, gateway, named_pool):
+        from repro.core import deserialize_task_model
+
+        _, data, _ = named_pool
+        response = gateway.serve(["fish", "pets"])
+        model = deserialize_task_model(response.payload)
+        preds = model.predict(data.test.images[:10])
+        assert set(np.unique(preds)).issubset({0, 1, 4, 5})
+
+    def test_metrics_recorded(self, gateway):
+        gateway.serve(["pets"])
+        gateway.serve(["pets"])
+        snap = gateway.metrics.snapshot()
+        assert snap["counters"]["requests"] == 2
+        assert snap["stages"]["total"]["count"] == 2
+        assert snap["stages"]["consolidate"]["count"] == 1
+        assert snap["stages"]["serialize"]["count"] == 1
+        stats = gateway.cache_stats()
+        assert stats["payload"].hits == 1
+
+    def test_render_stats_mentions_tiers(self, gateway):
+        gateway.serve(["pets"])
+        text = gateway.render_stats()
+        assert "cache[payload]" in text and "cache[model]" in text
+        assert "p99" in text
+
+
+class TestCacheControl:
+    def test_disabled_caches_still_serve(self, named_pool):
+        pool, _, _ = named_pool
+        config = GatewayConfig(model_cache_bytes=0, payload_cache_bytes=0)
+        with ServingGateway(pool, config) as gateway:
+            first = gateway.serve(["pets"])
+            second = gateway.serve(["pets"])
+            assert not second.payload_cache_hit and not second.model_cache_hit
+            assert first.payload_bytes == second.payload_bytes
+
+    def test_ttl_expires_payloads(self, named_pool):
+        pool, _, _ = named_pool
+        config = GatewayConfig(ttl_seconds=0.05)
+        with ServingGateway(pool, config) as gateway:
+            gateway.serve(["pets"])
+            time.sleep(0.1)
+            response = gateway.serve(["pets"])
+            assert not response.payload_cache_hit
+            assert gateway.payload_cache.stats().expirations >= 1
+
+
+class TestCoalescing:
+    def test_concurrent_duplicates_consolidate_exactly_once(self, named_pool):
+        """The satellite guarantee: N concurrent identical queries, 1 build."""
+        pool, _, _ = named_pool
+        counting = CountingPool(pool, delay=0.15)
+        clients = 6
+        with ServingGateway(counting) as gateway:
+            responses = [None] * clients
+            barrier = threading.Barrier(clients)
+
+            def client(i):
+                barrier.wait()
+                responses[i] = gateway.serve(["pets", "birds"])
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert counting.consolidations == 1
+        payloads = {id(r.payload) for r in responses}
+        assert len(payloads) == 1  # everyone got the leader's bytes
+        coalesced = [r for r in responses if r.coalesced]
+        leaders = [r for r in responses if not r.coalesced and not r.payload_cache_hit]
+        assert len(leaders) == 1
+        assert len(coalesced) == clients - 1
+        assert gateway.metrics.counter("coalesced") == clients - 1
+
+    def test_coalesced_error_propagates_to_all_waiters(self, named_pool):
+        pool, _, _ = named_pool
+
+        class FailingPool(CountingPool):
+            def consolidate(self, query):
+                super().consolidate(query)
+                raise KeyError("boom")
+
+        failing = FailingPool(pool, delay=0.1)
+        clients = 4
+        errors = []
+        with ServingGateway(failing) as gateway:
+            barrier = threading.Barrier(clients)
+
+            def client(i):
+                barrier.wait()
+                try:
+                    gateway.serve(["pets"])
+                except KeyError as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(errors) == clients
+        assert failing.consolidations == 1  # single flight even on failure
+
+    def test_failed_flight_not_poisoned(self, named_pool):
+        """After an error the key is released; the next request retries."""
+        pool, _, _ = named_pool
+        with ServingGateway(pool) as gateway:
+            with pytest.raises(KeyError):
+                gateway.serve(["dragons"])
+            with pytest.raises(KeyError):
+                gateway.serve(["dragons"])  # not a hung flight, a fresh error
+
+
+class TestSubmit:
+    def test_submit_returns_future_with_queue_wait(self, gateway):
+        future = gateway.submit(["pets", "fish"])
+        response = future.result(timeout=30)
+        assert response.tasks == ("fish", "pets")
+        assert response.queue_seconds >= 0.0
+        assert gateway.metrics.stage_summary("queue")["count"] == 1
+
+    def test_submit_after_close_rejected(self, named_pool):
+        pool, _, _ = named_pool
+        gateway = ServingGateway(pool)
+        gateway.close()
+        with pytest.raises(RuntimeError):
+            gateway.submit(["pets"])
+
+    def test_get_model_returns_canonical_model(self, gateway):
+        model = gateway.get_model(["pets", "birds"])
+        assert model.task.names == canonical_tasks(["pets", "birds"])
+        again = gateway.get_model(["birds", "pets"])
+        assert again is model  # model tier hit across permutations

@@ -1,0 +1,144 @@
+"""Zipfian workload generation and the closed/open-loop load drivers."""
+
+import collections
+
+import pytest
+
+from repro.serving import (
+    GatewayConfig,
+    ServingGateway,
+    ZipfianWorkload,
+    run_closed_loop,
+    run_open_loop,
+)
+
+TASKS = ("alpha", "beta", "gamma", "delta", "epsilon")
+
+
+class TestZipfianWorkload:
+    def test_universe_respects_cap_and_sizes(self):
+        workload = ZipfianWorkload(TASKS, max_query_size=2, universe_size=8)
+        assert len(workload.queries) == 8
+        assert all(1 <= len(q) <= 2 for q in workload.queries)
+        assert all(q == tuple(sorted(q)) for q in workload.queries)
+
+    def test_sampling_is_deterministic(self):
+        workload = ZipfianWorkload(TASKS, seed=5)
+        assert workload.sample(20, seed=1) == workload.sample(20, seed=1)
+        assert workload.sample(20, seed=1) != workload.sample(20, seed=2)
+
+    def test_skew_concentrates_on_head(self):
+        workload = ZipfianWorkload(TASKS, skew=2.0, universe_size=16, seed=0)
+        counts = collections.Counter(
+            tasks for tasks, _ in workload.sample(3000, seed=3)
+        )
+        head = workload.queries[0]
+        tail = workload.queries[-1]
+        assert counts[head] > counts.get(tail, 0) * 3
+
+    def test_zero_skew_is_uniformish(self):
+        workload = ZipfianWorkload(TASKS, skew=0.0, universe_size=4, seed=0)
+        counts = collections.Counter(tasks for tasks, _ in workload.sample(4000, seed=3))
+        assert min(counts.values()) > 700  # ~1000 each
+
+    def test_transports_drawn_from_given_set(self):
+        workload = ZipfianWorkload(TASKS, transports=("float32", "uint8"), seed=0)
+        seen = {transport for _, transport in workload.sample(200, seed=4)}
+        assert seen == {"float32", "uint8"}
+
+    def test_popularity_sums_to_one(self):
+        workload = ZipfianWorkload(TASKS)
+        total = sum(p for _, p in workload.popularity())
+        assert total == pytest.approx(1.0)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfianWorkload(())
+        with pytest.raises(ValueError):
+            ZipfianWorkload(TASKS, max_query_size=0)
+        with pytest.raises(ValueError):
+            ZipfianWorkload(TASKS, transports=())
+        with pytest.raises(ValueError):
+            ZipfianWorkload(TASKS, universe_size=0)
+
+    def test_every_size_represented_in_small_universe(self):
+        # 5 size-1 combos drown in 10+10 larger ones; stratification must
+        # still surface each size within a tiny universe.
+        workload = ZipfianWorkload(TASKS, max_query_size=3, universe_size=6)
+        sizes = {len(q) for q in workload.queries}
+        assert sizes == {1, 2, 3}
+
+
+@pytest.fixture()
+def pool_workload(named_pool):
+    pool, _, _ = named_pool
+    workload = ZipfianWorkload(
+        pool.expert_names(), max_query_size=2, skew=1.1, universe_size=6, seed=9
+    )
+    return pool, workload
+
+
+class TestClosedLoop:
+    def test_report_shape_and_counts(self, pool_workload):
+        pool, workload = pool_workload
+        with ServingGateway(pool) as gateway:
+            report = run_closed_loop(
+                gateway, workload, clients=3, requests_per_client=8, seed=1
+            )
+        assert report.mode == "closed-loop"
+        assert report.requests == 24
+        assert report.errors == 0
+        assert report.throughput_qps > 0
+        for field in ("mean", "p50", "p95", "p99", "max"):
+            assert report.latency[field] >= 0.0
+        assert report.latency["p50"] <= report.latency["p99"]
+        assert 0.0 <= report.payload_hit_rate <= 1.0
+
+    def test_caching_shows_up_in_hit_rate(self, pool_workload):
+        pool, workload = pool_workload
+        with ServingGateway(pool) as gateway:
+            run_closed_loop(gateway, workload, clients=2, requests_per_client=20, seed=2)
+            assert gateway.payload_cache.stats().hit_rate > 0.3
+
+    def test_hit_rates_are_per_run_not_lifetime(self, pool_workload):
+        """A warm gateway must report the run's own hit rate, not history."""
+        pool, workload = pool_workload
+        with ServingGateway(pool) as gateway:
+            for tasks, transport in workload.sample(30, seed=11):
+                gateway.serve(tasks, transport)  # prime every hot query
+            report = run_closed_loop(
+                gateway, workload, clients=2, requests_per_client=15, seed=12
+            )
+        lifetime = gateway.payload_cache.stats().hit_rate
+        # the measured run is ~all hits; lifetime includes the cold priming
+        assert report.payload_hit_rate > lifetime
+        assert report.payload_hit_rate > 0.9
+
+    def test_render_contains_headlines(self, pool_workload):
+        pool, workload = pool_workload
+        with ServingGateway(pool) as gateway:
+            report = run_closed_loop(
+                gateway, workload, clients=2, requests_per_client=4, seed=3
+            )
+        text = report.render()
+        assert "qps" in text and "p95" in text and "hit_rate" in text
+
+
+class TestOpenLoop:
+    def test_open_loop_reports_offered_rate(self, pool_workload):
+        pool, workload = pool_workload
+        with ServingGateway(pool, GatewayConfig(max_workers=4)) as gateway:
+            report = run_open_loop(
+                gateway, workload, rate_qps=50, duration_seconds=0.4, seed=5
+            )
+        assert report.mode == "open-loop"
+        assert report.offered_qps == 50
+        assert report.requests + report.errors == 20
+        assert report.errors == 0
+        assert report.latency["p50"] >= 0.0
+
+    def test_invalid_rate_rejected(self, pool_workload):
+        pool, workload = pool_workload
+        with ServingGateway(pool) as gateway:
+            with pytest.raises(ValueError):
+                run_open_loop(gateway, workload, rate_qps=0)

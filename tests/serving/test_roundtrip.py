@@ -1,0 +1,93 @@
+"""Serialization round-trips: payload bytes must reconstruct the exact model.
+
+float32 transport must be bit-exact; uint8 transport must equal the
+quantize→dequantize of the original weights (the only loss allowed is the
+affine quantization itself).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compress import dequantize_tensor, quantize_tensor
+from repro.core import deserialize_task_model, serialize_task_model
+
+
+def _flat_states(network):
+    """(prefix, state_dict) pairs in the same layout the payload uses."""
+    yield "library", network.trunk.state_dict()
+    for name, head in zip(network.head_names, network.heads):
+        yield f"expert:{name}", head.state_dict()
+
+
+class TestFloat32Roundtrip:
+    def test_states_bit_exact(self, named_pool):
+        pool, _, _ = named_pool
+        network, composite = pool.consolidate(["pets", "birds"])
+        payload = serialize_task_model(network, composite, pool.config, "float32")
+        rebuilt = deserialize_task_model(payload)
+        for (_, original), (_, restored) in zip(
+            _flat_states(network), _flat_states(rebuilt.network)
+        ):
+            assert set(original) == set(restored)
+            for key in original:
+                assert np.array_equal(
+                    np.asarray(original[key]), np.asarray(restored[key])
+                ), key
+
+    def test_logits_bit_exact(self, named_pool):
+        pool, data, _ = named_pool
+        network, composite = pool.consolidate(["fish"])
+        payload = serialize_task_model(network, composite, pool.config, "float32")
+        rebuilt = deserialize_task_model(payload)
+        x = data.test.images[:12]
+        from repro.distill import batched_forward
+
+        assert np.allclose(rebuilt.logits(x), batched_forward(network, x), atol=1e-6)
+
+    def test_composite_metadata_travels(self, named_pool):
+        pool, _, _ = named_pool
+        network, composite = pool.consolidate(["birds", "pets"])
+        rebuilt = deserialize_task_model(
+            serialize_task_model(network, composite, pool.config, "float32")
+        )
+        assert rebuilt.task.names == composite.names
+        assert rebuilt.task.classes == composite.classes
+        assert rebuilt.class_names == tuple(
+            n for t in composite.tasks for n in t.class_names
+        )
+
+
+class TestUint8Roundtrip:
+    def test_states_equal_quant_dequant(self, named_pool):
+        """uint8 transport loses exactly the quantization error, nothing more."""
+        pool, _, _ = named_pool
+        network, composite = pool.consolidate(["pets", "fish"])
+        payload = serialize_task_model(network, composite, pool.config, "uint8")
+        rebuilt = deserialize_task_model(payload)
+        for (_, original), (_, restored) in zip(
+            _flat_states(network), _flat_states(rebuilt.network)
+        ):
+            for key in original:
+                reference = dequantize_tensor(quantize_tensor(np.asarray(original[key])))
+                assert np.allclose(
+                    np.asarray(restored[key]), reference, atol=1e-7
+                ), key
+
+    def test_second_roundtrip_is_stable(self, named_pool):
+        """Quantization error must not compound: ship(ship(M)) == ship(M)."""
+        pool, data, _ = named_pool
+        network, composite = pool.consolidate(["birds"])
+        once = deserialize_task_model(
+            serialize_task_model(network, composite, pool.config, "uint8")
+        )
+        twice = deserialize_task_model(
+            serialize_task_model(once.network, once.task, pool.config, "uint8")
+        )
+        x = data.test.images[:10]
+        assert np.allclose(once.logits(x), twice.logits(x), atol=1e-4)
+
+    def test_unknown_transport_rejected_by_gateway(self, named_pool):
+        from repro.core import ModelQueryRequest
+
+        with pytest.raises(ValueError):
+            ModelQueryRequest(tasks=("pets",), transport="float16")

@@ -1,0 +1,107 @@
+"""Latency histograms, percentile math, and the metrics facade."""
+
+import pytest
+
+from repro.serving import LatencyHistogram, ServingMetrics, percentile
+
+
+class TestPercentile:
+    def test_median_of_odd_set(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolates(self):
+        assert percentile([0.0, 1.0], 50) == pytest.approx(0.5)
+
+    def test_extremes(self):
+        xs = [5.0, 1.0, 9.0]
+        assert percentile(xs, 0) == 1.0
+        assert percentile(xs, 100) == 9.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencyHistogram:
+    def test_summary_fields(self):
+        hist = LatencyHistogram()
+        for ms in (1, 2, 3, 4, 5):
+            hist.record(ms / 1e3)
+        summary = hist.summary()
+        assert summary["count"] == 5
+        assert summary["mean"] == pytest.approx(3e-3)
+        assert summary["p50"] == pytest.approx(3e-3)
+        assert summary["max"] == pytest.approx(5e-3)
+
+    def test_empty_summary_is_zeroed(self):
+        assert LatencyHistogram().summary() == {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+        }
+
+    def test_buckets_are_log_spaced(self):
+        hist = LatencyHistogram()
+        hist.record(1.5e-6)
+        hist.record(3e-3)
+        hist.record(3e-3)
+        buckets = dict(hist.buckets())
+        assert sum(buckets.values()) == 3
+        assert all(upper > 0 for upper in buckets)
+
+    def test_reservoir_bounded(self):
+        hist = LatencyHistogram(max_samples=100)
+        for i in range(1000):
+            hist.record(i / 1e6)
+        assert hist.count == 1000
+        assert len(hist._samples) == 100
+        # quantiles stay in the observed range
+        assert 0.0 <= hist.quantile(50) <= 1e-3
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1.0)
+
+
+class TestServingMetrics:
+    def test_observe_and_summary(self):
+        metrics = ServingMetrics()
+        metrics.observe("serialize", 0.010)
+        metrics.observe("serialize", 0.020)
+        summary = metrics.stage_summary("serialize")
+        assert summary["count"] == 2
+        assert summary["p50"] == pytest.approx(0.015)
+        assert metrics.stage_summary("unknown") is None
+
+    def test_stage_context_manager_times(self):
+        metrics = ServingMetrics()
+        with metrics.stage("consolidate"):
+            pass
+        summary = metrics.stage_summary("consolidate")
+        assert summary["count"] == 1
+        assert summary["max"] < 1.0
+
+    def test_counters(self):
+        metrics = ServingMetrics()
+        metrics.increment("requests")
+        metrics.increment("requests", by=4)
+        assert metrics.counter("requests") == 5
+        assert metrics.counter("absent") == 0
+
+    def test_snapshot_shape(self):
+        metrics = ServingMetrics()
+        metrics.observe("total", 0.001)
+        metrics.increment("requests")
+        snap = metrics.snapshot()
+        assert set(snap) == {"stages", "counters"}
+        assert "total" in snap["stages"]
+        assert snap["counters"]["requests"] == 1
+
+    def test_render_mentions_percentiles(self):
+        metrics = ServingMetrics()
+        metrics.observe("total", 0.002)
+        text = metrics.render()
+        for token in ("p50", "p95", "p99", "total"):
+            assert token in text
