@@ -6,6 +6,7 @@ Subcommands::
     python -m repro.cli tables  [--tracks ...]            # print all tables
     python -m repro.cli query   --track T --tasks a,b     # serve one query
     python -m repro.cli serve-bench [--mode closed|open]  # gateway load test
+    python -m repro.cli cluster-bench --shards 4          # sharded-pool load test
     python -m repro.cli report  [--out EXPERIMENTS.md]    # paper-vs-measured
     python -m repro.cli info                              # registry overview
 
@@ -159,6 +160,88 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         print(report.render())
         print()
         print(gateway.render_stats())
+        print()
+        print(_codec_comparison(gateway, workload))
+    return 0
+
+
+def _codec_comparison(gateway, workload) -> str:
+    """Bytes + serialize latency of every payload codec, one hot query.
+
+    Measures :func:`repro.core.serialize_task_model` directly (no caches)
+    so the npz container vs. the flat ``raw+zlib`` codec compare cleanly.
+    """
+    from .core.server import TRANSPORTS, serialize_task_model
+
+    tasks, _ = workload.sample(1, seed=5)[0]
+    model = gateway.get_model(tasks)
+    rows = []
+    for transport in TRANSPORTS:
+        start = time.perf_counter()
+        payload = serialize_task_model(
+            model.network, model.task, gateway.pool.config, transport=transport
+        )
+        elapsed = time.perf_counter() - start
+        rows.append([transport, f"{len(payload):,}", f"{1e3 * elapsed:.2f}"])
+    return render_table(
+        ["Transport", "Bytes", "Serialize ms"],
+        rows,
+        title=f"Payload codecs for query {'+'.join(tasks)}",
+    )
+
+
+def cmd_cluster_bench(args: argparse.Namespace) -> int:
+    """Load-test a sharded cluster and print per-shard/fan-out statistics."""
+    from .cluster import ClusterConfig, ClusterGateway
+    from .core.server import TRANSPORTS
+    from .serving import ZipfianWorkload, build_demo_pool, run_closed_loop, run_open_loop
+
+    transports = tuple(args.transports.split(","))
+    unknown = [t for t in transports if t not in TRANSPORTS]
+    if unknown:
+        print(f"error: unknown transport(s) {unknown}; choose from {', '.join(TRANSPORTS)}")
+        return 2
+
+    print("building self-contained micro pool (seconds)...")
+    pool, _ = build_demo_pool(num_tasks=args.micro_tasks, seed=args.seed)
+    config = ClusterConfig(
+        num_shards=args.shards,
+        replication=args.replication,
+        workers_per_shard=args.workers_per_shard,
+        shard_model_cache_bytes=0 if args.no_cache else args.model_cache_mb << 20,
+        shard_payload_cache_bytes=0 if args.no_cache else args.payload_cache_mb << 20,
+        composite_model_cache_bytes=0 if args.no_cache else args.model_cache_mb << 20,
+        composite_payload_cache_bytes=0 if args.no_cache else args.payload_cache_mb << 20,
+    )
+    workload = ZipfianWorkload(
+        pool.expert_names(),
+        max_query_size=min(args.max_tasks, len(pool.expert_names())),
+        skew=args.skew,
+        universe_size=args.universe,
+        transports=transports,
+        seed=args.seed,
+    )
+    with ClusterGateway(pool, config) as cluster:
+        if args.mode == "closed":
+            report = run_closed_loop(
+                cluster,
+                workload,
+                clients=args.clients,
+                requests_per_client=args.requests,
+                seed=args.seed,
+            )
+        else:
+            report = run_open_loop(
+                cluster,
+                workload,
+                rate_qps=args.rate,
+                duration_seconds=args.duration,
+                seed=args.seed,
+            )
+        print()
+        print(report.render())
+        print()
+        print(cluster.render_stats())
     return 0
 
 
@@ -227,6 +310,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench.add_argument("--micro-tasks", type=int, default=5, help="tasks in the micro pool")
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.set_defaults(fn=cmd_serve_bench)
+
+    p_cluster = sub.add_parser(
+        "cluster-bench", help="load-test a sharded pool cluster (Zipfian workload)"
+    )
+    p_cluster.add_argument("--shards", type=int, default=4, help="number of pool shards")
+    p_cluster.add_argument("--replication", type=int, default=1, help="copies per expert")
+    p_cluster.add_argument("--workers-per-shard", type=int, default=2)
+    p_cluster.add_argument("--mode", choices=("closed", "open"), default="closed")
+    p_cluster.add_argument("--clients", type=int, default=8, help="closed-loop client threads")
+    p_cluster.add_argument("--requests", type=int, default=100, help="requests per client")
+    p_cluster.add_argument("--rate", type=float, default=200.0, help="open-loop offered qps")
+    p_cluster.add_argument("--duration", type=float, default=2.0, help="open-loop seconds")
+    p_cluster.add_argument("--skew", type=float, default=1.1, help="Zipf skew exponent")
+    p_cluster.add_argument("--max-tasks", type=int, default=3, help="max primitives per query")
+    p_cluster.add_argument("--universe", type=int, default=32, help="distinct queries in workload")
+    p_cluster.add_argument("--transports", default="float32", help="comma-separated transports")
+    p_cluster.add_argument("--model-cache-mb", type=int, default=64)
+    p_cluster.add_argument("--payload-cache-mb", type=int, default=64)
+    p_cluster.add_argument("--no-cache", action="store_true", help="disable every cache tier")
+    p_cluster.add_argument("--micro-tasks", type=int, default=8, help="tasks in the micro pool")
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.set_defaults(fn=cmd_cluster_bench)
 
     p_report = sub.add_parser("report", help="write EXPERIMENTS.md")
     p_report.add_argument("--root", default=None)

@@ -1,0 +1,507 @@
+"""The cluster front end: route → (fetch + consolidate across shards) → serve.
+
+:class:`ClusterGateway` scales the serving tier horizontally.  Experts are
+partitioned across N :class:`~repro.cluster.shard.PoolShard`\\ s by a
+:class:`~repro.cluster.router.ShardRouter`; a query travels one of two
+paths:
+
+* **single-shard fast path** — the router's plan touches one shard, which
+  serves the query entirely through its own gateway (caches, coalescing,
+  metrics) exactly as a standalone deployment would.
+* **cross-shard consolidation** — the plan spans shards.  The gateway
+  picks the *home* shard (largest task group), fetches the other shards'
+  expert heads as serialized payloads (the UniPool view: any expert is
+  queryable regardless of placement), rebuilds them, assembles one
+  :class:`~repro.models.BranchedSpecialistNet` over the shared library in
+  canonical task order, serializes the composite, and caches both the
+  assembled model and the payload in cluster-level byte-budgeted tiers.
+
+Because head payloads use a float-exact transport, a cross-shard composite
+is **bit-identical** to single-pool :meth:`~repro.core.PoolOfExperts
+.consolidate` — sharding changes where work happens, never the answer.
+
+The cluster registers an invalidation listener on the source pool: when an
+expert is re-extracted (version bump), the holding shards refresh their
+references and every dependent cache entry — shard-local and cluster-level
+— is dropped immediately.  :meth:`rebalance` migrates experts to the
+router's current placement (after :meth:`~ShardRouter.pin` /
+:meth:`~ShardRouter.replicate` changes) with the same guarantee.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from ..core.pool import PoolOfExperts
+from ..core.query import TaskSpecificModel
+from ..core.server import TRANSPORTS, deserialize_expert_heads, serialize_task_model
+from ..models import BranchedSpecialistNet
+from ..serving.cache import BYTES_PER_PARAM, ByteBudgetLRU, CacheStats, merge_cache_stats
+from ..serving.canonical import TaskQuery, canonical_tasks, payload_key
+from ..serving.gateway import (
+    GatewayConfig,
+    GatewayResponse,
+    SingleFlight,
+    drop_task_entries,
+    expert_versions,
+)
+from .metrics import ClusterMetrics
+from .router import ShardRouter, plan_groups
+from .shard import PoolShard
+
+__all__ = ["ClusterConfig", "ClusterGateway", "RebalanceReport"]
+
+#: Head-fetch transports that reconstruct weights bit-exactly.
+_EXACT_TRANSPORTS = ("float32", "raw+zlib")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Operating envelope of a :class:`ClusterGateway`."""
+
+    num_shards: int = 4
+    replication: int = 1
+    workers_per_shard: int = 2
+    shard_model_cache_bytes: int = 64 << 20
+    shard_payload_cache_bytes: int = 64 << 20
+    composite_model_cache_bytes: int = 64 << 20
+    composite_payload_cache_bytes: int = 64 << 20
+    ttl_seconds: Optional[float] = None
+    #: Wire codec for cross-shard head fetches; must be float-exact so
+    #: cross-shard consolidation matches a single pool bit-for-bit.
+    fetch_transport: str = "raw+zlib"
+    router_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.workers_per_shard < 1:
+            raise ValueError("workers_per_shard must be >= 1")
+        if self.fetch_transport not in _EXACT_TRANSPORTS:
+            raise ValueError(
+                f"fetch_transport must be float-exact, one of {_EXACT_TRANSPORTS}"
+            )
+
+    def shard_gateway_config(self) -> GatewayConfig:
+        return GatewayConfig(
+            max_workers=self.workers_per_shard,
+            model_cache_bytes=self.shard_model_cache_bytes,
+            payload_cache_bytes=self.shard_payload_cache_bytes,
+            ttl_seconds=self.ttl_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """Outcome of one :meth:`ClusterGateway.rebalance` run."""
+
+    #: ``(task, old shard ids, new shard ids)`` for every task that moved.
+    moved: Tuple[Tuple[str, Tuple[int, ...], Tuple[int, ...]], ...]
+    installs: int
+    drops: int
+    composite_entries_dropped: int
+
+
+class ClusterGateway:
+    """Sharded serving front end over one :class:`PoolOfExperts`."""
+
+    def __init__(
+        self,
+        pool: PoolOfExperts,
+        config: Optional[ClusterConfig] = None,
+        router: Optional[ShardRouter] = None,
+        metrics: Optional[ClusterMetrics] = None,
+    ) -> None:
+        self.pool = pool
+        self.config = config or ClusterConfig()
+        self.router = router or ShardRouter(
+            self.config.num_shards,
+            replication=self.config.replication,
+            seed=self.config.router_seed,
+        )
+        if self.router.num_shards != self.config.num_shards:
+            raise ValueError(
+                f"router has {self.router.num_shards} shards, "
+                f"config says {self.config.num_shards}"
+            )
+        if router is not None and router.replication != self.config.replication:
+            raise ValueError(
+                f"router replicates {router.replication}x, "
+                f"config says {self.config.replication}x — make them agree "
+                "(per-task overrides go through router.replicate())"
+            )
+        self.metrics = metrics or ClusterMetrics()
+        self._placement_lock = threading.Lock()
+        self._placement: Dict[str, Tuple[int, ...]] = {
+            name: self.router.shards_for(name) for name in pool.expert_names()
+        }
+        # shard contents are the placement map inverted (empty shards stay:
+        # a shard with no experts is still serving capacity)
+        assignment: Dict[int, List[str]] = {
+            shard_id: [] for shard_id in range(self.config.num_shards)
+        }
+        for name in sorted(self._placement):
+            for shard_id in self._placement[name]:
+                assignment[shard_id].append(name)
+        self.shards: List[PoolShard] = [
+            PoolShard(
+                shard_id,
+                pool,
+                assignment[shard_id],
+                self.config.shard_gateway_config(),
+            )
+            for shard_id in range(self.config.num_shards)
+        ]
+        self.model_cache = ByteBudgetLRU(
+            self.config.composite_model_cache_bytes, ttl_seconds=self.config.ttl_seconds
+        )
+        self.payload_cache = ByteBudgetLRU(
+            self.config.composite_payload_cache_bytes,
+            ttl_seconds=self.config.ttl_seconds,
+        )
+        self._flights = SingleFlight()
+        # makes version-guarded composite puts atomic against invalidation
+        # (see ServingGateway._invalidate_lock for the race this closes)
+        self._invalidate_lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._closed = False
+        self._listener = self._on_expert_update
+        pool.add_listener(self._listener)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def available_tasks(self) -> Tuple[str, ...]:
+        with self._placement_lock:
+            return tuple(sorted(self._placement))
+
+    def shards_of(self, task: str) -> Tuple[int, ...]:
+        """Which shards currently hold ``task`` (primary first)."""
+        with self._placement_lock:
+            return self._placement[task]
+
+    def serve(self, tasks: TaskQuery, transport: str = "float32") -> GatewayResponse:
+        """Serve one query on the calling thread (blocking)."""
+        return self._serve(tasks, transport, enqueued_at=None)
+
+    def submit(
+        self, tasks: TaskQuery, transport: str = "float32"
+    ) -> "Future[GatewayResponse]":
+        """Dispatch one query onto the cluster worker pool.
+
+        The pool is sized ``workers_per_shard * num_shards`` — serving
+        capacity grows with the cluster.
+        """
+        enqueued_at = perf_counter()
+        return self._ensure_executor().submit(self._serve, tasks, transport, enqueued_at)
+
+    def get_model(self, tasks: TaskQuery) -> TaskSpecificModel:
+        """The consolidated (possibly cross-shard) model, canonical order."""
+        names = canonical_tasks(tasks)
+        plan = self._plan(names)
+        if len(plan) == 1:
+            (shard_id,) = plan
+            return self.shards[shard_id].gateway.get_model(names)
+        model, _ = self._composite_model(names, plan)
+        return model
+
+    def cache_stats(self) -> Dict[str, CacheStats]:
+        """Aggregated tiers (``model``/``payload``) plus the cluster tiers."""
+        shard_model = [s.gateway.model_cache.stats() for s in self.shards]
+        shard_payload = [s.gateway.payload_cache.stats() for s in self.shards]
+        composite_model = self.model_cache.stats()
+        composite_payload = self.payload_cache.stats()
+        return {
+            "model": merge_cache_stats(shard_model + [composite_model]),
+            "payload": merge_cache_stats(shard_payload + [composite_payload]),
+            "composite_model": composite_model,
+            "composite_payload": composite_payload,
+        }
+
+    def render_stats(self) -> str:
+        return self.metrics.render(shards=self.shards, cache_stats=self.cache_stats())
+
+    def close(self) -> None:
+        self.pool.remove_listener(self._listener)
+        with self._executor_lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ClusterGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+    def _serve(
+        self, tasks: TaskQuery, transport: str, enqueued_at: Optional[float]
+    ) -> GatewayResponse:
+        if transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
+        start = perf_counter()
+        queue_seconds = 0.0
+        if enqueued_at is not None:
+            queue_seconds = start - enqueued_at
+            self.metrics.observe("queue", queue_seconds)
+        self.metrics.increment("requests")
+        try:
+            names = canonical_tasks(tasks)
+            # One retry: a rebalance can drop an expert from the shard a
+            # concurrent plan chose between planning and serving; the task
+            # is still in the cluster, so a fresh plan finds its new home.
+            for attempt in (0, 1):
+                try:
+                    return self._serve_planned(names, transport, start, queue_seconds)
+                except KeyError:
+                    with self._placement_lock:
+                        still_placed = all(n in self._placement for n in names)
+                    if attempt == 1 or not still_placed:
+                        raise  # genuinely unknown task, or still failing
+                    self.metrics.increment("plan_retries")
+        except BaseException:
+            self.metrics.increment("errors")
+            raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _serve_planned(
+        self,
+        names: Tuple[str, ...],
+        transport: str,
+        start: float,
+        queue_seconds: float,
+    ) -> GatewayResponse:
+        with self.metrics.stage("route"):
+            plan = self._plan(names)
+        self.metrics.record_fanout(len(plan))
+
+        if len(plan) == 1:
+            (shard_id,) = plan
+            # per-shard traffic counts requests that actually reach a shard
+            # (composite-cache hits and coalesced followers touch none)
+            self.metrics.record_shard_requests((shard_id,))
+            response = self.shards[shard_id].gateway.serve(names, transport)
+            if response.coalesced:
+                self.metrics.increment("coalesced")
+            if queue_seconds:
+                # the shard didn't see the cluster executor's queue wait
+                response = replace(response, queue_seconds=queue_seconds)
+            self.metrics.observe("total", perf_counter() - start)
+            return response
+
+        self.metrics.increment("cross_shard")
+        key = payload_key(names, transport)
+        payload = self.payload_cache.get(key)
+        if payload is not None:
+            model_hit, coalesced, payload_hit = False, False, True
+        else:
+            payload_hit = False
+            (payload, model_hit), coalesced = self._flights.run(
+                key, lambda: self._build_payload(names, plan, transport, key)
+            )
+            if coalesced:
+                self.metrics.increment("coalesced")
+
+        service_seconds = perf_counter() - start
+        self.metrics.observe("total", service_seconds)
+        return GatewayResponse(
+            payload=payload,
+            tasks=names,
+            transport=transport,
+            payload_bytes=len(payload),
+            queue_seconds=queue_seconds,
+            service_seconds=service_seconds,
+            model_cache_hit=model_hit,
+            payload_cache_hit=payload_hit,
+            coalesced=coalesced,
+        )
+
+    def _plan(self, names: Tuple[str, ...]) -> Dict[int, Tuple[str, ...]]:
+        """Per-shard task groups from the *current* placement (not the
+        router's — between a ``pin()`` and the ``rebalance()`` that applies
+        it, the placement map is what matches shard contents)."""
+        with self._placement_lock:
+            try:
+                candidates = {name: self._placement[name] for name in names}
+            except KeyError as error:
+                raise KeyError(
+                    f"no expert extracted for primitive task {error.args[0]!r}; "
+                    f"available: {sorted(self._placement)}"
+                ) from None
+        return plan_groups(candidates)
+
+    def _build_payload(
+        self,
+        names: Tuple[str, ...],
+        plan: Dict[int, Tuple[str, ...]],
+        transport: str,
+        key,
+    ) -> Tuple[bytes, bool]:
+        versions = expert_versions(self.pool, names)
+        self.metrics.record_shard_requests(list(plan))
+        model, model_hit = self._composite_model(names, plan)
+        with self.metrics.stage("serialize"):
+            payload = serialize_task_model(
+                model.network, model.task, self.pool.config, transport=transport
+            )
+        # don't cache if an expert was re-extracted while we were building:
+        # the invalidation listener fired before this entry existed (the
+        # lock makes check+put atomic against that listener)
+        with self._invalidate_lock:
+            if versions == expert_versions(self.pool, names):
+                self.payload_cache.put(key, payload, len(payload))
+        return payload, model_hit
+
+    def _composite_model(
+        self, names: Tuple[str, ...], plan: Dict[int, Tuple[str, ...]]
+    ) -> Tuple[TaskSpecificModel, bool]:
+        model = self.model_cache.get(names)
+        if model is not None:
+            return model, True
+
+        def build() -> TaskSpecificModel:
+            versions = expert_versions(self.pool, names)
+            # Home shard = largest task group (ties -> lowest id): its heads
+            # are local references; every other group crosses the wire.
+            home = max(plan, key=lambda shard_id: (len(plan[shard_id]), -shard_id))
+            heads = dict(self.shards[home].pool.experts)
+            with self.metrics.stage("fetch"):
+                for shard_id, group in plan.items():
+                    if shard_id == home:
+                        continue
+                    raw = self.shards[shard_id].fetch_heads(
+                        group, self.config.fetch_transport
+                    )
+                    self.metrics.increment("remote_fetches")
+                    self.metrics.increment("remote_fetch_bytes", len(raw))
+                    for name, remote in deserialize_expert_heads(raw).items():
+                        heads[name] = remote.head
+            with self.metrics.stage("assemble"):
+                network = BranchedSpecialistNet(
+                    self.pool.library, [(name, heads[name]) for name in names]
+                )
+                network.eval()
+                built = TaskSpecificModel(
+                    network, self.pool.hierarchy.composite(names)
+                )
+            with self._invalidate_lock:
+                if versions == expert_versions(self.pool, names):
+                    self.model_cache.put(
+                        names, built, built.num_params() * BYTES_PER_PARAM
+                    )
+            return built
+
+        built, _ = self._flights.run(("model", names), build)
+        return built, False
+
+    # ------------------------------------------------------------------
+    # Invalidation + rebalance
+    # ------------------------------------------------------------------
+    def _invalidate_composites(self, name: str) -> int:
+        """Drop cluster-level entries that include expert ``name``."""
+        with self._invalidate_lock:
+            return drop_task_entries(self.model_cache, self.payload_cache, name)
+
+    def _on_expert_update(self, name: str, version: int) -> None:
+        """Source pool re-extracted (or removed) an expert: resync shards."""
+        head = self.pool.experts.get(name)
+        with self._placement_lock:
+            placed = self._placement.get(name)
+            if head is not None and placed is None:
+                # brand-new expert: place it per the router
+                placed = self.router.shards_for(name)
+                self._placement[name] = placed
+            elif head is None and placed is not None:
+                del self._placement[name]
+        if head is not None:
+            for shard_id in placed:
+                self.shards[shard_id].install_expert(name, head, version)
+        elif placed is not None:
+            for shard_id in placed:
+                self.shards[shard_id].drop_expert(name)
+        self.metrics.increment("invalidations")
+        self._invalidate_composites(name)
+
+    def rebalance(self, router: Optional[ShardRouter] = None) -> RebalanceReport:
+        """Migrate experts to the router's current placement.
+
+        Call after mutating the router (``pin``/``replicate``) or pass a
+        replacement router (same shard count).  Experts move *by reference*
+        from the shared pool, so answers never change; every cache entry
+        that depended on a moved expert — on the old shard, the new shard,
+        or the cluster composite tiers — is dropped explicitly.
+        """
+        if router is not None:
+            if router.num_shards != len(self.shards):
+                raise ValueError(
+                    f"replacement router has {router.num_shards} shards, "
+                    f"cluster has {len(self.shards)}"
+                )
+            self.router = router
+        moved: List[Tuple[str, Tuple[int, ...], Tuple[int, ...]]] = []
+        installs = drops = composites_dropped = 0
+        with self._placement_lock:
+            old_placement = dict(self._placement)
+        for name in sorted(self.pool.expert_names()):
+            old = old_placement.get(name, ())
+            new = self.router.shards_for(name)
+            if set(old) == set(new):
+                with self._placement_lock:
+                    self._placement[name] = new
+                continue
+            moved.append((name, old, new))
+            version = self.pool.expert_version(name)
+            head = self.pool.experts[name]
+            # install on the new shards and repoint the placement *before*
+            # dropping from the old ones: a concurrent plan sees either the
+            # old home (still serving) or the new one (already installed),
+            # never a shard that no longer holds the expert
+            for shard_id in new:
+                if shard_id not in old:
+                    self.shards[shard_id].install_expert(name, head, version)
+                    installs += 1
+            with self._placement_lock:
+                self._placement[name] = new
+            for shard_id in old:
+                if shard_id not in new:
+                    self.shards[shard_id].drop_expert(name)
+                    drops += 1
+            composites_dropped += self._invalidate_composites(name)
+        if moved:
+            self.metrics.increment("rebalances")
+        return RebalanceReport(
+            moved=tuple(moved),
+            installs=installs,
+            drops=drops,
+            composite_entries_dropped=composites_dropped,
+        )
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._closed:
+                raise RuntimeError("cluster gateway is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.config.workers_per_shard * len(self.shards),
+                    thread_name_prefix="poe-cluster",
+                )
+            return self._executor
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ClusterGateway(shards={len(self.shards)}, "
+            f"tasks={len(self.available_tasks())}, "
+            f"replication={self.router.replication})"
+        )

@@ -1,0 +1,104 @@
+"""Cluster-level telemetry: per-shard traffic and cross-shard fan-out.
+
+:class:`ClusterMetrics` extends the serving metrics vocabulary with the
+two things only a cluster can see:
+
+* **per-shard traffic** — how many queries each shard served (and at what
+  cache hit rate, read off the shard gateways at render time), exposing
+  placement skew the router's balance tests bound statically;
+* **fan-out histogram** — how many shards each query touched.  Fan-out 1
+  is the fast path (one shard, no head movement); the histogram is the
+  live measure of how well routing + hot-expert replication keep composite
+  queries local.
+
+Latency stages (``route``, ``fetch``, ``assemble``, ``serialize``,
+``total``) and counters reuse :class:`~repro.serving.ServingMetrics`, so
+the render shape matches the single-gateway tooling.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
+
+from ..serving.metrics import ServingMetrics
+
+__all__ = ["ClusterMetrics"]
+
+
+class ClusterMetrics:
+    """Thread-safe cluster counters over a :class:`ServingMetrics` core."""
+
+    def __init__(self, max_samples_per_stage: int = 65536) -> None:
+        self.serving = ServingMetrics(max_samples_per_stage)
+        self._lock = threading.Lock()
+        self._fanout: Dict[int, int] = {}
+        self._per_shard: Dict[int, int] = {}
+        self._started_at = perf_counter()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def observe(self, stage: str, seconds: float) -> None:
+        self.serving.observe(stage, seconds)
+
+    def stage(self, name: str):
+        return self.serving.stage(name)
+
+    def increment(self, counter: str, by: int = 1) -> None:
+        self.serving.increment(counter, by)
+
+    def counter(self, name: str) -> int:
+        return self.serving.counter(name)
+
+    def record_fanout(self, num_shards: int) -> None:
+        with self._lock:
+            self._fanout[num_shards] = self._fanout.get(num_shards, 0) + 1
+
+    def record_shard_requests(self, shard_ids: Sequence[int]) -> None:
+        with self._lock:
+            for shard_id in shard_ids:
+                self._per_shard[shard_id] = self._per_shard.get(shard_id, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def fanout_histogram(self) -> Dict[int, int]:
+        with self._lock:
+            return dict(sorted(self._fanout.items()))
+
+    def shard_requests(self) -> Dict[int, int]:
+        with self._lock:
+            return dict(sorted(self._per_shard.items()))
+
+    def snapshot(self) -> Dict[str, object]:
+        snap = self.serving.snapshot()
+        snap["fanout"] = self.fanout_histogram()
+        snap["shard_requests"] = self.shard_requests()
+        return snap
+
+    def render(self, shards: Optional[Sequence] = None, cache_stats=None) -> str:
+        """Cluster report: stages/counters, per-shard table, fan-out."""
+        lines: List[str] = [self.serving.render(cache_stats=cache_stats)]
+        elapsed = max(perf_counter() - self._started_at, 1e-9)
+        per_shard = self.shard_requests()
+        if shards is not None:
+            lines.append("  shards:")
+            for shard in shards:
+                requests = per_shard.get(shard.shard_id, 0)
+                stats = shard.gateway.cache_stats()["payload"]
+                lines.append(
+                    f"    shard[{shard.shard_id}]: tasks={len(shard.task_names())} "
+                    f"requests={requests} qps={requests / elapsed:,.0f} "
+                    f"payload_hit_rate={stats.hit_rate:.1%}"
+                )
+        fanout = self.fanout_histogram()
+        if fanout:
+            total = sum(fanout.values())
+            parts = ", ".join(
+                f"{shards_touched}:{count} ({count / total:.0%})"
+                for shards_touched, count in fanout.items()
+            )
+            lines.append(f"  fan-out (shards touched per query): {parts}")
+        return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""One shard of a sharded pool: an expert subset behind its own gateway.
+
+A :class:`PoolShard` is the unit of horizontal scale: it wraps a *view*
+pool (:meth:`repro.core.PoolOfExperts.subset` — shared library, a slice of
+the expert heads) and a private :class:`~repro.serving.ServingGateway`
+with its own caches, worker budget and metrics.  Single-shard queries are
+served entirely inside the shard; cross-shard queries fetch this shard's
+heads as a serialized payload (:meth:`fetch_heads`) — the same wire
+boundary a networked deployment would cross.
+
+Expert migration (rebalance) and re-extraction flow through
+:meth:`install_expert` / :meth:`drop_expert`, which update the view pool
+and therefore notify the shard gateway's invalidation listener — moved or
+refreshed experts drop their dependent cache entries immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..core.pool import PoolOfExperts
+from ..core.server import serialize_expert_heads
+from ..models import WRNHead
+from ..serving.gateway import GatewayConfig, ServingGateway
+from ..serving.metrics import ServingMetrics
+
+__all__ = ["PoolShard"]
+
+
+class PoolShard:
+    """An expert subset of the pool plus its private serving gateway."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        parent: PoolOfExperts,
+        task_names: Iterable[str],
+        gateway_config: Optional[GatewayConfig] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.parent = parent
+        self.pool = parent.subset(task_names)
+        self.gateway = ServingGateway(
+            self.pool, gateway_config, metrics=ServingMetrics()
+        )
+
+    # ------------------------------------------------------------------
+    def task_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.pool.experts))
+
+    def holds(self, task: str) -> bool:
+        return task in self.pool.experts
+
+    def fetch_heads(self, names: Iterable[str], transport: str = "raw+zlib") -> bytes:
+        """Serialize this shard's heads for a remote consolidation.
+
+        This is the cross-shard wire boundary: the consolidating shard gets
+        bytes, not object references, exactly as it would over a network.
+        """
+        payload = serialize_expert_heads(self.pool, tuple(names), transport)
+        self.gateway.metrics.increment("head_fetches")
+        return payload
+
+    # ------------------------------------------------------------------
+    # Membership changes (rebalance / re-extraction)
+    # ------------------------------------------------------------------
+    def install_expert(self, name: str, head: WRNHead, version: int) -> None:
+        """Place (or refresh) one expert on this shard; invalidates caches."""
+        self.pool.attach_expert(name, head, version)
+
+    def drop_expert(self, name: str) -> None:
+        """Remove one expert from this shard; invalidates caches."""
+        self.pool.detach_expert(name)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.gateway.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PoolShard(id={self.shard_id}, tasks={self.task_names()})"

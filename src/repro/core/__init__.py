@@ -11,11 +11,15 @@ from .confidence import ConfidenceProfile, max_confidences, ood_confidence_profi
 from .pool import PoEConfig, PoolOfExperts
 from .query import ModelQueryEngine, QueryRecord, TaskSpecificModel
 from .server import (
+    TRANSPORTS,
     ModelQueryRequest,
     ModelQueryResponse,
     PoEClient,
     PoEServer,
+    RemoteExpert,
+    deserialize_expert_heads,
     deserialize_task_model,
+    serialize_expert_heads,
     serialize_task_model,
 )
 from .storage import ExpertStore, VolumeReport, estimate_all_specialists_volume
@@ -38,4 +42,8 @@ __all__ = [
     "ModelQueryResponse",
     "serialize_task_model",
     "deserialize_task_model",
+    "serialize_expert_heads",
+    "deserialize_expert_heads",
+    "RemoteExpert",
+    "TRANSPORTS",
 ]

@@ -15,8 +15,9 @@ from it in microseconds, with no training.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,9 +34,19 @@ from ..distill import (
 from ..models import BranchedSpecialistNet, WideResNet, WRNHead, WRNTrunk
 from ..nn import Module
 
-__all__ = ["PoEConfig", "PoolOfExperts"]
+__all__ = ["PoEConfig", "PoolOfExperts", "expert_init_seed"]
 
 TaskRef = Union[str, PrimitiveTask]
+
+
+def expert_init_seed(config_seed: int, task_name: str) -> int:
+    """Deterministic RNG seed for one expert head's initialization.
+
+    Uses crc32, not builtin ``hash()``: the latter is salted per process
+    (``PYTHONHASHSEED``), which would make expert extraction
+    nondeterministic across runs.
+    """
+    return config_seed + 1 + zlib.crc32(task_name.encode("utf-8")) % 10_000
 
 
 @dataclass(frozen=True)
@@ -95,6 +106,82 @@ class PoolOfExperts:
         self.histories: Dict[str, History] = {}
         self._oracle_logits: Optional[np.ndarray] = None
         self._library_features: Optional[np.ndarray] = None
+        self._versions: Dict[str, int] = {}
+        self._listeners: List[Callable[[str, int], None]] = []
+
+    # ------------------------------------------------------------------
+    # Expert versioning + invalidation
+    # ------------------------------------------------------------------
+    def expert_version(self, name: str) -> int:
+        """Monotonic version of one expert; 0 before first extraction."""
+        return self._versions.get(name, 0)
+
+    def add_listener(self, callback: Callable[[str, int], None]) -> None:
+        """Register ``callback(task_name, new_version)`` for expert updates.
+
+        Serving layers use this to drop dependent cache entries the moment
+        an expert is re-extracted, instead of waiting for a TTL to expire.
+        """
+        if callback not in self._listeners:
+            self._listeners.append(callback)
+
+    def remove_listener(self, callback: Callable[[str, int], None]) -> None:
+        try:
+            self._listeners.remove(callback)
+        except ValueError:
+            pass
+
+    def _set_version(self, name: str, version: int) -> None:
+        self._versions[name] = version
+        for callback in list(self._listeners):
+            callback(name, version)
+
+    def _bump_version(self, name: str) -> None:
+        self._set_version(name, self._versions.get(name, 0) + 1)
+
+    def attach_expert(
+        self, task: TaskRef, head: WRNHead, version: Optional[int] = None
+    ) -> None:
+        """Install an already-trained expert head without training.
+
+        Used by the cluster tier to place experts on shard views (and to
+        migrate them during rebalance) and by incremental-addition flows.
+        Notifies listeners, so dependent cache entries invalidate.
+        """
+        task = self._resolve(task)
+        self.experts[task.name] = head
+        self._set_version(
+            task.name, version if version is not None else self.expert_version(task.name) + 1
+        )
+
+    def detach_expert(self, task: TaskRef) -> Optional[WRNHead]:
+        """Remove an expert (if present), notifying listeners."""
+        name = self._resolve(task).name
+        head = self.experts.pop(name, None)
+        if head is not None:
+            self._bump_version(name)
+        return head
+
+    def subset(self, names: Iterable[str]) -> "PoolOfExperts":
+        """A view pool holding the shared library plus a subset of experts.
+
+        Everything is shared by reference (oracle, hierarchy, library,
+        heads), so a view costs a few dict entries — this is how
+        :mod:`repro.cluster` models one shard's slice of the pool.
+        """
+        if self.library is None:
+            raise RuntimeError("pool is empty: run preprocess() first")
+        view = PoolOfExperts(self.oracle, self.hierarchy, self.config)
+        view.library = self.library
+        view.library_student = self.library_student
+        for name in names:
+            if name not in self.experts:
+                raise KeyError(
+                    f"no expert extracted for primitive task {name!r}; "
+                    f"available: {sorted(self.experts)}"
+                )
+            view.attach_expert(name, self.experts[name], self.expert_version(name))
+        return view
 
     # ------------------------------------------------------------------
     # Preprocessing phase
@@ -151,7 +238,7 @@ class PoolOfExperts:
             raise RuntimeError("extract_library() must run before extract_expert()")
         task = self._resolve(task)
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed + 1 + hash(task.name) % 10_000)
+        rng = np.random.default_rng(expert_init_seed(cfg.seed, task.name))
         head = WRNHead(
             cfg.library_depth,
             cfg.library_k,
@@ -173,6 +260,7 @@ class PoolOfExperts:
         )
         self.experts[task.name] = head
         self.histories[f"expert/{task.name}"] = history
+        self._bump_version(task.name)
         return history
 
     def preprocess(

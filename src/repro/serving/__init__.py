@@ -21,22 +21,24 @@ microseconds; this package makes that hold *under concurrent traffic*:
 both are thin shims over this package.
 """
 
-from .cache import ByteBudgetLRU, CacheStats
+from .cache import ByteBudgetLRU, CacheStats, merge_cache_stats
 from .canonical import canonical_tasks, model_key, payload_key
 from .demo import build_demo_pool
-from .gateway import GatewayConfig, GatewayResponse, ServingGateway
+from .gateway import GatewayConfig, GatewayResponse, ServingGateway, SingleFlight
 from .loadgen import LoadReport, ZipfianWorkload, run_closed_loop, run_open_loop
 from .metrics import LatencyHistogram, ServingMetrics, percentile
 
 __all__ = [
     "ByteBudgetLRU",
     "CacheStats",
+    "merge_cache_stats",
     "canonical_tasks",
     "model_key",
     "payload_key",
     "GatewayConfig",
     "GatewayResponse",
     "ServingGateway",
+    "SingleFlight",
     "ZipfianWorkload",
     "LoadReport",
     "run_closed_loop",

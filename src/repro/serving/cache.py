@@ -21,7 +21,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, List, Optional, Tuple
 
-__all__ = ["BYTES_PER_PARAM", "CacheStats", "ByteBudgetLRU"]
+__all__ = ["BYTES_PER_PARAM", "CacheStats", "ByteBudgetLRU", "merge_cache_stats"]
 
 #: Cache-sizing convention for in-memory models: float32 weights.
 BYTES_PER_PARAM = 4
@@ -49,6 +49,23 @@ class CacheStats:
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when never queried)."""
         return self.hits / self.requests if self.requests else 0.0
+
+
+def merge_cache_stats(parts: List[CacheStats]) -> CacheStats:
+    """Aggregate stats across cache instances (e.g. one tier over N shards)."""
+    if not parts:
+        return CacheStats(budget_bytes=0)
+    return CacheStats(
+        budget_bytes=sum(p.budget_bytes for p in parts),
+        current_bytes=sum(p.current_bytes for p in parts),
+        current_entries=sum(p.current_entries for p in parts),
+        hits=sum(p.hits for p in parts),
+        misses=sum(p.misses for p in parts),
+        insertions=sum(p.insertions for p in parts),
+        evictions=sum(p.evictions for p in parts),
+        expirations=sum(p.expirations for p in parts),
+        rejections=sum(p.rejections for p in parts),
+    )
 
 
 class ByteBudgetLRU:

@@ -39,9 +39,40 @@ from .canonical import TaskQuery, canonical_tasks, payload_key
 from .cache import BYTES_PER_PARAM, ByteBudgetLRU, CacheStats
 from .metrics import ServingMetrics
 
-__all__ = ["GatewayConfig", "GatewayResponse", "ServingGateway"]
+__all__ = ["GatewayConfig", "GatewayResponse", "ServingGateway", "SingleFlight"]
 
 T = TypeVar("T")
+
+
+def expert_versions(pool, names: Tuple[str, ...]) -> Optional[Tuple[int, ...]]:
+    """Snapshot the pool's versions for ``names`` (None if unversioned).
+
+    Builds capture this before touching expert weights and re-check it
+    before caching: if an expert was re-extracted mid-build, the stale
+    artifact must not be cached (the invalidation listener fired while the
+    entry didn't exist yet, so it had nothing to drop).
+    """
+    getter = getattr(pool, "expert_version", None)
+    if getter is None:
+        return None
+    return tuple(getter(name) for name in names)
+
+
+def drop_task_entries(model_cache, payload_cache, name: str) -> int:
+    """Drop every model/payload cache entry whose task set includes ``name``.
+
+    Model keys are canonical name tuples; payload keys are
+    ``(names, transport)``.  Shared by the gateway and the cluster tiers.
+    """
+    dropped = 0
+    for key in model_cache.keys():
+        if name in key:
+            dropped += model_cache.discard(key)
+    for key in payload_cache.keys():
+        key_names, _transport = key
+        if name in key_names:
+            dropped += payload_cache.discard(key)
+    return dropped
 
 
 @dataclass(frozen=True)
@@ -101,6 +132,40 @@ class _Inflight:
         return self._value
 
 
+class SingleFlight:
+    """Deduplicate concurrent builds per key (shared by gateway and cluster).
+
+    ``run(key, build)`` executes ``build`` once per key across concurrent
+    callers and returns ``(value, coalesced)`` — ``coalesced`` is True for
+    callers that waited on another thread's in-flight build.  Errors
+    propagate to the leader *and* every follower of that flight.
+    """
+
+    def __init__(self) -> None:
+        self._gate = threading.Lock()
+        self._inflight: Dict[Hashable, _Inflight] = {}
+
+    def run(self, key: Hashable, build: Callable[[], T]) -> Tuple[T, bool]:
+        with self._gate:
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._inflight[key] = _Inflight()
+        if not leader:
+            return flight.wait(), True  # type: ignore[return-value]
+        try:
+            value = build()
+        except BaseException as error:
+            flight.set_exception(error)
+            raise
+        else:
+            flight.set_result(value)
+            return value, False
+        finally:
+            with self._gate:
+                self._inflight.pop(key, None)
+
+
 class ServingGateway:
     """Concurrent serving front door over a :class:`~repro.core.pool.PoolOfExperts`."""
 
@@ -119,11 +184,22 @@ class ServingGateway:
         self.payload_cache = ByteBudgetLRU(
             self.config.payload_cache_bytes, ttl_seconds=self.config.ttl_seconds
         )
-        self._gate = threading.Lock()
-        self._inflight: Dict[Hashable, _Inflight] = {}
+        self._flights = SingleFlight()
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
         self._closed = False
+        # Serializes invalidation against version-guarded cache puts: a
+        # build checks the expert versions and inserts under this lock, so
+        # a concurrent re-extraction either bumps the version before the
+        # check (put skipped) or drops the entry after the put — a stale
+        # artifact can never survive the listener.
+        self._invalidate_lock = threading.Lock()
+        # Explicit invalidation: when the pool re-extracts an expert, drop
+        # every dependent cache entry now instead of waiting for TTL.
+        self._listener = lambda name, version: self.invalidate_task(name)
+        add_listener = getattr(pool, "add_listener", None)
+        if add_listener is not None:
+            add_listener(self._listener)
 
     # ------------------------------------------------------------------
     # Public API
@@ -155,7 +231,20 @@ class ServingGateway:
     def render_stats(self) -> str:
         return self.metrics.render(cache_stats=self.cache_stats())
 
+    def invalidate_task(self, name: str) -> int:
+        """Drop every cached model/payload that includes expert ``name``.
+
+        Returns the number of entries dropped.  Called automatically when
+        the backing pool re-extracts an expert (version bump); also the hook
+        the cluster tier uses after migrating an expert between shards.
+        """
+        with self._invalidate_lock:
+            return drop_task_entries(self.model_cache, self.payload_cache, name)
+
     def close(self) -> None:
+        remove_listener = getattr(self.pool, "remove_listener", None)
+        if remove_listener is not None:
+            remove_listener(self._listener)
         with self._executor_lock:
             self._closed = True
             executor, self._executor = self._executor, None
@@ -193,7 +282,7 @@ class ServingGateway:
                 model_hit, coalesced, payload_hit = False, False, True
             else:
                 payload_hit = False
-                (payload, model_hit), coalesced = self._single_flight(
+                (payload, model_hit), coalesced = self._flights.run(
                     key, lambda: self._build_payload(names, transport, key)
                 )
                 if coalesced:
@@ -221,12 +310,18 @@ class ServingGateway:
     ) -> Tuple[bytes, bool]:
         from ..core.server import serialize_task_model
 
+        versions = expert_versions(self.pool, names)
         model, model_hit = self._model_for(names)
         with self.metrics.stage("serialize"):
             payload = serialize_task_model(
                 model.network, model.task, self.pool.config, transport=transport
             )
-        self.payload_cache.put(key, payload, len(payload))
+        # don't cache if an expert was re-extracted while we were building:
+        # the invalidation listener fired before this entry existed (the
+        # lock makes check+put atomic against that listener)
+        with self._invalidate_lock:
+            if versions == expert_versions(self.pool, names):
+                self.payload_cache.put(key, payload, len(payload))
         return payload, model_hit
 
     def _model_for(self, names: Tuple[str, ...]) -> Tuple[TaskSpecificModel, bool]:
@@ -235,43 +330,19 @@ class ServingGateway:
             return model, True
 
         def build() -> TaskSpecificModel:
+            versions = expert_versions(self.pool, names)
             with self.metrics.stage("consolidate"):
                 network, composite = self.pool.consolidate(list(names))
                 built = TaskSpecificModel(network, composite)
-            self.model_cache.put(names, built, built.num_params() * BYTES_PER_PARAM)
+            with self._invalidate_lock:
+                if versions == expert_versions(self.pool, names):
+                    self.model_cache.put(
+                        names, built, built.num_params() * BYTES_PER_PARAM
+                    )
             return built
 
-        built, _ = self._single_flight(("model", names), build)
+        built, _ = self._flights.run(("model", names), build)
         return built, False
-
-    # ------------------------------------------------------------------
-    # Single flight
-    # ------------------------------------------------------------------
-    def _single_flight(self, key: Hashable, build: Callable[[], T]) -> Tuple[T, bool]:
-        """Run ``build`` once per key across concurrent callers.
-
-        Returns ``(value, coalesced)`` — ``coalesced`` is True for callers
-        that waited on another thread's in-flight build.  Errors propagate
-        to the leader *and* every follower of that flight.
-        """
-        with self._gate:
-            flight = self._inflight.get(key)
-            leader = flight is None
-            if leader:
-                flight = self._inflight[key] = _Inflight()
-        if not leader:
-            return flight.wait(), True  # type: ignore[return-value]
-        try:
-            value = build()
-        except BaseException as error:
-            flight.set_exception(error)
-            raise
-        else:
-            flight.set_result(value)
-            return value, False
-        finally:
-            with self._gate:
-                self._inflight.pop(key, None)
 
     # ------------------------------------------------------------------
     def _ensure_executor(self) -> ThreadPoolExecutor:

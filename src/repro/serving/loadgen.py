@@ -19,6 +19,12 @@ Two drivers exercise a gateway:
 
 Both return a :class:`LoadReport` with throughput, latency percentiles and
 cache/coalescing counters.
+
+The drivers are duck-typed over any serving front end exposing
+``serve``/``submit``, ``cache_stats()`` (with ``payload``/``model`` tiers)
+and ``metrics.counter`` — a single :class:`~repro.serving.ServingGateway`
+or a whole :class:`~repro.cluster.ClusterGateway` interchangeably, so the
+same workload measures one process and a sharded cluster.
 """
 
 from __future__ import annotations
@@ -31,7 +37,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .gateway import ServingGateway
 from .metrics import percentile
 
 __all__ = ["ZipfianWorkload", "LoadReport", "run_closed_loop", "run_open_loop"]
@@ -150,7 +155,7 @@ def _delta_hit_rate(before, after) -> float:
 
 
 def _summarize(
-    gateway: ServingGateway,
+    gateway,
     mode: str,
     latencies: List[float],
     errors: int,
@@ -186,13 +191,21 @@ def _summarize(
 
 
 def run_closed_loop(
-    gateway: ServingGateway,
+    gateway,
     workload: ZipfianWorkload,
     clients: int = 4,
     requests_per_client: int = 50,
     seed: int = 0,
+    via_submit: bool = False,
 ) -> LoadReport:
-    """Drive the gateway with ``clients`` think-time-free client threads."""
+    """Drive the gateway with ``clients`` think-time-free client threads.
+
+    With ``via_submit`` each request goes through ``gateway.submit`` and
+    blocks on the future, so concurrency is bounded by the *gateway's*
+    worker budget rather than the client thread count — that is how the
+    cluster scaling benchmark measures serving capacity per shard count
+    instead of load-generator parallelism.
+    """
     if clients < 1 or requests_per_client < 1:
         raise ValueError("clients and requests_per_client must be >= 1")
     plans = [
@@ -209,7 +222,10 @@ def run_closed_loop(
         for tasks, transport in plans[idx]:
             start = perf_counter()
             try:
-                gateway.serve(tasks, transport)
+                if via_submit:
+                    gateway.submit(tasks, transport).result()
+                else:
+                    gateway.serve(tasks, transport)
             except Exception:
                 errors[idx] += 1
             else:
@@ -238,7 +254,7 @@ def run_closed_loop(
 
 
 def run_open_loop(
-    gateway: ServingGateway,
+    gateway,
     workload: ZipfianWorkload,
     rate_qps: float = 200.0,
     duration_seconds: float = 2.0,

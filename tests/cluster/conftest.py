@@ -1,0 +1,15 @@
+"""Fixtures for the cluster tier: a pool wide enough to shard meaningfully."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def wide_pool():
+    """(pool, data) with 6 primitive tasks — enough to span 4 shards."""
+    from repro.serving.demo import build_demo_pool
+
+    return build_demo_pool(
+        num_tasks=6, train_per_class=20, test_per_class=10, epochs=4, seed=17
+    )

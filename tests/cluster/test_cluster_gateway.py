@@ -1,0 +1,268 @@
+"""ClusterGateway: routing, cross-shard consolidation, rebalance, invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterGateway, ShardRouter
+from repro.core import deserialize_task_model
+from repro.distill import batched_forward
+
+
+def _make(pool, **overrides):
+    defaults = dict(num_shards=4, workers_per_shard=1)
+    defaults.update(overrides)
+    return ClusterGateway(pool, ClusterConfig(**defaults))
+
+
+def _cross_shard_query(cluster, size=2):
+    """A query whose primaries span ``size`` distinct shards."""
+    names = sorted(cluster.available_tasks())
+    picked = [names[0]]
+    shards = {cluster.shards_of(names[0])[0]}
+    for name in names[1:]:
+        if cluster.shards_of(name)[0] not in shards:
+            picked.append(name)
+            shards.add(cluster.shards_of(name)[0])
+        if len(picked) == size:
+            break
+    assert len(picked) == size, "hierarchy too small to span shards"
+    return tuple(picked)
+
+
+@pytest.fixture()
+def cluster(wide_pool):
+    pool, _ = wide_pool
+    gw = _make(pool)
+    yield gw
+    gw.close()
+
+
+class TestServe:
+    def test_every_task_is_placed(self, cluster, wide_pool):
+        pool, _ = wide_pool
+        assert cluster.available_tasks() == tuple(sorted(pool.expert_names()))
+        held = set()
+        for shard in cluster.shards:
+            held.update(shard.task_names())
+        assert held == set(pool.expert_names())
+
+    def test_cross_shard_prediction_bit_identical_to_single_pool(
+        self, cluster, wide_pool
+    ):
+        pool, data = wide_pool
+        query = _cross_shard_query(cluster)
+        response = cluster.serve(query)
+        assert cluster.metrics.counter("cross_shard") == 1
+        rebuilt = deserialize_task_model(response.payload)
+        network, _ = pool.consolidate(list(query))
+        x = data.test.images[:24]
+        assert np.array_equal(rebuilt.logits(x), batched_forward(network, x))
+        assert np.array_equal(
+            rebuilt.predict(x),
+            np.asarray(rebuilt.task.classes)[batched_forward(network, x).argmax(axis=1)],
+        )
+
+    def test_single_shard_queries_use_fast_path(self, cluster):
+        name = cluster.available_tasks()[0]
+        cluster.serve([name])
+        assert cluster.metrics.counter("cross_shard") == 0
+        assert cluster.metrics.fanout_histogram() == {1: 1}
+        shard_id = cluster.shards_of(name)[0]
+        assert cluster.shards[shard_id].gateway.metrics.counter("requests") == 1
+
+    def test_permuted_cross_shard_queries_share_payload(self, cluster):
+        query = _cross_shard_query(cluster)
+        first = cluster.serve(query)
+        second = cluster.serve(tuple(reversed(query)))
+        assert second.payload_cache_hit
+        assert second.payload is first.payload
+
+    def test_unknown_task_raises_keyerror(self, cluster):
+        with pytest.raises(KeyError, match="dragons"):
+            cluster.serve(["dragons"])
+
+    def test_unknown_transport_rejected(self, cluster):
+        with pytest.raises(ValueError, match="transport"):
+            cluster.serve([cluster.available_tasks()[0]], transport="float16")
+
+    def test_fetch_transport_must_be_exact(self):
+        with pytest.raises(ValueError, match="float-exact"):
+            ClusterConfig(fetch_transport="uint8")
+
+    def test_get_model_matches_consolidate(self, cluster, wide_pool):
+        pool, data = wide_pool
+        query = _cross_shard_query(cluster)
+        model = cluster.get_model(query)
+        network, _ = pool.consolidate(sorted(query))
+        x = data.test.images[:16]
+        assert np.array_equal(model.logits(x), batched_forward(network, x))
+
+    def test_submit_and_close(self, wide_pool):
+        pool, _ = wide_pool
+        cluster = _make(pool)
+        future = cluster.submit([cluster.available_tasks()[0]])
+        assert future.result(timeout=60).payload_bytes > 0
+        cluster.close()
+        with pytest.raises(RuntimeError):
+            cluster.submit([cluster.available_tasks()[0]])
+
+    def test_composite_cache_hits_do_not_inflate_shard_traffic(self, cluster):
+        query = _cross_shard_query(cluster)
+        cluster.serve(query)
+        before = cluster.metrics.shard_requests()
+        cluster.serve(query)  # composite payload hit: no shard is touched
+        assert cluster.metrics.shard_requests() == before
+
+    def test_cache_stats_aggregate_shard_tiers(self, cluster):
+        query = _cross_shard_query(cluster)
+        cluster.serve(query)
+        cluster.serve(query)
+        stats = cluster.cache_stats()
+        assert set(stats) == {"model", "payload", "composite_model", "composite_payload"}
+        assert stats["composite_payload"].hits == 1
+        assert stats["payload"].hits >= 1  # aggregate includes the composite tier
+
+
+class TestReplication:
+    def test_replicated_hot_task_reduces_fanout(self, wide_pool):
+        pool, _ = wide_pool
+        names = sorted(pool.expert_names())
+        hot = names[0]
+        router = ShardRouter(num_shards=4)
+        router.replicate(hot, 4)
+        cluster = ClusterGateway(
+            pool, ClusterConfig(num_shards=4, workers_per_shard=1), router=router
+        )
+        try:
+            partner = next(
+                n for n in names[1:] if router.shard_for(n) != router.shard_for(hot)
+            )
+            cluster.serve([hot, partner])
+            # hot is replicated everywhere, so the pair stays on one shard
+            assert cluster.metrics.fanout_histogram() == {1: 1}
+            assert len(cluster.shards_of(hot)) == 4
+        finally:
+            cluster.close()
+
+
+    def test_router_replication_must_match_config(self, wide_pool):
+        pool, _ = wide_pool
+        with pytest.raises(ValueError, match="replicates"):
+            ClusterGateway(
+                pool,
+                ClusterConfig(num_shards=4),
+                router=ShardRouter(4, replication=2),
+            )
+
+
+class TestRebalance:
+    def test_rebalance_preserves_answers_and_moves_experts(self, wide_pool):
+        pool, data = wide_pool
+        cluster = _make(pool)
+        try:
+            query = _cross_shard_query(cluster)
+            before = deserialize_task_model(cluster.serve(query).payload)
+            task = query[0]
+            old_primary = cluster.shards_of(task)[0]
+            new_primary = (old_primary + 1) % 4
+            cluster.router.pin(task, new_primary)
+            report = cluster.rebalance()
+            assert any(m[0] == task for m in report.moved)
+            assert cluster.shards_of(task)[0] == new_primary
+            assert cluster.shards[new_primary].holds(task)
+            assert not cluster.shards[old_primary].holds(task)
+            after_response = cluster.serve(query)
+            assert not after_response.payload_cache_hit  # moved entry was dropped
+            after = deserialize_task_model(after_response.payload)
+            x = data.test.images[:24]
+            assert np.array_equal(before.logits(x), after.logits(x))
+        finally:
+            cluster.close()
+
+    def test_rebalance_invalidates_moved_composites(self, wide_pool):
+        pool, _ = wide_pool
+        cluster = _make(pool)
+        try:
+            query = _cross_shard_query(cluster)
+            cluster.serve(query)
+            assert len(cluster.payload_cache) == 1
+            task = query[0]
+            cluster.router.pin(task, (cluster.shards_of(task)[0] + 1) % 4)
+            report = cluster.rebalance()
+            assert report.composite_entries_dropped >= 1
+            assert len(cluster.payload_cache) == 0
+        finally:
+            cluster.close()
+
+    def test_rebalance_under_live_traffic_never_errors(self, wide_pool):
+        """Concurrent serves replan when a migration races their plan."""
+        import threading
+
+        pool, _ = wide_pool
+        cluster = _make(pool)
+        try:
+            names = sorted(cluster.available_tasks())
+            queries = [(n,) for n in names] + [tuple(names[:2]), tuple(names[2:4])]
+            errors = []
+            stop = threading.Event()
+
+            def client():
+                while not stop.is_set():
+                    for query in queries:
+                        try:
+                            cluster.serve(query)
+                        except Exception as exc:  # pragma: no cover
+                            errors.append(exc)
+
+            threads = [threading.Thread(target=client) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for round_trip in range(8):
+                for i, name in enumerate(names):
+                    cluster.router.pin(name, (i + round_trip) % 4)
+                cluster.rebalance()
+            stop.set()
+            for t in threads:
+                t.join()
+            assert errors == []
+        finally:
+            cluster.close()
+
+    def test_noop_rebalance_reports_nothing(self, cluster):
+        report = cluster.rebalance()
+        assert report.moved == ()
+        assert report.installs == report.drops == 0
+
+    def test_replacement_router_must_match_shard_count(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.rebalance(ShardRouter(num_shards=2))
+
+
+class TestInvalidation:
+    def test_reextraction_drops_dependent_entries_everywhere(self, wide_pool):
+        pool, data = wide_pool
+        cluster = _make(pool)
+        query = _cross_shard_query(cluster)
+        task = query[0]
+        original = pool.experts[task]
+        try:
+            single = (task,)
+            cluster.serve(query)
+            cluster.serve(single)
+            version = pool.expert_version(task)
+            # swap in a structurally identical head with different weights
+            donor = next(n for n in pool.expert_names() if n != task)
+            pool.attach_expert(task, pool.experts[donor])
+            assert pool.expert_version(task) == version + 1
+            cross = cluster.serve(query)
+            local = cluster.serve(single)
+            assert not cross.payload_cache_hit and not cross.model_cache_hit
+            assert not local.payload_cache_hit and not local.model_cache_hit
+            # the served payloads really contain the new weights
+            rebuilt = deserialize_task_model(cross.payload)
+            network, _ = pool.consolidate(list(query))
+            x = data.test.images[:16]
+            assert np.array_equal(rebuilt.logits(x), batched_forward(network, x))
+        finally:
+            cluster.close()
+            pool.attach_expert(task, original)  # undo for other tests

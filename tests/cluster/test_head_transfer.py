@@ -1,0 +1,54 @@
+"""Head-level payloads: the cross-shard fetch boundary must be float-exact."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    deserialize_expert_heads,
+    serialize_expert_heads,
+    serialize_task_model,
+)
+
+
+class TestHeadRoundtrip:
+    @pytest.mark.parametrize("transport", ["float32", "raw+zlib"])
+    def test_states_bit_exact(self, wide_pool, transport):
+        pool, _ = wide_pool
+        names = pool.expert_names()[:3]
+        payload = serialize_expert_heads(pool, names, transport)
+        remotes = deserialize_expert_heads(payload)
+        assert set(remotes) == set(names)
+        for name in names:
+            original = pool.experts[name].state_dict()
+            restored = remotes[name].head.state_dict()
+            assert set(original) == set(restored)
+            for key in original:
+                assert np.array_equal(
+                    np.asarray(original[key]), np.asarray(restored[key])
+                ), (name, key)
+
+    def test_versions_and_task_metadata_travel(self, wide_pool):
+        pool, _ = wide_pool
+        name = pool.expert_names()[0]
+        remotes = deserialize_expert_heads(serialize_expert_heads(pool, [name]))
+        remote = remotes[name]
+        assert remote.version == pool.expert_version(name)
+        assert remote.task == pool.hierarchy.task(name)
+
+    def test_missing_expert_rejected(self, wide_pool):
+        pool, _ = wide_pool
+        with pytest.raises(KeyError, match="dragons"):
+            serialize_expert_heads(pool, ["dragons"])
+
+    def test_unknown_transport_rejected(self, wide_pool):
+        pool, _ = wide_pool
+        with pytest.raises(ValueError, match="transport"):
+            serialize_expert_heads(pool, pool.expert_names()[:1], "float16")
+
+    def test_task_model_payload_rejected(self, wide_pool):
+        """A whole-model payload is not an expert-heads payload."""
+        pool, _ = wide_pool
+        network, composite = pool.consolidate(list(pool.expert_names()[:1]))
+        payload = serialize_task_model(network, composite, pool.config)
+        with pytest.raises(ValueError, match="expert-heads"):
+            deserialize_expert_heads(payload)

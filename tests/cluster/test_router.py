@@ -1,0 +1,122 @@
+"""ShardRouter: deterministic, balanced, overridable task→shard routing."""
+
+import pytest
+
+from repro.cluster import ShardRouter, plan_groups
+
+NAMES_1K = [f"task-{i:04d}" for i in range(1000)]
+
+
+class TestDeterminism:
+    def test_same_config_same_routing(self):
+        a = ShardRouter(num_shards=5, seed=3)
+        b = ShardRouter(num_shards=5, seed=3)
+        assert [a.shard_for(n) for n in NAMES_1K] == [b.shard_for(n) for n in NAMES_1K]
+
+    def test_seed_changes_routing(self):
+        a = ShardRouter(num_shards=5, seed=0)
+        b = ShardRouter(num_shards=5, seed=1)
+        assert [a.shard_for(n) for n in NAMES_1K] != [b.shard_for(n) for n in NAMES_1K]
+
+    def test_ranked_shards_is_permutation(self):
+        router = ShardRouter(num_shards=7)
+        for name in NAMES_1K[:50]:
+            assert sorted(router.ranked_shards(name)) == list(range(7))
+
+
+class TestBalance:
+    @pytest.mark.parametrize("num_shards", [2, 4, 8])
+    def test_primary_spread_chi_square_bound(self, num_shards):
+        """Placement over 1k names stays within a chi-square-ish bound.
+
+        Under uniform placement the statistic is chi-square with
+        ``num_shards - 1`` degrees of freedom (expected value = df); 30 is
+        far beyond the p=0.001 tail for df<=7, so failures mean real skew,
+        not noise.
+        """
+        router = ShardRouter(num_shards=num_shards)
+        counts = [0] * num_shards
+        for name in NAMES_1K:
+            counts[router.shard_for(name)] += 1
+        expected = len(NAMES_1K) / num_shards
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        assert chi2 < 30.0, f"counts {counts} too skewed (chi2={chi2:.1f})"
+
+    def test_minimal_disruption_on_growth(self):
+        """Growing 4 -> 5 shards moves roughly 1/5 of the tasks, not all."""
+        small = ShardRouter(num_shards=4)
+        grown = ShardRouter(num_shards=5)
+        moved = sum(small.shard_for(n) != grown.shard_for(n) for n in NAMES_1K)
+        assert moved / len(NAMES_1K) < 0.4  # rendezvous expectation: ~0.2
+
+
+class TestOverridesAndReplication:
+    def test_pin_forces_primary(self):
+        router = ShardRouter(num_shards=4)
+        name = next(n for n in NAMES_1K if router.shard_for(n) != 2)
+        router.pin(name, 2)
+        assert router.shard_for(name) == 2
+        router.unpin(name)
+        assert router.shard_for(name) != 2
+
+    def test_pin_validates_shard(self):
+        router = ShardRouter(num_shards=4)
+        with pytest.raises(ValueError):
+            router.pin("x", 4)
+
+    def test_replication_returns_distinct_shards(self):
+        router = ShardRouter(num_shards=4, replication=3)
+        for name in NAMES_1K[:50]:
+            shards = router.shards_for(name)
+            assert len(shards) == 3 and len(set(shards)) == 3
+
+    def test_hot_expert_replication_overrides_default(self):
+        router = ShardRouter(num_shards=4)
+        router.replicate("hot", 4)
+        assert len(router.shards_for("hot")) == 4
+        assert len(router.shards_for("cold")) == 1
+
+    def test_replication_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ShardRouter(num_shards=2, replication=3)
+        router = ShardRouter(num_shards=2)
+        with pytest.raises(ValueError):
+            router.replicate("x", 3)
+
+
+class TestPlanning:
+    def test_plan_partitions_the_query(self):
+        router = ShardRouter(num_shards=4)
+        names = NAMES_1K[:10]
+        plan = router.plan(names)
+        flattened = sorted(n for group in plan.values() for n in group)
+        assert flattened == sorted(names)
+        for shard, group in plan.items():
+            for name in group:
+                assert shard in router.shards_for(name)
+
+    def test_replicas_shrink_fanout(self):
+        """A fully replicated hot task never adds a shard to the plan."""
+        router = ShardRouter(num_shards=4)
+        cold = next(n for n in NAMES_1K)
+        hot = "hot-task"
+        router.replicate(hot, 4)
+        plan = router.plan([cold, hot])
+        assert len(plan) == 1
+        assert set(plan[router.shard_for(cold)]) == {cold, hot}
+
+    def test_plan_groups_prefers_touched_shards(self):
+        plan = plan_groups({"a": (0,), "b": (2, 0), "c": (1, 3)})
+        assert plan[0] == ("a", "b")  # b joins a's shard instead of its primary
+        assert plan[1] == ("c",)
+
+    def test_assignment_covers_every_shard(self):
+        router = ShardRouter(num_shards=4)
+        assignment = router.assignment(NAMES_1K[:20])
+        assert sorted(assignment) == [0, 1, 2, 3]
+        placed = sorted(n for group in assignment.values() for n in group)
+        assert placed == sorted(NAMES_1K[:20])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(num_shards=0)

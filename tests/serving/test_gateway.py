@@ -126,6 +126,38 @@ class TestCacheControl:
             assert gateway.payload_cache.stats().expirations >= 1
 
 
+class TestInvalidation:
+    def test_reextraction_drops_dependent_entries(self, named_pool):
+        """A version bump invalidates immediately — no waiting for TTL."""
+        pool, _, _ = named_pool
+        with ServingGateway(pool) as gateway:
+            gateway.serve(["pets", "birds"])
+            gateway.serve(["fish"])
+            pool.attach_expert("pets", pool.experts["pets"])  # version bump
+            hit = gateway.serve(["fish"])
+            missed = gateway.serve(["pets", "birds"])
+            assert hit.payload_cache_hit  # unrelated entry untouched
+            assert not missed.payload_cache_hit and not missed.model_cache_hit
+
+    def test_invalidate_task_reports_dropped_count(self, named_pool):
+        pool, _, _ = named_pool
+        with ServingGateway(pool) as gateway:
+            gateway.serve(["pets", "birds"])
+            gateway.serve(["pets"], transport="uint8")
+            # 2 payload entries + 2 model entries mention pets
+            assert gateway.invalidate_task("pets") == 4
+            assert gateway.invalidate_task("pets") == 0
+
+    def test_closed_gateway_stops_listening(self, named_pool):
+        pool, _, _ = named_pool
+        gateway = ServingGateway(pool)
+        gateway.serve(["pets"])
+        gateway.close()
+        entries = len(gateway.payload_cache)
+        pool.attach_expert("pets", pool.experts["pets"])
+        assert len(gateway.payload_cache) == entries  # listener removed
+
+
 class TestCoalescing:
     def test_concurrent_duplicates_consolidate_exactly_once(self, named_pool):
         """The satellite guarantee: N concurrent identical queries, 1 build."""

@@ -57,6 +57,42 @@ class TestFloat32Roundtrip:
         )
 
 
+class TestRawZlibRoundtrip:
+    def test_states_bit_exact(self, named_pool):
+        """raw+zlib is a container change, not a precision change."""
+        pool, _, _ = named_pool
+        network, composite = pool.consolidate(["pets", "birds"])
+        payload = serialize_task_model(network, composite, pool.config, "raw+zlib")
+        rebuilt = deserialize_task_model(payload)
+        for (_, original), (_, restored) in zip(
+            _flat_states(network), _flat_states(rebuilt.network)
+        ):
+            assert set(original) == set(restored)
+            for key in original:
+                assert np.array_equal(
+                    np.asarray(original[key]), np.asarray(restored[key])
+                ), key
+
+    def test_flat_container_not_npz(self, named_pool):
+        pool, _, _ = named_pool
+        network, composite = pool.consolidate(["fish"])
+        flat = serialize_task_model(network, composite, pool.config, "raw+zlib")
+        npz = serialize_task_model(network, composite, pool.config, "float32")
+        assert flat[:4] == b"POEZ"
+        assert npz[:2] == b"PK"  # zip container
+        # same information, different container: sizes are comparable
+        assert len(flat) < 2 * len(npz)
+
+    def test_metadata_travels(self, named_pool):
+        pool, _, _ = named_pool
+        network, composite = pool.consolidate(["birds", "pets"])
+        rebuilt = deserialize_task_model(
+            serialize_task_model(network, composite, pool.config, "raw+zlib")
+        )
+        assert rebuilt.task.names == composite.names
+        assert rebuilt.task.classes == composite.classes
+
+
 class TestUint8Roundtrip:
     def test_states_equal_quant_dequant(self, named_pool):
         """uint8 transport loses exactly the quantization error, nothing more."""
