@@ -7,6 +7,7 @@ Subcommands::
     python -m repro.cli query   --track T --tasks a,b     # serve one query
     python -m repro.cli serve-bench [--mode closed|open]  # gateway load test
     python -m repro.cli cluster-bench --shards 4          # sharded-pool load test
+    python -m repro.cli predict-bench --heads 8           # fused-inference bench
     python -m repro.cli report  [--out EXPERIMENTS.md]    # paper-vs-measured
     python -m repro.cli info                              # registry overview
 
@@ -245,6 +246,44 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_predict_bench(args: argparse.Namespace) -> int:
+    """Benchmark the fused prediction fast path; append to the trajectory."""
+    from .serving import (
+        append_benchmark_record,
+        build_demo_pool,
+        run_predict_benchmark,
+    )
+
+    if args.heads > args.micro_tasks:
+        print(
+            f"error: --heads {args.heads} exceeds --micro-tasks {args.micro_tasks}"
+        )
+        return 2
+    print("building self-contained micro pool (seconds)...")
+    pool, data = build_demo_pool(num_tasks=args.micro_tasks, seed=args.seed)
+    record = run_predict_benchmark(
+        pool,
+        data.test.images,
+        n_heads=args.heads,
+        batch_size=args.batch,
+        reps=args.reps,
+    )
+    from .serving import predict_report_rows
+
+    rows, title = predict_report_rows(record)
+    print()
+    print(render_table(["Path", "ms/call", "speedup"], rows, title=title))
+    doc = append_benchmark_record(args.out, record, label=args.label)
+    print(f"\nappended run {len(doc['runs'])} to {args.out}")
+    if not record["allclose"]:
+        print(
+            "error: fused logits diverged from the per-head loop "
+            f"(max abs diff {record['max_abs_diff']:.2e})"
+        )
+        return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .eval.report import generate_report
 
@@ -332,6 +371,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_cluster.add_argument("--micro-tasks", type=int, default=8, help="tasks in the micro pool")
     p_cluster.add_argument("--seed", type=int, default=0)
     p_cluster.set_defaults(fn=cmd_cluster_bench)
+
+    p_predict = sub.add_parser(
+        "predict-bench", help="benchmark the fused prediction fast path"
+    )
+    p_predict.add_argument("--heads", type=int, default=8, help="n(Q): experts per query")
+    p_predict.add_argument("--batch", type=int, default=64, help="images per prediction")
+    p_predict.add_argument("--reps", type=int, default=30, help="timing repetitions (median)")
+    p_predict.add_argument("--micro-tasks", type=int, default=8, help="tasks in the micro pool")
+    p_predict.add_argument("--seed", type=int, default=13)
+    p_predict.add_argument(
+        "--out", default="BENCH_predict.json", help="JSON trajectory to append to"
+    )
+    p_predict.add_argument("--label", default="cli", help="label stored with this run")
+    p_predict.set_defaults(fn=cmd_predict_bench)
 
     p_report = sub.add_parser("report", help="write EXPERIMENTS.md")
     p_report.add_argument("--root", default=None)

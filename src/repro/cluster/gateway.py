@@ -36,18 +36,24 @@ from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from ..core.features import TrunkFeatureCache
 from ..core.pool import PoolOfExperts
 from ..core.query import TaskSpecificModel
 from ..core.server import TRANSPORTS, deserialize_expert_heads, serialize_task_model
-from ..models import BranchedSpecialistNet
+from ..distill.caches import batched_forward
+from ..models import BranchedSpecialistNet, count_params
 from ..serving.cache import BYTES_PER_PARAM, ByteBudgetLRU, CacheStats, merge_cache_stats
 from ..serving.canonical import TaskQuery, canonical_tasks, payload_key
 from ..serving.gateway import (
     GatewayConfig,
     GatewayResponse,
+    PredictionResponse,
     SingleFlight,
     drop_task_entries,
     expert_versions,
+    run_fused_prediction,
 )
 from .metrics import ClusterMetrics
 from .router import ShardRouter, plan_groups
@@ -56,7 +62,7 @@ from .shard import PoolShard
 __all__ = ["ClusterConfig", "ClusterGateway", "RebalanceReport"]
 
 #: Head-fetch transports that reconstruct weights bit-exactly.
-_EXACT_TRANSPORTS = ("float32", "raw+zlib")
+_EXACT_TRANSPORTS = ("float32", "raw+zlib", "zstd")
 
 
 @dataclass(frozen=True)
@@ -70,6 +76,12 @@ class ClusterConfig:
     shard_payload_cache_bytes: int = 64 << 20
     composite_model_cache_bytes: int = 64 << 20
     composite_payload_cache_bytes: int = 64 << 20
+    #: One content-addressed trunk-feature cache shared by every shard and
+    #: the cluster front end (all shard views share one frozen library).
+    trunk_cache_bytes: int = 64 << 20
+    #: Version-keyed LRU of deserialized remote heads, so cross-shard
+    #: composites stop refetching the same expert payload per build.
+    remote_head_cache_bytes: int = 32 << 20
     ttl_seconds: Optional[float] = None
     #: Wire codec for cross-shard head fetches; must be float-exact so
     #: cross-shard consolidation matches a single pool bit-for-bit.
@@ -91,6 +103,7 @@ class ClusterConfig:
             max_workers=self.workers_per_shard,
             model_cache_bytes=self.shard_model_cache_bytes,
             payload_cache_bytes=self.shard_payload_cache_bytes,
+            trunk_cache_bytes=self.trunk_cache_bytes,
             ttl_seconds=self.ttl_seconds,
         )
 
@@ -147,12 +160,18 @@ class ClusterGateway:
         for name in sorted(self._placement):
             for shard_id in self._placement[name]:
                 assignment[shard_id].append(name)
+        # one shared trunk-feature cache: every shard view runs the same
+        # frozen library, so features are reusable cluster-wide
+        self.trunk_cache = TrunkFeatureCache(
+            self.config.trunk_cache_bytes, ttl_seconds=self.config.ttl_seconds
+        )
         self.shards: List[PoolShard] = [
             PoolShard(
                 shard_id,
                 pool,
                 assignment[shard_id],
                 self.config.shard_gateway_config(),
+                trunk_cache=self.trunk_cache,
             )
             for shard_id in range(self.config.num_shards)
         ]
@@ -162,6 +181,11 @@ class ClusterGateway:
         self.payload_cache = ByteBudgetLRU(
             self.config.composite_payload_cache_bytes,
             ttl_seconds=self.config.ttl_seconds,
+        )
+        # deserialized remote heads, keyed (task, version): a version bump
+        # can never hit a stale entry, and updates also drop bytes eagerly
+        self.remote_head_cache = ByteBudgetLRU(
+            self.config.remote_head_cache_bytes, ttl_seconds=self.config.ttl_seconds
         )
         self._flights = SingleFlight()
         # makes version-guarded composite puts atomic against invalidation
@@ -210,6 +234,160 @@ class ClusterGateway:
         model, _ = self._composite_model(names, plan)
         return model
 
+    def predict(self, images: np.ndarray, tasks: TaskQuery) -> PredictionResponse:
+        """Prediction through the fused fast path, routed like :meth:`serve`.
+
+        Single-shard plans delegate to the owning shard's gateway
+        (model/trunk caches, fused heads); cross-shard plans assemble the
+        composite model (remote-head cache + fetch) and predict at the
+        cluster front end.  Trunk features come from the one cluster-wide
+        content-addressed cache either way.
+        """
+        images = np.asarray(images, dtype=np.float32)
+        names = canonical_tasks(tasks)
+        start = perf_counter()
+        self.metrics.increment("predictions")
+        try:
+            # same one-retry contract as _serve: a concurrent rebalance can
+            # invalidate a plan between planning and serving
+            for attempt in (0, 1):
+                try:
+                    return self._predict_planned(images, names, start)
+                except KeyError:
+                    with self._placement_lock:
+                        still_placed = all(n in self._placement for n in names)
+                    if attempt == 1 or not still_placed:
+                        raise
+                    self.metrics.increment("plan_retries")
+        except BaseException:
+            self.metrics.increment("errors")
+            raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def submit_predict(
+        self, images: np.ndarray, tasks: TaskQuery
+    ) -> "Future[PredictionResponse]":
+        """Dispatch a prediction onto the cluster, micro-batched where possible.
+
+        Single-shard queries join the owning shard gateway's micro-batcher
+        (coalescing their trunk forwards with other concurrent requests on
+        that shard); cross-shard queries run on the cluster executor.
+        Every failure — including a planning error — arrives through the
+        returned future, and a shard-path KeyError caused by a concurrent
+        rebalance is retried once through the replanning inline path, the
+        same contract :meth:`predict` gives synchronous callers.
+        """
+        images = np.asarray(images, dtype=np.float32)
+        names = canonical_tasks(tasks)
+        result: "Future[PredictionResponse]" = Future()
+        try:
+            plan = self._plan(names)
+        except KeyError as error:
+            # count the request too, so errors/predictions stays a rate
+            self.metrics.increment("predictions")
+            self.metrics.increment("errors")
+            result.set_exception(error)
+            return result
+        if len(plan) > 1:
+            try:
+                inner = self._ensure_executor().submit(self.predict, images, names)
+            except BaseException as error:  # closing: keep the future-only contract
+                result.set_exception(error)
+            else:
+                self._chain(inner, result)
+            return result
+        (shard_id,) = plan
+        start = perf_counter()
+        try:
+            inner = self.shards[shard_id].gateway.submit_predict(images, names)
+        except BaseException as error:  # shard closing: future-only contract
+            self.metrics.increment("errors")
+            result.set_exception(error)
+            return result
+
+        # cluster-level counters are recorded at completion, not dispatch:
+        # the retry path delegates to predict() (which records fan-out,
+        # shard traffic and counts itself), so recording here too would
+        # tally one request twice
+        def relay(done: "Future[PredictionResponse]") -> None:
+            error = done.exception()
+            if error is None:
+                self.metrics.record_fanout(1)
+                self.metrics.record_shard_requests((shard_id,))
+                self.metrics.increment("predictions")
+                self.metrics.observe("predict_total", perf_counter() - start)
+                result.set_result(done.result())
+                return
+            with self._placement_lock:
+                still_placed = all(n in self._placement for n in names)
+            if isinstance(error, KeyError) and still_placed:
+                # rebalance moved a task off the planned shard between
+                # planning and draining; the inline path replans + retries
+                self.metrics.increment("plan_retries")
+                try:
+                    retry = self._ensure_executor().submit(self.predict, images, names)
+                except BaseException as submit_error:  # gateway closing
+                    result.set_exception(submit_error)
+                else:
+                    self._chain(retry, result)
+            else:
+                self.metrics.increment("predictions")
+                self.metrics.increment("errors")
+                result.set_exception(error)
+
+        inner.add_done_callback(relay)
+        return result
+
+    @staticmethod
+    def _chain(inner: "Future[PredictionResponse]", result: "Future[PredictionResponse]") -> None:
+        """Propagate ``inner``'s outcome into ``result`` when it completes."""
+
+        def relay(done: "Future[PredictionResponse]") -> None:
+            error = done.exception()
+            if error is None:
+                result.set_result(done.result())
+            else:
+                result.set_exception(error)
+
+        inner.add_done_callback(relay)
+
+    def _predict_planned(
+        self, images: np.ndarray, names: Tuple[str, ...], start: float
+    ) -> PredictionResponse:
+        plan = self._plan(names)
+        self.metrics.record_fanout(len(plan))
+        if len(plan) == 1:
+            (shard_id,) = plan
+            self.metrics.record_shard_requests((shard_id,))
+            response = self.shards[shard_id].gateway.predict(images, names)
+            self.metrics.observe("predict_total", perf_counter() - start)
+            return response
+
+        self.metrics.increment("cross_shard")
+        model, model_hit = self._composite_model(names, plan)
+        if not model_hit:
+            # a composite-cache hit touches no shard, a build fetched from all
+            self.metrics.record_shard_requests(list(plan))
+
+        def compute(batch: np.ndarray) -> np.ndarray:
+            with self.metrics.stage("predict_trunk"):
+                return batched_forward(self.pool.library, batch)
+
+        features, trunk_hit = self.trunk_cache.get_or_compute(images, compute)
+        ids = run_fused_prediction(model, features, self.metrics)
+        service_seconds = perf_counter() - start
+        self.metrics.observe("predict_total", service_seconds)
+        return PredictionResponse(
+            class_ids=ids,
+            tasks=names,
+            batch_size=int(images.shape[0]),
+            queue_seconds=0.0,
+            service_seconds=service_seconds,
+            model_cache_hit=model_hit,
+            trunk_cache_hit=trunk_hit,
+            coalesced=False,
+        )
+
     def cache_stats(self) -> Dict[str, CacheStats]:
         """Aggregated tiers (``model``/``payload``) plus the cluster tiers."""
         shard_model = [s.gateway.model_cache.stats() for s in self.shards]
@@ -221,6 +399,10 @@ class ClusterGateway:
             "payload": merge_cache_stats(shard_payload + [composite_payload]),
             "composite_model": composite_model,
             "composite_payload": composite_payload,
+            # one instance shared by every shard gateway — not merged,
+            # merging would double-count the same cache N times
+            "trunk": self.trunk_cache.stats(),
+            "remote_heads": self.remote_head_cache.stats(),
         }
 
     def render_stats(self) -> str:
@@ -380,13 +562,33 @@ class ClusterGateway:
                 for shard_id, group in plan.items():
                     if shard_id == home:
                         continue
+                    # version-keyed remote-head LRU: repeat cross-shard
+                    # builds reuse already-deserialized heads instead of
+                    # refetching the same expert payload per composite
+                    missing: List[str] = []
+                    for name in group:
+                        cached = self.remote_head_cache.get(
+                            (name, self.pool.expert_version(name))
+                        )
+                        if cached is not None:
+                            heads[name] = cached
+                            self.metrics.increment("remote_head_hits")
+                        else:
+                            missing.append(name)
+                    if not missing:
+                        continue
                     raw = self.shards[shard_id].fetch_heads(
-                        group, self.config.fetch_transport
+                        missing, self.config.fetch_transport
                     )
                     self.metrics.increment("remote_fetches")
                     self.metrics.increment("remote_fetch_bytes", len(raw))
                     for name, remote in deserialize_expert_heads(raw).items():
                         heads[name] = remote.head
+                        self.remote_head_cache.put(
+                            (name, remote.version),
+                            remote.head,
+                            count_params(remote.head) * BYTES_PER_PARAM,
+                        )
             with self.metrics.stage("assemble"):
                 network = BranchedSpecialistNet(
                     self.pool.library, [(name, heads[name]) for name in names]
@@ -397,9 +599,7 @@ class ClusterGateway:
                 )
             with self._invalidate_lock:
                 if versions == expert_versions(self.pool, names):
-                    self.model_cache.put(
-                        names, built, built.num_params() * BYTES_PER_PARAM
-                    )
+                    self.model_cache.put(names, built, built.cache_nbytes())
             return built
 
         built, _ = self._flights.run(("model", names), build)
@@ -409,12 +609,40 @@ class ClusterGateway:
     # Invalidation + rebalance
     # ------------------------------------------------------------------
     def _invalidate_composites(self, name: str) -> int:
-        """Drop cluster-level entries that include expert ``name``."""
+        """Drop cluster-level entries that include expert ``name``.
+
+        Remote-head entries are version-keyed, so a stale one can never be
+        *served* — dropping here just releases the bytes immediately.
+        """
+        dropped = 0
+        for key in self.remote_head_cache.keys():
+            if key[0] == name:
+                dropped += self.remote_head_cache.discard(key)
         with self._invalidate_lock:
-            return drop_task_entries(self.model_cache, self.payload_cache, name)
+            return dropped + drop_task_entries(
+                self.model_cache, self.payload_cache, name
+            )
 
     def _on_expert_update(self, name: str, version: int) -> None:
         """Source pool re-extracted (or removed) an expert: resync shards."""
+        from ..core.pool import LIBRARY_TASK
+
+        if name == LIBRARY_TASK:
+            # the trunk changed: repoint every shard view at the new
+            # library and drop everything computed against the old one
+            # (propagating the sentinel fires each shard gateway's own
+            # listener, which clears its caches and bumps its version guard)
+            for shard in self.shards:
+                shard.refresh_library(
+                    self.pool.library, self.pool.library_student, version
+                )
+            with self._invalidate_lock:
+                self.model_cache.clear()
+                self.payload_cache.clear()
+            self.remote_head_cache.clear()
+            self.trunk_cache.clear()  # shared with every shard gateway
+            self.metrics.increment("invalidations")
+            return
         head = self.pool.experts.get(name)
         with self._placement_lock:
             placed = self._placement.get(name)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple
 
+from ..core.features import TrunkFeatureCache
 from ..core.pool import PoolOfExperts
 from ..core.server import serialize_expert_heads
 from ..models import WRNHead
@@ -36,12 +37,16 @@ class PoolShard:
         parent: PoolOfExperts,
         task_names: Iterable[str],
         gateway_config: Optional[GatewayConfig] = None,
+        trunk_cache: Optional[TrunkFeatureCache] = None,
     ) -> None:
         self.shard_id = shard_id
         self.parent = parent
         self.pool = parent.subset(task_names)
+        # every shard view shares the parent's frozen library, so the
+        # cluster hands all shards one trunk-feature cache: features
+        # computed for a query on one shard serve predictions on any other
         self.gateway = ServingGateway(
-            self.pool, gateway_config, metrics=ServingMetrics()
+            self.pool, gateway_config, metrics=ServingMetrics(), trunk_cache=trunk_cache
         )
 
     # ------------------------------------------------------------------
@@ -71,6 +76,19 @@ class PoolShard:
     def drop_expert(self, name: str) -> None:
         """Remove one expert from this shard; invalidates caches."""
         self.pool.detach_expert(name)
+
+    def refresh_library(self, library, library_student, version: int) -> None:
+        """Repoint the view at a re-extracted library trunk.
+
+        Propagates the library sentinel version through the view pool so
+        the shard gateway's invalidation listener clears its caches and
+        in-flight builds against the old trunk fail their version guard.
+        """
+        from ..core.pool import LIBRARY_TASK
+
+        self.pool.library = library
+        self.pool.library_student = library_student
+        self.pool._set_version(LIBRARY_TASK, version)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -8,6 +8,7 @@
 """
 
 from .confidence import ConfidenceProfile, max_confidences, ood_confidence_profile
+from .features import TrunkFeatureCache, array_digest
 from .pool import PoEConfig, PoolOfExperts
 from .query import ModelQueryEngine, QueryRecord, TaskSpecificModel
 from .server import (
@@ -27,6 +28,8 @@ from .storage import ExpertStore, VolumeReport, estimate_all_specialists_volume
 __all__ = [
     "PoolOfExperts",
     "PoEConfig",
+    "TrunkFeatureCache",
+    "array_digest",
     "ModelQueryEngine",
     "TaskSpecificModel",
     "QueryRecord",

@@ -1,0 +1,125 @@
+"""Content-addressed trunk-feature caching.
+
+The library trunk is frozen the moment it is extracted, so its features
+over a given image batch are a pure function of the *bytes* of that batch
+— reusable across every composite model ``M(Q)``, every expert
+extraction, and every repeated prediction request.  This module provides:
+
+* :func:`array_digest` — a stable content hash for numpy arrays (shape,
+  dtype and raw bytes), the one cache identity shared by the
+  preprocessing memos in :class:`~repro.core.pool.PoolOfExperts` and the
+  serving tier's feature cache.  Keying on content (not on ``shape[0]``,
+  as an earlier memo did) is what makes "different batch, same row count"
+  a miss instead of silently returning the previous batch's features.
+* :class:`TrunkFeatureCache` — a byte-budgeted LRU of feature arrays
+  keyed on image digests, shared by the prediction fast path
+  (:meth:`~repro.serving.ServingGateway.predict`) so repeated or
+  cross-composite predictions on the same images run the shared trunk
+  once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["array_digest", "TrunkFeatureCache"]
+
+
+def array_digest(array: np.ndarray) -> str:
+    """Stable content hash of an array: shape + dtype + bytes (blake2b).
+
+    Two arrays collide only if they are byte-identical with the same shape
+    and dtype — in particular, two different image batches with the same
+    row count get different digests.
+    """
+    array = np.asarray(array)
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(str(array.shape).encode())
+    hasher.update(str(array.dtype).encode())
+    hasher.update(np.ascontiguousarray(array).tobytes())
+    return hasher.hexdigest()
+
+
+class TrunkFeatureCache:
+    """Byte-budgeted LRU of trunk feature maps, keyed on image digests.
+
+    A thin, purpose-named wrapper over
+    :class:`~repro.serving.cache.ByteBudgetLRU`: entries are the raw
+    feature arrays, charged at ``features.nbytes``.  A budget of 0
+    disables caching (every lookup misses), mirroring the serving tiers.
+    """
+
+    def __init__(self, budget_bytes: int, ttl_seconds: Optional[float] = None) -> None:
+        from ..serving.cache import ByteBudgetLRU
+
+        self._lru = ByteBudgetLRU(budget_bytes, ttl_seconds=ttl_seconds)
+        # generation guard: clear() bumps it, and inserts computed against
+        # an older generation are refused — a trunk forward in flight
+        # across a library re-extraction cannot cache stale features
+        self._generation = 0
+        self._generation_lock = threading.Lock()
+
+    def get(self, digest: str) -> Optional[np.ndarray]:
+        return self._lru.get(digest)
+
+    def put(self, digest: str, features: np.ndarray) -> bool:
+        return self._lru.put(digest, features, int(features.nbytes))
+
+    def generation(self) -> int:
+        """Token to snapshot before computing features (see :meth:`put_guarded`)."""
+        with self._generation_lock:
+            return self._generation
+
+    def put_guarded(self, digest: str, features: np.ndarray, token: int) -> bool:
+        """Insert only if no :meth:`clear` ran since ``token`` was taken."""
+        with self._generation_lock:
+            if self._generation != token:
+                return False
+            return self.put(digest, features)
+
+    def get_or_compute(
+        self,
+        images: np.ndarray,
+        compute: Callable[[np.ndarray], np.ndarray],
+    ) -> Tuple[np.ndarray, bool]:
+        """``(features, was_hit)`` for ``images`` — the one lookup protocol.
+
+        Misses run ``compute(images)`` and insert the result under the
+        content digest; every caller (gateway, cluster, micro-batcher)
+        shares this sequence so digesting and insertion can't drift apart.
+        """
+        if self._lru.budget_bytes == 0:
+            # disabled cache: skip the digest, it could never hit anyway
+            return compute(images), False
+        digest = array_digest(images)
+        features = self.get(digest)
+        if features is not None:
+            return features, True
+        token = self.generation()
+        features = compute(images)
+        self.put_guarded(digest, features, token)
+        return features, False
+
+    def clear(self) -> None:
+        """Drop everything — the serving listeners call this when the
+        backing trunk changes (``LIBRARY_TASK`` version bump).  Inserts
+        whose compute started before the clear are refused afterwards."""
+        with self._generation_lock:
+            self._generation += 1
+            self._lru.clear()
+
+    def stats(self):
+        return self._lru.stats()
+
+    def reset_stats(self) -> None:
+        self._lru.reset_stats()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TrunkFeatureCache({self._lru!r})"

@@ -15,6 +15,7 @@ from it in microseconds, with no training.
 
 from __future__ import annotations
 
+import weakref
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -33,10 +34,17 @@ from ..distill import (
 )
 from ..models import BranchedSpecialistNet, WideResNet, WRNHead, WRNTrunk
 from ..nn import Module
+from .features import array_digest
 
-__all__ = ["PoEConfig", "PoolOfExperts", "expert_init_seed"]
+__all__ = ["LIBRARY_TASK", "PoEConfig", "PoolOfExperts", "expert_init_seed"]
 
 TaskRef = Union[str, PrimitiveTask]
+
+#: Sentinel "task name" used in version-listener notifications when the
+#: *library trunk* is (re-)extracted.  Serving layers treat it as a
+#: whole-pool invalidation: every consolidated model and every cached
+#: trunk feature was computed against the old trunk.
+LIBRARY_TASK = "__library__"
 
 
 def expert_init_seed(config_seed: int, task_name: str) -> int:
@@ -104,8 +112,15 @@ class PoolOfExperts:
         self.library_student: Optional[WideResNet] = None
         self.experts: Dict[str, WRNHead] = {}
         self.histories: Dict[str, History] = {}
+        # memos key on a content digest; the weakrefs are an identity fast
+        # path that skips re-hashing the (possibly huge) training array on
+        # repeat calls without pinning it in memory for the pool's life
         self._oracle_logits: Optional[np.ndarray] = None
+        self._oracle_digest: Optional[str] = None
+        self._oracle_images: Optional["weakref.ref[np.ndarray]"] = None
         self._library_features: Optional[np.ndarray] = None
+        self._features_digest: Optional[str] = None
+        self._features_images: Optional["weakref.ref[np.ndarray]"] = None
         self._versions: Dict[str, int] = {}
         self._listeners: List[Callable[[str, int], None]] = []
 
@@ -222,7 +237,13 @@ class PoolOfExperts:
         self.library.requires_grad_(False)
         self.library.eval()
         self.histories["library"] = history
-        self._library_features = None  # invalidate any cached features
+        # invalidate any cached features: the trunk they came from is gone
+        self._library_features = None
+        self._features_digest = None
+        self._features_images = None
+        # and tell serving listeners the trunk itself changed — dependent
+        # models and trunk-feature caches must drop everything
+        self._bump_version(LIBRARY_TASK)
         return history
 
     def extract_expert(
@@ -319,17 +340,39 @@ class PoolOfExperts:
         return task if isinstance(task, PrimitiveTask) else self.hierarchy.task(task)
 
     def _oracle_logits_for(self, images: np.ndarray) -> np.ndarray:
-        """Oracle logits over the training images, computed once."""
-        if self._oracle_logits is None or self._oracle_logits.shape[0] != images.shape[0]:
+        """Oracle logits over the training images, memoized by content.
+
+        The memo key is a digest of the image bytes
+        (:func:`~repro.core.features.array_digest`), not the row count: a
+        different batch that happens to have the same ``shape[0]`` must
+        recompute, never silently reuse the previous batch's logits.  An
+        identity check short-circuits the hash for the common case of the
+        same training array passed once per expert extraction — which
+        assumes callers never mutate that array in place between calls
+        (pass a modified copy instead, as the data pipeline does).
+        """
+        if self._oracle_logits is not None and self._oracle_images is not None:
+            if images is self._oracle_images():
+                return self._oracle_logits
+        digest = array_digest(images)
+        if self._oracle_logits is None or self._oracle_digest != digest:
             self._oracle_logits = batched_forward(self.oracle, images)
+            self._oracle_digest = digest
+        self._oracle_images = weakref.ref(images)
         return self._oracle_logits
 
     def _features_for(self, images: np.ndarray) -> np.ndarray:
-        """Frozen-library features over the training images, computed once."""
+        """Frozen-library features, memoized by content digest (see above)."""
         if self.library is None:
             raise RuntimeError("library not extracted yet")
-        if self._library_features is None or self._library_features.shape[0] != images.shape[0]:
+        if self._library_features is not None and self._features_images is not None:
+            if images is self._features_images():
+                return self._library_features
+        digest = array_digest(images)
+        if self._library_features is None or self._features_digest != digest:
             self._library_features = batched_forward(self.library, images)
+            self._features_digest = digest
+        self._features_images = weakref.ref(images)
         return self._library_features
 
     def expert_names(self) -> Tuple[str, ...]:

@@ -69,24 +69,59 @@ class TaskSpecificModel:
         return self._class_names
 
     def logits(self, images: np.ndarray, batch_size: int = 512) -> np.ndarray:
-        """Unified logits ``s_Q`` for a batch of images."""
+        """Unified logits ``s_Q``, reference per-head loop path (bit-stable)."""
         return batched_forward(self.network, np.asarray(images, dtype=np.float32), batch_size)
+
+    def fused_logits(self, images: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        """Unified logits via the fused fast path (trunk loop + stacked heads).
+
+        Numerically equal to :meth:`logits` up to float32 round-off; the
+        ``n(Q)`` heads execute as one batched pass
+        (:meth:`~repro.models.BranchedSpecialistNet.fused_logits`) instead
+        of a Python loop.  Use :meth:`logits` where bit-stable output
+        matters (payload round-trip checks); predictions use this path.
+        """
+        images = np.asarray(images, dtype=np.float32)
+        bank = self.network.fused_bank()
+        out = []
+        for start in range(0, images.shape[0], batch_size):
+            chunk = images[start : start + batch_size]
+            out.append(bank(batched_forward(self.network.trunk, chunk, batch_size)))
+        return np.concatenate(out, axis=0)
+
+    def logits_from_features(self, features: np.ndarray) -> np.ndarray:
+        """Fused logits from precomputed trunk features (serving fast path)."""
+        return self.network.fused_logits(features)
 
     def predict_proba(self, images: np.ndarray) -> np.ndarray:
         """Softmax probabilities ``P_Q`` over the task's classes."""
         with no_grad():
-            return softmax(Tensor(self.logits(images))).numpy()
+            return softmax(Tensor(self.fused_logits(images))).numpy()
 
     def predict(self, images: np.ndarray) -> np.ndarray:
-        """Predicted *global* class ids."""
-        return self._classes[self.logits(images).argmax(axis=1)]
+        """Predicted *global* class ids (fused fast path)."""
+        return self._classes[self.fused_logits(images).argmax(axis=1)]
 
     def predict_names(self, images: np.ndarray) -> List[str]:
-        """Predicted class names."""
-        return [self._class_names[i] for i in self.logits(images).argmax(axis=1)]
+        """Predicted class names (fused fast path)."""
+        return [self._class_names[i] for i in self.fused_logits(images).argmax(axis=1)]
 
     def num_params(self) -> int:
         return count_params(self.network)
+
+    def cache_nbytes(self) -> int:
+        """Byte charge for holding this model in a serving cache.
+
+        Counts the module weights plus a second copy of every head's
+        weights: the fused bank (:meth:`~repro.models.BranchedSpecialistNet
+        .fused_bank`) stacks them on the first prediction, so a cached
+        model's steady-state residency includes it even though it may not
+        exist yet at insert time.
+        """
+        from ..serving.cache import BYTES_PER_PARAM
+
+        head_params = sum(count_params(head) for head in self.network.heads)
+        return (self.num_params() + head_params) * BYTES_PER_PARAM
 
     def num_flops(self, input_shape: Tuple[int, int, int]) -> int:
         return count_flops(self.network, input_shape)
@@ -140,7 +175,6 @@ class ModelQueryEngine:
         The returned model's logit layout follows the *requested* task
         order; caching happens at canonical-key granularity underneath.
         """
-        from ..serving.cache import BYTES_PER_PARAM
         from ..serving.canonical import canonical_tasks
 
         order = tuple(tasks.names) if isinstance(tasks, CompositeTask) else tuple(tasks)
@@ -151,7 +185,7 @@ class ModelQueryEngine:
         if entry is None:
             network, composite = self.pool.consolidate(tasks)
             model = TaskSpecificModel(network, composite)
-            self._cache.put(key, {order: model}, model.num_params() * BYTES_PER_PARAM)
+            self._cache.put(key, {order: model}, model.cache_nbytes())
         elif order in entry:
             model = entry[order]
         else:

@@ -16,7 +16,11 @@ small accuracy cost, demonstrating the paper's point that distillation
 and quantization compose.  A third codec, ``raw+zlib``, skips the npz/zip
 container entirely: a flat binary header plus one zlib-compressed tensor
 block, which serializes faster than ``np.savez_compressed`` at comparable
-size (``repro serve-bench`` prints the comparison).
+size (``repro serve-bench`` prints the comparison).  A fourth, ``zstd``,
+uses the same flat container with zstandard block compression when the
+``zstandard`` module is installed and **falls back to zlib compression**
+(recorded in the header, so payloads always decode) when it is not —
+environments without the optional dependency keep working.
 
 Besides whole-model payloads, :func:`serialize_expert_heads` /
 :func:`deserialize_expert_heads` ship *head-level* payloads (no library
@@ -34,6 +38,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
+
+try:  # optional fast codec; the zstd transport degrades to zlib without it
+    import zstandard as _zstandard
+except ImportError:  # pragma: no cover - exercised via _compress_block tests
+    _zstandard = None
 
 from ..compress import dequantize_tensor, quantize_tensor
 from ..compress.quantize import QuantizedTensor
@@ -56,9 +65,13 @@ __all__ = [
 ]
 
 #: Supported payload encodings; serving layers validate against this.
-#: ``float32``/``uint8`` use the npz container; ``raw+zlib`` is a flat
-#: binary header + one zlib-compressed float32 tensor block.
-TRANSPORTS = ("float32", "uint8", "raw+zlib")
+#: ``float32``/``uint8`` use the npz container; ``raw+zlib`` and ``zstd``
+#: are a flat binary header + one compressed float32 tensor block (zstd
+#: falls back to zlib when the ``zstandard`` module is absent).
+TRANSPORTS = ("float32", "uint8", "raw+zlib", "zstd")
+
+#: Transports that use the flat (non-npz) container.
+_FLAT_TRANSPORTS = ("raw+zlib", "zstd")
 
 #: Magic prefix of the raw+zlib flat container (npz payloads start "PK").
 _RAW_MAGIC = b"POEZ"
@@ -114,9 +127,34 @@ def _collect_arrays(
     return arrays, quant_meta
 
 
+def _compress_block(raw: bytes, transport: str) -> Tuple[str, bytes]:
+    """Compress a flat tensor block, returning ``(codec_used, bytes)``.
+
+    The ``zstd`` transport degrades gracefully to zlib when the optional
+    ``zstandard`` module is missing; the codec actually used travels in
+    the header so decoding never has to guess.
+    """
+    if transport == "zstd" and _zstandard is not None:
+        return "zstd", _zstandard.ZstdCompressor(level=3).compress(raw)
+    return "zlib", zlib.compress(raw, level=6)
+
+
+def _decompress_block(block: bytes, codec: str) -> bytes:
+    if codec == "zlib":
+        return zlib.decompress(block)
+    if codec == "zstd":
+        if _zstandard is None:
+            raise RuntimeError(
+                "payload was compressed with zstd but the 'zstandard' module "
+                "is not installed on this side"
+            )
+        return _zstandard.ZstdDecompressor().decompress(block)
+    raise ValueError(f"unknown payload codec {codec!r}")
+
+
 def _encode_payload(manifest: Dict, arrays: Dict[str, np.ndarray], transport: str) -> bytes:
     """Pack manifest + arrays into bytes for the given transport codec."""
-    if transport == "raw+zlib":
+    if transport in _FLAT_TRANSPORTS:
         index = []
         offset = 0
         chunks: List[bytes] = []
@@ -133,8 +171,10 @@ def _encode_payload(manifest: Dict, arrays: Dict[str, np.ndarray], transport: st
             )
             offset += len(raw)
             chunks.append(raw)
-        header = json.dumps({"manifest": manifest, "arrays": index}).encode()
-        block = zlib.compress(b"".join(chunks), level=6)
+        codec, block = _compress_block(b"".join(chunks), transport)
+        header = json.dumps(
+            {"manifest": manifest, "arrays": index, "codec": codec}
+        ).encode()
         return _RAW_MAGIC + struct.pack("<I", len(header)) + header + block
     buffer = io.BytesIO()
     np.savez_compressed(
@@ -151,7 +191,9 @@ def _decode_payload(payload: bytes) -> Tuple[Dict, Dict[str, np.ndarray]]:
         (header_len,) = struct.unpack_from("<I", payload, len(_RAW_MAGIC))
         start = len(_RAW_MAGIC) + 4
         header = json.loads(payload[start : start + header_len].decode())
-        block = zlib.decompress(payload[start + header_len :])
+        block = _decompress_block(
+            payload[start + header_len :], header.get("codec", "zlib")
+        )
         arrays = {}
         for entry in header["arrays"]:
             raw = block[entry["offset"] : entry["offset"] + entry["nbytes"]]

@@ -2,6 +2,7 @@
 
 from .branched import BranchedSpecialistNet
 from .flops import count_flops, count_params, profile
+from .fused_head import FusedHeadBank
 from .wrn import (
     BasicBlock,
     WideResNet,
@@ -20,6 +21,7 @@ __all__ = [
     "WRNGroup",
     "BasicBlock",
     "BranchedSpecialistNet",
+    "FusedHeadBank",
     "scaled_channels",
     "wrn_group_widths",
     "count_flops",

@@ -15,10 +15,13 @@ with n(Q)·64·k_s channels would cost n(Q)²× (§5.1, Table 3).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..nn import Module, ModuleList
 from ..tensor import Tensor
+from .fused_head import FusedHeadBank
 from .wrn import WRNHead, WRNTrunk
 
 __all__ = ["BranchedSpecialistNet"]
@@ -46,6 +49,7 @@ class BranchedSpecialistNet(Module):
             raise ValueError(f"duplicate expert names in {self.head_names}")
         self.heads = ModuleList([head for _, head in heads])
         self.num_classes = sum(head.num_classes for head in self.heads)
+        self._fused: Optional[FusedHeadBank] = None
 
     @property
     def n_branches(self) -> int:
@@ -59,6 +63,33 @@ class BranchedSpecialistNet(Module):
         if len(sub_logits) == 1:
             return sub_logits[0]
         return Tensor.concatenate(sub_logits, axis=1)
+
+    def fused_bank(self) -> FusedHeadBank:
+        """The stacked-weight fast path over this model's heads (lazy).
+
+        Built on first use and kept for the model's lifetime: heads are
+        shared by reference with the pool but never mutated in place — a
+        re-extraction installs a *new* head object and invalidates every
+        cached model, so a freshly consolidated model always stacks current
+        weights.  Call :meth:`invalidate_fused` after mutating head weights
+        directly (e.g. ``load_state_dict``) to force a restack.
+        """
+        if self._fused is None:
+            self._fused = FusedHeadBank(list(self.heads))
+        return self._fused
+
+    def invalidate_fused(self) -> None:
+        """Drop the stacked bank so the next fast-path call restacks."""
+        self._fused = None
+
+    def fused_logits(self, features: np.ndarray) -> np.ndarray:
+        """Unified logits from precomputed trunk features, fused path.
+
+        ``features`` is the raw array output of :attr:`trunk` (NCHW).
+        Matches :meth:`forward` on those features to float32 round-off —
+        one vectorized pass instead of ``n(Q)`` per-head loop iterations.
+        """
+        return self.fused_bank()(features)
 
     def sub_logits(self, x: Tensor) -> Dict[str, Tensor]:
         """Per-expert sub-logits keyed by expert name (diagnostics)."""

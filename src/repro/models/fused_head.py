@@ -1,0 +1,142 @@
+"""Batched execution of a bank of same-shaped :class:`WRNHead` experts.
+
+A consolidated ``M(Q)`` runs one frozen trunk and then ``n(Q)`` expert
+heads over the *same* feature map.  The straightforward loop executes each
+head through the autograd tensor engine — ``n(Q)`` × (im2col + GEMM +
+Python-composed batch norm) per block.  :class:`FusedHeadBank` stacks the
+heads' weights once and replays the identical computation with the head
+index folded into the batch dimension (:mod:`repro.nn.fused`): one im2col
+and one stacked GEMM per conv layer, batch norm folded to a per-channel
+affine, one padded GEMM for all classifiers.
+
+The bank is a *derived* artifact: it copies weights at build time, so a
+re-extracted expert must invalidate it (the serving tiers do this through
+the same version listeners that drop their model caches;
+:meth:`BranchedSpecialistNet.fused_bank` builds lazily per consolidated
+model, and consolidation always sees current heads).  Numerically the bank
+matches the per-head loop to float32 round-off (``allclose``), not bit
+exactness — folding BN reorders a handful of multiplies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.fused import (
+    FusedAffine,
+    FusedConv,
+    FusedLinearBank,
+    stack_affine,
+    stack_conv,
+    stack_linear,
+)
+from .wrn import WRNHead
+
+__all__ = ["FusedHeadBank"]
+
+
+class _FusedBlock:
+    """One WRN basic block across the whole bank (pre-activation layout)."""
+
+    def __init__(self, blocks: Sequence) -> None:
+        self.bn1 = stack_affine([b.bn1 for b in blocks])
+        self.conv1 = stack_conv([b.conv1 for b in blocks])
+        self.bn2 = stack_affine([b.bn2 for b in blocks])
+        self.conv2 = stack_conv([b.conv2 for b in blocks])
+        projections = {b.needs_projection for b in blocks}
+        if len(projections) != 1:
+            raise ValueError("cannot stack blocks with differing shortcut shapes")
+        self.shortcut = (
+            stack_conv([b.shortcut for b in blocks]) if projections.pop() else None
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        pre = self.bn1(x, relu=True)
+        residual = self.shortcut(pre) if self.shortcut is not None else x
+        out = self.conv1(pre)
+        out = self.conv2(self.bn2(out, relu=True))
+        return out + residual
+
+
+class FusedHeadBank:
+    """``n`` same-shape expert heads executed as one vectorized pass.
+
+    Parameters
+    ----------
+    heads:
+        The expert components, in concatenation order.  All heads must
+        share conv/BN geometry (guaranteed for heads extracted from one
+        pool config); class counts may differ.
+    """
+
+    def __init__(self, heads: Sequence[WRNHead]) -> None:
+        if not heads:
+            raise ValueError("a fused bank needs at least one head")
+        depth = len(heads[0].groups)
+        blocks_per_group = [len(g.blocks) for g in heads[0].groups]
+        for head in heads[1:]:
+            if len(head.groups) != depth or [
+                len(g.blocks) for g in head.groups
+            ] != blocks_per_group:
+                raise ValueError("cannot stack heads with differing block structure")
+        self.n_heads = len(heads)
+        self._blocks: List[_FusedBlock] = []
+        for gi in range(depth):
+            for bi in range(blocks_per_group[gi]):
+                self._blocks.append(
+                    _FusedBlock([head.groups[gi].blocks[bi] for head in heads])
+                )
+        self._final_bn: FusedAffine = stack_affine([head.bn for head in heads])
+        self._fc: FusedLinearBank = stack_linear([head.fc for head in heads])
+        self.class_widths: Tuple[int, ...] = self._fc.widths
+        self.num_classes = sum(self.class_widths)
+
+    # ------------------------------------------------------------------
+    def __call__(self, features: np.ndarray) -> np.ndarray:
+        """Unified logits (N, Σ classes) from trunk features (N, C, H, W).
+
+        Matches ``concat([head(features) for head in heads], axis=1)`` up
+        to float32 round-off.
+        """
+        features = np.asarray(features, dtype=np.float32)
+        if features.ndim != 4:
+            raise ValueError(f"expected NCHW features, got shape {features.shape}")
+        # one NCHW -> NHWC transpose at the boundary; everything after is
+        # channels-last so GEMM outputs feed the next layer copy-free
+        h = np.ascontiguousarray(features.transpose(0, 2, 3, 1))[None]
+        for block in self._blocks:
+            h = block(h)
+        h = self._final_bn(h, relu=True)
+        feats = h.mean(axis=(2, 3))  # global average pool -> (n, N, C)
+        return self._fc.concatenate(self._fc(feats))
+
+    def logits_per_head(self, features: np.ndarray) -> List[np.ndarray]:
+        """Per-head sub-logit blocks (diagnostics), in bank order."""
+        unified = self(features)
+        out, offset = [], 0
+        for width in self.class_widths:
+            out.append(unified[:, offset : offset + width])
+            offset += width
+        return out
+
+    def nbytes(self) -> int:
+        """Approximate resident size of the stacked weights."""
+        total = self._final_bn.scale.nbytes + self._final_bn.shift.nbytes
+        total += self._fc.weight.nbytes + self._fc.bias.nbytes
+        for block in self._blocks:
+            for conv in (block.conv1, block.conv2, block.shortcut):
+                if conv is not None:
+                    total += conv.weight.nbytes
+                    if conv.bias is not None:
+                        total += conv.bias.nbytes
+            for affine in (block.bn1, block.bn2):
+                total += affine.scale.nbytes + affine.shift.nbytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FusedHeadBank(heads={self.n_heads}, blocks={len(self._blocks)}, "
+            f"classes={self.class_widths})"
+        )

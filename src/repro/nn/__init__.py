@@ -1,6 +1,6 @@
 """Neural-network layer substrate (replaces ``torch.nn``, see DESIGN.md)."""
 
-from . import init
+from . import fused, init
 from .containers import ModuleList, Sequential
 from .layers import (
     AvgPool2d,
@@ -39,6 +39,7 @@ __all__ = [
     "GlobalAvgPool2d",
     "Dropout",
     "init",
+    "fused",
     "save_state",
     "load_state",
     "save_module",

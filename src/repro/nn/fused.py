@@ -1,0 +1,236 @@
+"""Fused batched execution primitives for same-shaped module banks.
+
+The service phase assembles one model per query out of *structurally
+identical* expert heads (same conv/BN/FC shapes, possibly different class
+counts).  Running those heads with a Python loop pays the per-op overhead
+of the autograd tensor engine ``n(Q)`` times per layer; these primitives
+instead fold the head index into the batch dimension and execute every
+head's layer as **one** vectorized numpy call:
+
+* convolutions become a single stacked GEMM — ``(n, N·OH·OW, KH·KW·C) @
+  (n, KH·KW·C, C_out)`` via ``np.matmul`` over the leading axis — instead
+  of ``n`` im2col+GEMM round trips through the graph machinery;
+* eval-mode batch norm collapses to a per-channel affine ``x·scale +
+  shift`` with the scale/shift folded once at stack-build time;
+* the classifiers become one padded batched GEMM, sliced back to each
+  head's class count afterwards.
+
+Layout is **channels-last**: activations flow as ``(n, N, H, W, C)`` —
+``n`` stacked modules, batch ``N``.  NHWC is what makes the path fast on
+numpy, not just batched: a GEMM's output *is* the next layer's input
+layout (no transpose copies between layers), the im2col window view
+reshapes with a single contiguous copy, and 1×1 (shortcut) convolutions
+are a strided slice plus matmul with no unfolding at all.  Everything
+here is inference-only (no autograd, no training-mode BN) and operates on
+plain ``np.ndarray``\\ s; :class:`repro.models.fused_head.FusedHeadBank`
+composes these into the full WRN head fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..tensor.conv import conv_output_size
+
+__all__ = [
+    "fold_batchnorm",
+    "im2col_nhwc",
+    "stack_affine",
+    "stack_conv",
+    "stack_linear",
+    "FusedAffine",
+    "FusedConv",
+    "FusedLinearBank",
+]
+
+
+def fold_batchnorm(bn) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse an eval-mode :class:`~repro.nn.BatchNorm2d` into ``(scale, shift)``.
+
+    ``y = (x - mean) / sqrt(var + eps) * gamma + beta`` is affine per
+    channel once the statistics are frozen:
+    ``scale = gamma / sqrt(var + eps)``, ``shift = beta - mean * scale``.
+    """
+    inv_std = 1.0 / np.sqrt(bn.running_var.astype(np.float64) + bn.eps)
+    scale = bn.weight.data.astype(np.float64) * inv_std
+    shift = bn.bias.data.astype(np.float64) - bn.running_mean.astype(np.float64) * scale
+    return scale.astype(np.float32), shift.astype(np.float32)
+
+
+def im2col_nhwc(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold channels-last ``x`` (M, H, W, C) into (M·OH·OW, KH·KW·C) columns.
+
+    One contiguous copy total: padding writes into a preallocated zero
+    buffer (cheaper than generic ``np.pad``) and the strided window view
+    materializes directly in GEMM-ready order — channels-last means no
+    transpose is needed before the reshape.
+    """
+    m, h, w, c = x.shape
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    if padding > 0:
+        padded = np.zeros((m, h + 2 * padding, w + 2 * padding, c), dtype=x.dtype)
+        padded[:, padding : padding + h, padding : padding + w, :] = x
+        x = padded
+    sm, sh, sw, sc = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(m, oh, ow, kh, kw, c),
+        strides=(sm, sh * stride, sw * stride, sh, sw, sc),
+        writeable=False,
+    )
+    return np.ascontiguousarray(view).reshape(m * oh * ow, kh * kw * c), oh, ow
+
+
+@dataclass(frozen=True)
+class FusedAffine:
+    """A bank of per-channel affines: ``scale``/``shift`` of shape (n, 1, 1, 1, C)."""
+
+    scale: np.ndarray
+    shift: np.ndarray
+
+    def __call__(self, x: np.ndarray, relu: bool = False) -> np.ndarray:
+        out = x * self.scale + self.shift
+        if relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+
+def stack_affine(bns: Sequence) -> FusedAffine:
+    """Stack the folded affines of ``n`` same-width BatchNorm2d modules."""
+    scales, shifts = zip(*(fold_batchnorm(bn) for bn in bns))
+    n, c = len(scales), scales[0].shape[0]
+    return FusedAffine(
+        scale=np.stack(scales).reshape(n, 1, 1, 1, c),
+        shift=np.stack(shifts).reshape(n, 1, 1, 1, c),
+    )
+
+
+@dataclass(frozen=True)
+class FusedConv:
+    """A bank of ``n`` same-shape convolutions executed as one stacked GEMM.
+
+    ``weight`` is pre-reshaped to (n, KH·KW·C_in, C_out) so the hot path
+    is a single ``np.matmul`` against the shared im2col columns; 1×1
+    kernels additionally hold ``weight_1x1`` shaped for a slice-and-matmul
+    with no unfolding.
+    """
+
+    weight: np.ndarray  # (n, KH*KW*C_in, C_out)
+    bias: Optional[np.ndarray]  # (n, 1, C_out) or None
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int
+    padding: int
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """(n_x, N, H, W, C_in) -> (n, N, OH, OW, C_out); n_x ∈ {1, n}."""
+        n_x, batch, h, w, c = x.shape
+        n = self.weight.shape[0]
+        k = self.kernel_size
+        if k == 1 and self.padding == 0:
+            # shortcut path: a 1x1 conv is a channel mix over a strided slice
+            sliced = x[:, :, :: self.stride, :: self.stride, :]
+            out = np.matmul(sliced, self.weight[:, None, None, :, :])
+            if self.bias is not None:
+                out += self.bias[:, None, None, :, :]
+            return out
+        if n_x != n:  # broadcast a shared input across the bank
+            x = np.broadcast_to(x, (n, batch, h, w, c))
+        oh = conv_output_size(h, k, self.stride, self.padding)
+        ow = conv_output_size(w, k, self.stride, self.padding)
+        cols, _, _ = im2col_nhwc(
+            x.reshape(n * batch, h, w, c), k, k, self.stride, self.padding
+        )
+        out = np.matmul(cols.reshape(n, batch * oh * ow, k * k * c), self.weight)
+        if self.bias is not None:
+            out += self.bias
+        return out.reshape(n, batch, oh, ow, self.out_channels)
+
+
+def stack_conv(convs: Sequence) -> FusedConv:
+    """Stack ``n`` same-shape :class:`~repro.nn.Conv2d` modules into a bank."""
+    first = convs[0]
+    shape = first.weight.shape
+    for conv in convs[1:]:
+        if conv.weight.shape != shape or (conv.stride, conv.padding) != (
+            first.stride,
+            first.padding,
+        ):
+            raise ValueError(
+                f"cannot stack convs of differing geometry: {conv.weight.shape} "
+                f"vs {shape}"
+            )
+    c_out, c_in, kh, kw = shape
+    # (C_out, C_in, KH, KW) -> channels-last GEMM operand (KH*KW*C_in, C_out)
+    weight = np.stack(
+        [
+            conv.weight.data.transpose(2, 3, 1, 0).reshape(kh * kw * c_in, c_out)
+            for conv in convs
+        ]
+    ).astype(np.float32, copy=False)
+    bias = None
+    if first.bias is not None:
+        bias = np.stack([conv.bias.data for conv in convs]).reshape(
+            len(convs), 1, c_out
+        )
+    return FusedConv(
+        weight=np.ascontiguousarray(weight),
+        bias=bias,
+        in_channels=c_in,
+        out_channels=c_out,
+        kernel_size=kh,
+        stride=first.stride,
+        padding=first.padding,
+    )
+
+
+@dataclass(frozen=True)
+class FusedLinearBank:
+    """A bank of classifiers with (possibly) different output widths.
+
+    Weights are zero-padded to the widest head so the whole bank is one
+    batched GEMM; ``widths`` remembers each head's true class count so the
+    caller can slice the padded logits back apart.
+    """
+
+    weight: np.ndarray  # (n, C, max_out)
+    bias: np.ndarray  # (n, 1, max_out)
+    widths: Tuple[int, ...]
+
+    def __call__(self, feats: np.ndarray) -> np.ndarray:
+        """(n, N, C) -> padded logits (n, N, max_out)."""
+        return np.matmul(feats, self.weight) + self.bias
+
+    def concatenate(self, padded: np.ndarray) -> np.ndarray:
+        """Slice padded logits back to true widths and join along classes."""
+        return np.concatenate(
+            [padded[i, :, :width] for i, width in enumerate(self.widths)], axis=1
+        )
+
+
+def stack_linear(linears: Sequence) -> FusedLinearBank:
+    """Stack ``n`` :class:`~repro.nn.Linear` classifiers (same in_features)."""
+    in_features = linears[0].in_features
+    for lin in linears[1:]:
+        if lin.in_features != in_features:
+            raise ValueError(
+                f"cannot stack linears with differing in_features: "
+                f"{lin.in_features} vs {in_features}"
+            )
+    widths = tuple(lin.out_features for lin in linears)
+    max_out = max(widths)
+    n = len(linears)
+    weight = np.zeros((n, in_features, max_out), dtype=np.float32)
+    bias = np.zeros((n, 1, max_out), dtype=np.float32)
+    for i, lin in enumerate(linears):
+        weight[i, :, : widths[i]] = lin.weight.data.T
+        if lin.bias is not None:
+            bias[i, 0, : widths[i]] = lin.bias.data
+    return FusedLinearBank(weight=weight, bias=bias, widths=widths)

@@ -24,9 +24,20 @@ both are thin shims over this package.
 from .cache import ByteBudgetLRU, CacheStats, merge_cache_stats
 from .canonical import canonical_tasks, model_key, payload_key
 from .demo import build_demo_pool
-from .gateway import GatewayConfig, GatewayResponse, ServingGateway, SingleFlight
+from .gateway import (
+    GatewayConfig,
+    GatewayResponse,
+    PredictionResponse,
+    ServingGateway,
+    SingleFlight,
+)
 from .loadgen import LoadReport, ZipfianWorkload, run_closed_loop, run_open_loop
 from .metrics import LatencyHistogram, ServingMetrics, percentile
+from .predict_bench import (
+    append_benchmark_record,
+    predict_report_rows,
+    run_predict_benchmark,
+)
 
 __all__ = [
     "ByteBudgetLRU",
@@ -37,6 +48,7 @@ __all__ = [
     "payload_key",
     "GatewayConfig",
     "GatewayResponse",
+    "PredictionResponse",
     "ServingGateway",
     "SingleFlight",
     "ZipfianWorkload",
@@ -47,4 +59,7 @@ __all__ = [
     "ServingMetrics",
     "percentile",
     "build_demo_pool",
+    "run_predict_benchmark",
+    "append_benchmark_record",
+    "predict_report_rows",
 ]

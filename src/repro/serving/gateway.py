@@ -24,22 +24,43 @@ four stages, each one metered:
 ``serve()`` runs the pipeline inline on the caller's thread (single-flight
 still applies across threads); ``submit()`` dispatches onto a worker pool
 and additionally records queue-wait latency, for open-loop load.
+
+Besides *model delivery*, the gateway also runs **prediction serving**
+(paper Fig. 1b's realtime querying taken to its conclusion):
+``predict()`` routes images + task set through the fused inference fast
+path — a content-addressed trunk-feature cache (the library is frozen, so
+features are reusable across every ``M(Q)``), then one batched pass over
+all expert heads (:class:`~repro.models.FusedHeadBank`) — with per-stage
+metrics (``predict_trunk`` / ``predict_heads`` / ``predict_argmax``).
+``submit_predict()`` adds cross-request micro-batching: concurrent small
+prediction requests coalesce so the shared trunk runs **once** per drain
+over the union of their images, whatever composite each request asked for.
 """
 
 from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
+from typing import Callable, Dict, Hashable, List, Optional, Tuple, TypeVar
 
+import numpy as np
+
+from ..core.features import TrunkFeatureCache, array_digest
 from ..core.query import TaskSpecificModel
+from ..distill.caches import batched_forward
 from .canonical import TaskQuery, canonical_tasks, payload_key
-from .cache import BYTES_PER_PARAM, ByteBudgetLRU, CacheStats
+from .cache import ByteBudgetLRU, CacheStats
 from .metrics import ServingMetrics
 
-__all__ = ["GatewayConfig", "GatewayResponse", "ServingGateway", "SingleFlight"]
+__all__ = [
+    "GatewayConfig",
+    "GatewayResponse",
+    "PredictionResponse",
+    "ServingGateway",
+    "SingleFlight",
+]
 
 T = TypeVar("T")
 
@@ -50,12 +71,29 @@ def expert_versions(pool, names: Tuple[str, ...]) -> Optional[Tuple[int, ...]]:
     Builds capture this before touching expert weights and re-check it
     before caching: if an expert was re-extracted mid-build, the stale
     artifact must not be cached (the invalidation listener fired while the
-    entry didn't exist yet, so it had nothing to drop).
+    entry didn't exist yet, so it had nothing to drop).  The library
+    version rides along for the same reason — a consolidation in flight
+    across a trunk re-extraction must not survive the listener's clear.
     """
+    from ..core.pool import LIBRARY_TASK
+
     getter = getattr(pool, "expert_version", None)
     if getter is None:
         return None
-    return tuple(getter(name) for name in names)
+    return tuple(getter(name) for name in names) + (getter(LIBRARY_TASK),)
+
+
+def run_fused_prediction(model: TaskSpecificModel, features, metrics) -> "np.ndarray":
+    """Fused heads + argmax over trunk features, with the standard stages.
+
+    The one post-trunk prediction pipeline, shared by the gateway's
+    inline/micro-batched paths and the cluster's cross-shard path so the
+    stage names and execution order cannot drift apart.
+    """
+    with metrics.stage("predict_heads"):
+        logits = model.logits_from_features(features)
+    with metrics.stage("predict_argmax"):
+        return model.classes[logits.argmax(axis=1)]
 
 
 def drop_task_entries(model_cache, payload_cache, name: str) -> int:
@@ -82,6 +120,8 @@ class GatewayConfig:
     max_workers: int = 4
     model_cache_bytes: int = 128 << 20
     payload_cache_bytes: int = 128 << 20
+    #: Budget of the content-addressed trunk-feature cache (0 disables).
+    trunk_cache_bytes: int = 64 << 20
     ttl_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
@@ -107,6 +147,38 @@ class GatewayResponse:
     model_cache_hit: bool
     payload_cache_hit: bool
     coalesced: bool
+
+
+@dataclass(frozen=True)
+class PredictionResponse:
+    """One served prediction request: global class ids plus telemetry.
+
+    ``class_ids`` are *global* hierarchy ids (the unified-logit argmax
+    mapped through the composite's class table), so clients are agnostic
+    to head order.  ``coalesced`` is True when the request shared a
+    micro-batched trunk forward with other concurrent requests;
+    ``trunk_cache_hit`` when its features came out of the content-addressed
+    cache without running the trunk at all.
+    """
+
+    class_ids: np.ndarray
+    tasks: Tuple[str, ...]
+    batch_size: int
+    queue_seconds: float
+    service_seconds: float
+    model_cache_hit: bool
+    trunk_cache_hit: bool
+    coalesced: bool
+
+
+@dataclass
+class _PendingPrediction:
+    """One enqueued ``submit_predict`` request awaiting a micro-batch drain."""
+
+    images: np.ndarray
+    names: Tuple[str, ...]
+    future: "Future[PredictionResponse]"
+    enqueued_at: float = field(default_factory=perf_counter)
 
 
 class _Inflight:
@@ -174,6 +246,7 @@ class ServingGateway:
         pool,
         config: Optional[GatewayConfig] = None,
         metrics: Optional[ServingMetrics] = None,
+        trunk_cache: Optional[TrunkFeatureCache] = None,
     ) -> None:
         self.pool = pool
         self.config = config or GatewayConfig()
@@ -184,7 +257,21 @@ class ServingGateway:
         self.payload_cache = ByteBudgetLRU(
             self.config.payload_cache_bytes, ttl_seconds=self.config.ttl_seconds
         )
+        # trunk features depend only on the frozen library (never on expert
+        # versions), so this tier survives expert re-extraction; pass a
+        # shared instance to pool hit rates across gateways over one library
+        # explicit None check: an empty cache is falsy (len() == 0), and a
+        # shared instance usually arrives empty
+        self.trunk_cache = (
+            trunk_cache
+            if trunk_cache is not None
+            else TrunkFeatureCache(
+                self.config.trunk_cache_bytes, ttl_seconds=self.config.ttl_seconds
+            )
+        )
         self._flights = SingleFlight()
+        self._predict_lock = threading.Lock()
+        self._pending_predictions: List[_PendingPrediction] = []
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
         self._closed = False
@@ -196,10 +283,23 @@ class ServingGateway:
         self._invalidate_lock = threading.Lock()
         # Explicit invalidation: when the pool re-extracts an expert, drop
         # every dependent cache entry now instead of waiting for TTL.
-        self._listener = lambda name, version: self.invalidate_task(name)
+        self._listener = lambda name, version: self._on_pool_update(name)
         add_listener = getattr(pool, "add_listener", None)
         if add_listener is not None:
             add_listener(self._listener)
+
+    def _on_pool_update(self, name: str) -> None:
+        from ..core.pool import LIBRARY_TASK
+
+        if name == LIBRARY_TASK:
+            # the trunk itself changed: every consolidated model, payload
+            # and cached feature map was computed against the old library
+            with self._invalidate_lock:
+                self.model_cache.clear()
+                self.payload_cache.clear()
+            self.trunk_cache.clear()
+        else:
+            self.invalidate_task(name)
 
     # ------------------------------------------------------------------
     # Public API
@@ -225,8 +325,55 @@ class ServingGateway:
         model, _ = self._model_for(canonical_tasks(tasks))
         return model
 
+    def predict(self, images: np.ndarray, tasks: TaskQuery) -> PredictionResponse:
+        """Run prediction through the fused fast path, on the calling thread.
+
+        Pipeline: consolidated model (model cache + single flight) →
+        trunk features (content-addressed cache, else one trunk forward) →
+        fused multi-head pass → argmax mapped to global class ids.
+        """
+        return self._predict_one(
+            np.asarray(images, dtype=np.float32),
+            canonical_tasks(tasks),
+            enqueued_at=None,
+        )
+
+    def submit_predict(
+        self, images: np.ndarray, tasks: TaskQuery
+    ) -> "Future[PredictionResponse]":
+        """Dispatch a prediction onto the worker pool, micro-batched.
+
+        Concurrent requests enqueue and are drained together by whichever
+        worker runs first: the drain runs the shared trunk **once** over
+        the union of all uncached images (every composite shares the
+        frozen library), then each request's fused heads on its own slice.
+        """
+        names = canonical_tasks(tasks)
+        item = _PendingPrediction(
+            np.asarray(images, dtype=np.float32), names, Future()
+        )
+        executor = self._ensure_executor()
+        with self._predict_lock:
+            self._pending_predictions.append(item)
+        try:
+            executor.submit(self._drain_predictions)
+        except BaseException:
+            # close() raced us between the append and the dispatch: take the
+            # item back out so it isn't orphaned with an unresolved future
+            with self._predict_lock:
+                try:
+                    self._pending_predictions.remove(item)
+                except ValueError:
+                    pass  # a concurrent drain (or close) already took it
+            raise
+        return item.future
+
     def cache_stats(self) -> Dict[str, CacheStats]:
-        return {"model": self.model_cache.stats(), "payload": self.payload_cache.stats()}
+        return {
+            "model": self.model_cache.stats(),
+            "payload": self.payload_cache.stats(),
+            "trunk": self.trunk_cache.stats(),
+        }
 
     def render_stats(self) -> str:
         return self.metrics.render(cache_stats=self.cache_stats())
@@ -250,6 +397,13 @@ class ServingGateway:
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+        # a submit_predict that raced close() may have enqueued after the
+        # last drain ran; fail its future instead of leaving it hanging
+        with self._predict_lock:
+            leftovers = self._pending_predictions
+            self._pending_predictions = []
+        for item in leftovers:
+            item.future.set_exception(RuntimeError("gateway is closed"))
 
     def __enter__(self) -> "ServingGateway":
         return self
@@ -336,13 +490,140 @@ class ServingGateway:
                 built = TaskSpecificModel(network, composite)
             with self._invalidate_lock:
                 if versions == expert_versions(self.pool, names):
-                    self.model_cache.put(
-                        names, built, built.num_params() * BYTES_PER_PARAM
-                    )
+                    self.model_cache.put(names, built, built.cache_nbytes())
             return built
 
         built, _ = self._flights.run(("model", names), build)
         return built, False
+
+    # ------------------------------------------------------------------
+    # Prediction fast path
+    # ------------------------------------------------------------------
+    def _trunk_features(self, images: np.ndarray) -> Tuple[np.ndarray, bool]:
+        """Features for ``images`` from the cache or one metered trunk forward."""
+
+        def compute(batch: np.ndarray) -> np.ndarray:
+            with self.metrics.stage("predict_trunk"):
+                return batched_forward(self.pool.library, batch)
+
+        return self.trunk_cache.get_or_compute(images, compute)
+
+    def _predict_one(
+        self,
+        images: np.ndarray,
+        names: Tuple[str, ...],
+        enqueued_at: Optional[float],
+        features: Optional[np.ndarray] = None,
+        trunk_hit: bool = False,
+        coalesced: bool = False,
+    ) -> PredictionResponse:
+        start = perf_counter()
+        queue_seconds = 0.0
+        if enqueued_at is not None:
+            queue_seconds = start - enqueued_at
+            self.metrics.observe("queue", queue_seconds)
+        self.metrics.increment("predictions")
+        try:
+            model, model_hit = self._model_for(names)
+            if features is None:
+                features, trunk_hit = self._trunk_features(images)
+            ids = run_fused_prediction(model, features, self.metrics)
+        except BaseException:
+            self.metrics.increment("errors")
+            raise
+        service_seconds = perf_counter() - start
+        self.metrics.observe("predict_total", service_seconds)
+        return PredictionResponse(
+            class_ids=ids,
+            tasks=names,
+            batch_size=int(images.shape[0]),
+            queue_seconds=queue_seconds,
+            service_seconds=service_seconds,
+            model_cache_hit=model_hit,
+            trunk_cache_hit=trunk_hit,
+            coalesced=coalesced,
+        )
+
+    def _drain_predictions(self) -> None:
+        """Serve every pending prediction in one micro-batch.
+
+        Whichever worker runs first takes the whole queue: requests with
+        cached features resolve from the trunk cache, the rest are
+        concatenated (per image geometry) and pushed through **one** trunk
+        forward, then each request runs its own fused heads on its slice.
+        Later workers find the queue empty and return immediately.
+        """
+        with self._predict_lock:
+            batch = self._pending_predictions
+            self._pending_predictions = []
+        if not batch:
+            return
+        coalesced = len(batch) > 1
+        self.metrics.increment("predict_batches")
+        if coalesced:
+            self.metrics.increment("predict_coalesced", len(batch) - 1)
+
+        resolved: Dict[int, object] = {}  # id(item) -> (features, hit) | error
+        # dedupe by content digest: byte-identical request batches share
+        # one representative in the stacked forward (and one cache entry)
+        by_digest: Dict[str, List[_PendingPrediction]] = {}
+        for item in batch:
+            digest = array_digest(item.images)
+            cached = self.trunk_cache.get(digest)
+            if cached is not None:
+                resolved[id(item)] = (cached, True)
+            else:
+                by_digest.setdefault(digest, []).append(item)
+        groups: Dict[Tuple[int, ...], List[str]] = {}
+        for digest, items in by_digest.items():
+            groups.setdefault(items[0].images.shape[1:], []).append(digest)
+        for digests in groups.values():
+            stacked = np.concatenate(
+                [by_digest[d][0].images for d in digests], axis=0
+            )
+            token = self.trunk_cache.generation()
+            try:
+                with self.metrics.stage("predict_trunk"):
+                    features = batched_forward(self.pool.library, stacked)
+            except BaseException as error:
+                for digest in digests:
+                    for item in by_digest[digest]:
+                        resolved[id(item)] = error
+                continue
+            offset = 0
+            for digest in digests:
+                sharers = by_digest[digest]
+                count = sharers[0].images.shape[0]
+                chunk = np.ascontiguousarray(features[offset : offset + count])
+                offset += count
+                self.trunk_cache.put_guarded(digest, chunk, token)
+                for item in sharers:
+                    resolved[id(item)] = (chunk, False)
+
+        for item in batch:
+            entry = resolved[id(item)]
+            if isinstance(entry, BaseException):
+                # the shared trunk forward failed: account these requests
+                # the same way the inline path would (queue + counters)
+                self.metrics.observe("queue", perf_counter() - item.enqueued_at)
+                self.metrics.increment("predictions")
+                self.metrics.increment("errors")
+                item.future.set_exception(entry)
+                continue
+            try:
+                item_features, trunk_hit = entry
+                response = self._predict_one(
+                    item.images,
+                    item.names,
+                    item.enqueued_at,
+                    features=item_features,
+                    trunk_hit=trunk_hit,
+                    coalesced=coalesced,
+                )
+            except BaseException as error:
+                item.future.set_exception(error)
+            else:
+                item.future.set_result(response)
 
     # ------------------------------------------------------------------
     def _ensure_executor(self) -> ThreadPoolExecutor:

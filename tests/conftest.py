@@ -68,6 +68,36 @@ def build_micro_pool(hierarchy, seed=3, train_per_class=40, test_per_class=15):
     return pool, data, pool.oracle
 
 
+def assert_fused_ids_match(ids, reference_logits, classes, atol=1e-4):
+    """Fused-path ids must equal the loop-path argmax, near-ties excepted.
+
+    The fused bank folds batch norm into affines, which reorders float32
+    ops: logits agree to ``allclose``, not bitwise.  An argmax comparison
+    must therefore tolerate samples whose top-2 loop logits are within the
+    fold round-off — on those, either class is a correct answer.
+    """
+    ids = np.asarray(ids)
+    classes = np.asarray(classes)
+    reference_logits = np.asarray(reference_logits)
+    ref_ids = classes[reference_logits.argmax(axis=1)]
+    mismatch = ids != ref_ids
+    if not mismatch.any():
+        return
+    # the fused-chosen class must itself be within round-off of the top:
+    # picking any merely-near-tied third class would still be a real bug
+    column = {int(c): i for i, c in enumerate(classes)}
+    assert np.isin(ids[mismatch], classes).all()
+    mis_logits = reference_logits[mismatch]
+    chosen = mis_logits[
+        np.arange(mis_logits.shape[0]),
+        [column[int(c)] for c in ids[mismatch]],
+    ]
+    margins = mis_logits.max(axis=1) - chosen
+    assert (margins < atol).all(), (
+        f"fused ids diverge from loop argmax with margins {margins} (atol={atol})"
+    )
+
+
 @pytest.fixture(scope="session")
 def micro_pool():
     """(pool, data, oracle) over a 4x2 anonymous hierarchy."""

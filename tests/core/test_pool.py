@@ -71,6 +71,36 @@ class TestPreprocessingMechanics:
         second = fresh._oracle_logits_for(data.train.images)
         assert first is second
 
+    def test_oracle_memo_keyed_on_content_not_row_count(self, micro_pool, rng):
+        """Regression: a different batch with the same shape must recompute.
+
+        The memo used to key on ``images.shape[0]`` only, silently serving
+        the *previous* batch's logits to any same-sized batch.
+        """
+        pool, data, oracle = micro_pool
+        fresh = PoolOfExperts(oracle, pool.hierarchy, quick_config())
+        batch_a = data.train.images[:32]
+        batch_b = data.train.images[32:64]
+        assert batch_a.shape == batch_b.shape
+        logits_a = fresh._oracle_logits_for(batch_a)
+        logits_b = fresh._oracle_logits_for(batch_b)
+        assert not np.allclose(logits_a, logits_b)
+        from repro.distill import batched_forward
+
+        assert np.allclose(logits_b, batched_forward(oracle, batch_b))
+
+    def test_feature_memo_keyed_on_content_not_row_count(self, micro_pool):
+        """Same regression for the frozen-library feature memo."""
+        pool, data, _ = micro_pool
+        batch_a = data.train.images[:24]
+        batch_b = data.train.images[24:48]
+        feats_a = pool._features_for(batch_a)
+        feats_b = pool._features_for(batch_b)
+        assert feats_a.shape == feats_b.shape
+        assert not np.allclose(feats_a, feats_b)
+        # repeat lookups of the same content stay memoized
+        assert pool._features_for(batch_b) is feats_b
+
 
 class TestPreprocessedPoolQuality:
     """Assertions on the session-scoped, properly trained micro pool."""

@@ -1,0 +1,152 @@
+"""FusedHeadBank: batched multi-head execution vs the per-head loop."""
+
+import numpy as np
+import pytest
+
+from repro.distill import batched_forward
+from repro.models import FusedHeadBank
+from repro.models.wrn import WRNHead
+from repro.nn.fused import im2col_nhwc, stack_conv, stack_linear
+from repro.nn.layers import Conv2d, Linear
+from repro.tensor.conv import _im2col
+
+
+def _consolidate(pool, n_tasks):
+    names = sorted(pool.expert_names())[:n_tasks]
+    network, composite = pool.consolidate(names)
+    return network, composite
+
+
+def _loop_logits(network, features_np):
+    from repro.tensor import Tensor, no_grad
+
+    with no_grad():
+        feats = Tensor(features_np)
+        sub = [head(feats) for head in network.heads]
+        return Tensor.concatenate(sub, axis=1).numpy() if len(sub) > 1 else sub[0].numpy()
+
+
+class TestFusedEquivalence:
+    @pytest.mark.parametrize("n_tasks", [1, 2, 4])
+    def test_matches_loop_across_widths(self, micro_pool, n_tasks):
+        """n(Q) ∈ {1, 2, 4}: fused logits allclose to the per-head loop."""
+        pool, data, _ = micro_pool
+        network, _ = _consolidate(pool, n_tasks)
+        features = batched_forward(network.trunk, data.test.images[:20])
+        fused = network.fused_logits(features)
+        loop = _loop_logits(network, features)
+        assert fused.shape == loop.shape
+        assert np.allclose(fused, loop, rtol=1e-4, atol=1e-5)
+
+    @pytest.mark.parametrize("batch", [1, 3, 7, 33])
+    def test_odd_batch_sizes(self, micro_pool, batch):
+        pool, data, _ = micro_pool
+        network, _ = _consolidate(pool, 3)
+        images = np.concatenate([data.test.images] * 2, axis=0)[:batch]
+        features = batched_forward(network.trunk, images)
+        assert np.allclose(
+            network.fused_logits(features),
+            _loop_logits(network, features),
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_end_to_end_fused_logits_match(self, micro_pool):
+        """TaskSpecificModel.fused_logits == .logits (loop) within round-off."""
+        from repro.core import ModelQueryEngine
+
+        pool, data, _ = micro_pool
+        model = ModelQueryEngine(pool).query(sorted(pool.expert_names()))
+        x = data.test.images[:25]
+        assert np.allclose(model.fused_logits(x), model.logits(x), rtol=1e-4, atol=1e-5)
+        # chunked execution must agree with single-shot
+        assert np.allclose(
+            model.fused_logits(x, batch_size=8), model.fused_logits(x), atol=1e-6
+        )
+
+    def test_rebuilt_after_reextraction(self, tiny_hierarchy, tiny_dataset):
+        """A consolidation after re-extraction stacks the *new* head weights."""
+        from tests.conftest import build_micro_pool
+
+        pool, data, _ = build_micro_pool(tiny_hierarchy, seed=9, train_per_class=15)
+        name = sorted(pool.expert_names())[0]
+        query = sorted(pool.expert_names())[:2]
+        before, _ = pool.consolidate(query)
+        x = data.test.images[:10]
+        feats = batched_forward(before.trunk, x)
+        logits_before = before.fused_logits(feats)
+
+        from repro.distill import TrainConfig
+
+        # re-extract under a different budget so the new head's weights
+        # actually move (same budget would deterministically reproduce it)
+        pool.extract_expert(
+            name,
+            data.train.images,
+            train_config=TrainConfig(epochs=1, batch_size=32, lr=0.05, seed=1),
+        )
+        after, _ = pool.consolidate(query)
+        logits_after = after.fused_logits(feats)
+        # the new bank reflects the retrained head (weights moved)...
+        assert not np.allclose(logits_before, logits_after, atol=1e-6)
+        # ...and still matches its own loop path exactly enough
+        assert np.allclose(
+            logits_after, _loop_logits(after, feats), rtol=1e-4, atol=1e-5
+        )
+
+    def test_invalidate_fused_restacks_mutated_weights(self, micro_pool):
+        """Direct in-place weight mutation needs an explicit invalidate."""
+        pool, data, _ = micro_pool
+        network, _ = _consolidate(pool, 2)
+        features = batched_forward(network.trunk, data.test.images[:8])
+        stale = network.fused_logits(features).copy()
+        head = network.heads[0]
+        head.fc.bias.data = head.fc.bias.data + 1.0
+        try:
+            assert np.allclose(network.fused_logits(features), stale)  # stale bank
+            network.invalidate_fused()
+            fresh = network.fused_logits(features)
+            assert np.allclose(fresh, _loop_logits(network, features), rtol=1e-4, atol=1e-5)
+            assert not np.allclose(fresh, stale, atol=1e-6)
+        finally:
+            head.fc.bias.data = head.fc.bias.data - 1.0
+            network.invalidate_fused()
+
+
+class TestFusedPrimitives:
+    def test_im2col_nhwc_matches_nchw_reference(self, rng):
+        x = rng.standard_normal((3, 5, 5, 4)).astype(np.float32)
+        cols, oh, ow = im2col_nhwc(x, 3, 3, 2, 1)
+        ref, ref_oh, ref_ow = _im2col(
+            np.ascontiguousarray(x.transpose(0, 3, 1, 2)), 3, 3, 2, 1
+        )
+        assert (oh, ow) == (ref_oh, ref_ow)
+        # reference columns are C-major (C, KH, KW); ours KH, KW, C
+        ref_perm = ref.reshape(-1, 4, 3, 3).transpose(0, 2, 3, 1).reshape(cols.shape)
+        assert np.allclose(cols, ref_perm)
+
+    def test_stack_conv_rejects_mismatched_geometry(self, rng):
+        a = Conv2d(4, 8, 3, stride=1, padding=1, rng=rng)
+        b = Conv2d(4, 8, 3, stride=2, padding=1, rng=rng)
+        with pytest.raises(ValueError):
+            stack_conv([a, b])
+
+    def test_stack_linear_pads_mixed_widths(self, rng):
+        a, b = Linear(6, 2, rng=rng), Linear(6, 4, rng=rng)
+        bank = stack_linear([a, b])
+        feats = rng.standard_normal((2, 5, 6)).astype(np.float32)
+        out = bank.concatenate(bank(feats))
+        assert out.shape == (5, 6)
+        ref_a = feats[0] @ a.weight.data.T + a.bias.data
+        ref_b = feats[1] @ b.weight.data.T + b.bias.data
+        assert np.allclose(out, np.concatenate([ref_a, ref_b], axis=1), atol=1e-5)
+
+    def test_bank_rejects_mismatched_heads(self, rng):
+        small = WRNHead(10, 1.0, 0.25, num_classes=2, rng=rng)
+        wide = WRNHead(10, 1.0, 0.5, num_classes=2, rng=rng)
+        with pytest.raises(ValueError):
+            FusedHeadBank([small, wide])
+
+    def test_bank_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FusedHeadBank([])

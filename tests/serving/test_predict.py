@@ -1,0 +1,222 @@
+"""The prediction serving tier: trunk cache, fused path, micro-batching."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.features import TrunkFeatureCache, array_digest
+from repro.serving import GatewayConfig, ServingGateway
+from tests.conftest import assert_fused_ids_match
+
+
+@pytest.fixture()
+def gateway(named_pool):
+    pool, _, _ = named_pool
+    with ServingGateway(pool, GatewayConfig(max_workers=2)) as gw:
+        yield gw
+
+
+class TestArrayDigest:
+    def test_same_content_same_digest(self, rng):
+        a = rng.standard_normal((4, 3, 6, 6)).astype(np.float32)
+        assert array_digest(a) == array_digest(a.copy())
+
+    def test_same_shape_different_content_differs(self, rng):
+        """The regression the digest key exists for: same row count, new data."""
+        a = rng.standard_normal((4, 3, 6, 6)).astype(np.float32)
+        b = rng.standard_normal((4, 3, 6, 6)).astype(np.float32)
+        assert array_digest(a) != array_digest(b)
+
+    def test_shape_and_dtype_participate(self, rng):
+        a = rng.standard_normal((6, 4)).astype(np.float32)
+        assert array_digest(a) != array_digest(a.reshape(4, 6))
+        assert array_digest(a) != array_digest(a.astype(np.float64))
+
+
+class TestTrunkFeatureCache:
+    def test_put_get_roundtrip(self, rng):
+        cache = TrunkFeatureCache(1 << 20)
+        feats = rng.standard_normal((8, 16, 3, 3)).astype(np.float32)
+        assert cache.put("k", feats)
+        assert cache.get("k") is feats
+
+    def test_zero_budget_disables(self, rng):
+        cache = TrunkFeatureCache(0)
+        feats = rng.standard_normal((2, 4, 3, 3)).astype(np.float32)
+        assert not cache.put("k", feats)
+        assert cache.get("k") is None
+
+
+class TestPredict:
+    def test_ids_match_reference_model(self, gateway, named_pool):
+        pool, data, _ = named_pool
+        x = data.test.images[:20]
+        response = gateway.predict(x, ["pets", "birds"])
+        model = gateway.get_model(["pets", "birds"])
+        assert_fused_ids_match(response.class_ids, model.logits(x), model.classes)
+        assert response.tasks == ("birds", "pets")  # canonical order
+        assert response.batch_size == 20
+
+    def test_trunk_cache_hits_on_repeat(self, gateway, named_pool):
+        _, data, _ = named_pool
+        x = data.test.images[:10]
+        cold = gateway.predict(x, ["pets"])
+        warm = gateway.predict(x, ["pets", "fish"])  # other composite, same trunk
+        assert not cold.trunk_cache_hit
+        assert warm.trunk_cache_hit  # features reused *across* composites
+        assert gateway.cache_stats()["trunk"].hits >= 1
+
+    def test_same_row_count_different_images_recomputes(self, gateway, named_pool):
+        """Digest keying: a new batch with the same shape must not hit."""
+        _, data, _ = named_pool
+        first, second = data.test.images[:10], data.test.images[10:20]
+        gateway.predict(first, ["pets"])
+        response = gateway.predict(second, ["pets"])
+        assert not response.trunk_cache_hit
+        # and its ids are correct for the *second* batch
+        model = gateway.get_model(["pets"])
+        assert_fused_ids_match(response.class_ids, model.logits(second), model.classes)
+
+    def test_reextraction_invalidates_fused_model(self, tiny_hierarchy):
+        """Version bump → cached model dropped → fresh bank serves new weights."""
+        from tests.conftest import build_micro_pool
+
+        pool, data, _ = build_micro_pool(tiny_hierarchy, seed=5, train_per_class=15)
+        name = sorted(pool.expert_names())[0]
+        query = sorted(pool.expert_names())[:2]
+        x = data.test.images[:12]
+        with ServingGateway(pool) as gw:
+            gw.predict(x, query)
+            assert len(gw.model_cache) == 1
+            pool.extract_expert(name, data.train.images)
+            assert len(gw.model_cache) == 0  # listener dropped the model
+            response = gw.predict(x, query)
+            network, composite = pool.consolidate(query)
+            from repro.distill import batched_forward
+
+            assert_fused_ids_match(
+                response.class_ids, batched_forward(network, x), composite.classes
+            )
+
+    def test_library_reextraction_clears_trunk_and_model_caches(self, tiny_hierarchy):
+        """A trunk swap invalidates features and models, not just experts."""
+        from tests.conftest import build_micro_pool
+
+        pool, data, _ = build_micro_pool(tiny_hierarchy, seed=6, train_per_class=15)
+        query = sorted(pool.expert_names())[:2]
+        x = data.test.images[:10]
+        with ServingGateway(pool) as gw:
+            gw.predict(x, query)
+            assert len(gw.trunk_cache) == 1 and len(gw.model_cache) == 1
+            pool.extract_library(data.train.images)  # new frozen trunk
+            assert len(gw.trunk_cache) == 0 and len(gw.model_cache) == 0
+            # old experts still attach to the pool; a fresh predict runs
+            # the *new* trunk and matches the new reference end to end
+            response = gw.predict(x, query)
+            assert not response.trunk_cache_hit
+            network, composite = pool.consolidate(query)
+            from repro.distill import batched_forward
+
+            assert_fused_ids_match(
+                response.class_ids, batched_forward(network, x), composite.classes
+            )
+
+    def test_unknown_task_raises_and_counts(self, gateway):
+        with pytest.raises(KeyError):
+            gateway.predict(np.zeros((2, 3, 6, 6), dtype=np.float32), ["dragons"])
+        assert gateway.metrics.counter("errors") == 1
+
+    def test_stage_metrics_recorded(self, gateway, named_pool):
+        _, data, _ = named_pool
+        gateway.predict(data.test.images[:6], ["pets"])
+        stages = gateway.metrics.snapshot()["stages"]
+        for stage in ("predict_trunk", "predict_heads", "predict_argmax", "predict_total"):
+            assert stage in stages, stage
+
+
+class TestMicroBatching:
+    def test_submit_matches_sequential(self, named_pool):
+        """Micro-batched futures return the same ids as sequential predicts."""
+        pool, data, _ = named_pool
+        queries = [
+            (data.test.images[i * 5 : (i + 1) * 5], ["pets"] if i % 2 else ["pets", "birds"])
+            for i in range(4)
+        ]
+        with ServingGateway(pool, GatewayConfig(max_workers=2)) as gw:
+            sequential = [gw.predict(x, tasks).class_ids for x, tasks in queries]
+        with ServingGateway(pool, GatewayConfig(max_workers=2)) as gw:
+            futures = [gw.submit_predict(x, tasks) for x, tasks in queries]
+            batched = [f.result(timeout=30).class_ids for f in futures]
+        for seq, bat in zip(sequential, batched):
+            assert np.array_equal(seq, bat)
+
+    def test_concurrent_requests_share_one_trunk_forward(self, named_pool):
+        """Requests enqueued while the worker is blocked drain as ONE batch."""
+        pool, data, _ = named_pool
+        release = threading.Event()
+        with ServingGateway(pool, GatewayConfig(max_workers=1)) as gw:
+            # occupy the single worker so submissions pile up behind it
+            blocker = gw._ensure_executor().submit(release.wait)
+            futures = [
+                gw.submit_predict(data.test.images[i * 4 : (i + 1) * 4], ["fish"])
+                for i in range(4)
+            ]
+            release.set()
+            results = [f.result(timeout=30) for f in futures]
+            blocker.result(timeout=30)
+            assert gw.metrics.counter("predict_batches") == 1
+            assert gw.metrics.counter("predict_coalesced") == 3
+            assert all(r.coalesced for r in results)
+            # the drain ran the trunk once over the union of images
+            assert gw.metrics.snapshot()["stages"]["predict_trunk"]["count"] == 1
+        model_net, composite = pool.consolidate(["fish"])
+        from repro.distill import batched_forward
+
+        for i, result in enumerate(results):
+            x = data.test.images[i * 4 : (i + 1) * 4]
+            assert_fused_ids_match(
+                result.class_ids, batched_forward(model_net, x), composite.classes
+            )
+
+    def test_identical_batches_deduped_within_drain(self, named_pool):
+        """Byte-identical images in one micro-batch share one trunk slice."""
+        pool, data, _ = named_pool
+        same = data.test.images[:6]
+        other = data.test.images[6:12]
+        release = threading.Event()
+        with ServingGateway(pool, GatewayConfig(max_workers=1)) as gw:
+            blocker = gw._ensure_executor().submit(release.wait)
+            futures = [
+                gw.submit_predict(same, ["pets"]),
+                gw.submit_predict(same.copy(), ["birds"]),  # same bytes, new array
+                gw.submit_predict(other, ["pets"]),
+            ]
+            release.set()
+            results = [f.result(timeout=30) for f in futures]
+            blocker.result(timeout=30)
+            # 3 requests, 2 distinct contents: exactly 2 feature insertions
+            assert gw.trunk_cache.stats().insertions == 2
+            assert gw.metrics.counter("predict_batches") == 1
+        for result, (x, tasks) in zip(
+            results, [(same, ["pets"]), (same, ["birds"]), (other, ["pets"])]
+        ):
+            network, composite = pool.consolidate(sorted(tasks))
+            from repro.distill import batched_forward
+
+            assert_fused_ids_match(
+                result.class_ids, batched_forward(network, x), composite.classes
+            )
+
+    def test_submit_predict_error_isolated_to_its_future(self, named_pool):
+        pool, data, _ = named_pool
+        with ServingGateway(pool, GatewayConfig(max_workers=1)) as gw:
+            release = threading.Event()
+            blocker = gw._ensure_executor().submit(release.wait)
+            good = gw.submit_predict(data.test.images[:4], ["pets"])
+            bad = gw.submit_predict(data.test.images[:4], ["dragons"])
+            release.set()
+            assert good.result(timeout=30).tasks == ("pets",)
+            with pytest.raises(KeyError):
+                bad.result(timeout=30)
+            blocker.result(timeout=30)

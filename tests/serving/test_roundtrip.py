@@ -93,6 +93,62 @@ class TestRawZlibRoundtrip:
         assert rebuilt.task.classes == composite.classes
 
 
+class TestZstdRoundtrip:
+    def test_states_bit_exact_with_or_without_zstandard(self, named_pool):
+        """zstd is a container/compressor change, not a precision change.
+
+        With the ``zstandard`` module absent the encoder falls back to
+        zlib compression (recorded in the header); either way the bytes
+        must reconstruct the exact model.
+        """
+        pool, _, _ = named_pool
+        network, composite = pool.consolidate(["pets", "birds"])
+        payload = serialize_task_model(network, composite, pool.config, "zstd")
+        rebuilt = deserialize_task_model(payload)
+        for (_, original), (_, restored) in zip(
+            _flat_states(network), _flat_states(rebuilt.network)
+        ):
+            assert set(original) == set(restored)
+            for key in original:
+                assert np.array_equal(
+                    np.asarray(original[key]), np.asarray(restored[key])
+                ), key
+
+    def test_header_records_codec_actually_used(self, named_pool):
+        import json
+        import struct
+
+        from repro.core import server as server_mod
+
+        pool, _, _ = named_pool
+        network, composite = pool.consolidate(["fish"])
+        payload = serialize_task_model(network, composite, pool.config, "zstd")
+        assert payload[:4] == b"POEZ"
+        (header_len,) = struct.unpack_from("<I", payload, 4)
+        header = json.loads(payload[8 : 8 + header_len].decode())
+        expected = "zlib" if server_mod._zstandard is None else "zstd"
+        assert header["codec"] == expected
+
+    def test_zlib_fallback_when_module_absent(self, named_pool, monkeypatch):
+        """Force the no-zstandard path: encode and decode must still work."""
+        from repro.core import server as server_mod
+
+        monkeypatch.setattr(server_mod, "_zstandard", None)
+        pool, data, _ = named_pool
+        network, composite = pool.consolidate(["fish"])
+        payload = serialize_task_model(network, composite, pool.config, "zstd")
+        rebuilt = deserialize_task_model(payload)
+        x = data.test.images[:8]
+        from repro.distill import batched_forward
+
+        assert np.array_equal(rebuilt.logits(x), batched_forward(network, x))
+
+    def test_zstd_listed_in_transports(self):
+        from repro.core import TRANSPORTS
+
+        assert "zstd" in TRANSPORTS
+
+
 class TestUint8Roundtrip:
     def test_states_equal_quant_dequant(self, named_pool):
         """uint8 transport loses exactly the quantization error, nothing more."""
