@@ -18,6 +18,7 @@ use share one code path.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -277,8 +278,20 @@ def cmd_predict_bench(args: argparse.Namespace) -> int:
     print(f"\nappended run {len(doc['runs'])} to {args.out}")
     if not record["allclose"]:
         print(
-            "error: fused logits diverged from the per-head loop "
-            f"(max abs diff {record['max_abs_diff']:.2e})"
+            "error: fused execution diverged from the reference path "
+            f"(heads max abs diff {record['max_abs_diff']:.2e}, "
+            f"trunk max abs diff {record['trunk']['max_abs_diff']:.2e})"
+        )
+        return 1
+    # perf gate: the compiled trunk must beat the autograd trunk >=2.5x
+    # (noisy shared runners relax to a >1x sanity floor, like the pytest
+    # benchmarks)
+    trunk_speedup = record["trunk"]["speedup"]
+    floor = 1.0 if os.environ.get("REPRO_BENCH_RELAX") else 2.5
+    if trunk_speedup < floor:
+        print(
+            f"error: compiled-trunk speedup {trunk_speedup:.2f}x below the "
+            f"{floor:g}x gate"
         )
         return 1
     return 0

@@ -38,11 +38,15 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.features import TrunkFeatureCache
+from ..core.features import TrunkFeatureCache, array_digest
 from ..core.pool import PoolOfExperts
 from ..core.query import TaskSpecificModel
-from ..core.server import TRANSPORTS, deserialize_expert_heads, serialize_task_model
-from ..distill.caches import batched_forward
+from ..core.server import (
+    TRANSPORTS,
+    deserialize_expert_heads,
+    serialize_expert_heads,
+    serialize_task_model,
+)
 from ..models import BranchedSpecialistNet, count_params
 from ..serving.cache import BYTES_PER_PARAM, ByteBudgetLRU, CacheStats, merge_cache_stats
 from ..serving.canonical import TaskQuery, canonical_tasks, payload_key
@@ -51,9 +55,13 @@ from ..serving.gateway import (
     GatewayResponse,
     PredictionResponse,
     SingleFlight,
+    drop_result_entries,
     drop_task_entries,
     expert_versions,
+    result_cache_key,
+    result_cache_put_guarded,
     run_fused_prediction,
+    run_trunk_forward,
 )
 from .metrics import ClusterMetrics
 from .router import ShardRouter, plan_groups
@@ -82,6 +90,13 @@ class ClusterConfig:
     #: Version-keyed LRU of deserialized remote heads, so cross-shard
     #: composites stop refetching the same expert payload per build.
     remote_head_cache_bytes: int = 32 << 20
+    #: Prediction-result (logits) cache budget — per shard gateway *and*
+    #: for the cluster-level cross-shard predict path (0 disables).
+    result_cache_bytes: int = 8 << 20
+    #: Micro-batch knobs forwarded to every shard gateway: hard cap on
+    #: images per ``submit_predict`` drain, and the adaptive window floor.
+    max_batch_images: int = 2048
+    min_batch_images: int = 64
     ttl_seconds: Optional[float] = None
     #: Wire codec for cross-shard head fetches; must be float-exact so
     #: cross-shard consolidation matches a single pool bit-for-bit.
@@ -104,6 +119,9 @@ class ClusterConfig:
             model_cache_bytes=self.shard_model_cache_bytes,
             payload_cache_bytes=self.shard_payload_cache_bytes,
             trunk_cache_bytes=self.trunk_cache_bytes,
+            result_cache_bytes=self.result_cache_bytes,
+            max_batch_images=self.max_batch_images,
+            min_batch_images=self.min_batch_images,
             ttl_seconds=self.ttl_seconds,
         )
 
@@ -117,6 +135,9 @@ class RebalanceReport:
     installs: int
     drops: int
     composite_entries_dropped: int
+    #: Serialized payload bytes shipped shard-to-shard for the migrations
+    #: (the ``fetch_transport`` codec — raw+zlib by default, not npz).
+    migrated_bytes: int = 0
 
 
 class ClusterGateway:
@@ -186,6 +207,11 @@ class ClusterGateway:
         # can never hit a stale entry, and updates also drop bytes eagerly
         self.remote_head_cache = ByteBudgetLRU(
             self.config.remote_head_cache_bytes, ttl_seconds=self.config.ttl_seconds
+        )
+        # cross-shard prediction answers, keyed (digest, tasks, versions) —
+        # single-shard predictions use the owning shard gateway's tier
+        self.result_cache = ByteBudgetLRU(
+            self.config.result_cache_bytes, ttl_seconds=self.config.ttl_seconds
         )
         self._flights = SingleFlight()
         # makes version-guarded composite puts atomic against invalidation
@@ -364,17 +390,36 @@ class ClusterGateway:
             return response
 
         self.metrics.increment("cross_shard")
-        model, model_hit = self._composite_model(names, plan)
-        if not model_hit:
-            # a composite-cache hit touches no shard, a build fetched from all
-            self.metrics.record_shard_requests(list(plan))
-
-        def compute(batch: np.ndarray) -> np.ndarray:
-            with self.metrics.stage("predict_trunk"):
-                return batched_forward(self.pool.library, batch)
-
-        features, trunk_hit = self.trunk_cache.get_or_compute(images, compute)
-        ids = run_fused_prediction(model, features, self.metrics)
+        # result lookup FIRST: the key snapshots expert versions before the
+        # composite build (check-before-build — a key built after could pair
+        # stale logits with fresh versions), and a hit skips the build
+        # entirely, including its cross-shard head fetches
+        cached = key = digest = None
+        trunk_hit = model_hit = False
+        if self.result_cache.budget_bytes:
+            digest = array_digest(images)
+            key = result_cache_key(self.result_cache, self.pool, names, digest)
+            cached = self.result_cache.get(key)
+        result_hit = cached is not None
+        if result_hit:
+            self.metrics.increment("predict_result_hits")
+            _logits, ids = cached
+        else:
+            model, model_hit = self._composite_model(names, plan)
+            if not model_hit:
+                # a composite-cache hit touches no shard, a build fetched
+                # from every shard in the plan
+                self.metrics.record_shard_requests(list(plan))
+            features, trunk_hit = self.trunk_cache.get_or_compute(
+                images,
+                lambda batch: run_trunk_forward(self.pool.library, batch, self.metrics),
+                digest=digest,
+            )
+            ids, logits = run_fused_prediction(model, features, self.metrics)
+            if key is not None:
+                result_cache_put_guarded(
+                    self.result_cache, self.pool, self._invalidate_lock, key, logits, ids
+                )
         service_seconds = perf_counter() - start
         self.metrics.observe("predict_total", service_seconds)
         return PredictionResponse(
@@ -386,6 +431,7 @@ class ClusterGateway:
             model_cache_hit=model_hit,
             trunk_cache_hit=trunk_hit,
             coalesced=False,
+            result_cache_hit=result_hit,
         )
 
     def cache_stats(self) -> Dict[str, CacheStats]:
@@ -403,6 +449,10 @@ class ClusterGateway:
             # merging would double-count the same cache N times
             "trunk": self.trunk_cache.stats(),
             "remote_heads": self.remote_head_cache.stats(),
+            "result": merge_cache_stats(
+                [s.gateway.result_cache.stats() for s in self.shards]
+                + [self.result_cache.stats()]
+            ),
         }
 
     def render_stats(self) -> str:
@@ -611,16 +661,19 @@ class ClusterGateway:
     def _invalidate_composites(self, name: str) -> int:
         """Drop cluster-level entries that include expert ``name``.
 
-        Remote-head entries are version-keyed, so a stale one can never be
-        *served* — dropping here just releases the bytes immediately.
+        Remote-head and prediction-result entries are version-keyed, so a
+        stale one can never be *served* — dropping here just releases the
+        bytes immediately.
         """
         dropped = 0
         for key in self.remote_head_cache.keys():
             if key[0] == name:
                 dropped += self.remote_head_cache.discard(key)
         with self._invalidate_lock:
-            return dropped + drop_task_entries(
-                self.model_cache, self.payload_cache, name
+            return (
+                dropped
+                + drop_task_entries(self.model_cache, self.payload_cache, name)
+                + drop_result_entries(self.result_cache, name)
             )
 
     def _on_expert_update(self, name: str, version: int) -> None:
@@ -639,6 +692,7 @@ class ClusterGateway:
             with self._invalidate_lock:
                 self.model_cache.clear()
                 self.payload_cache.clear()
+                self.result_cache.clear()
             self.remote_head_cache.clear()
             self.trunk_cache.clear()  # shared with every shard gateway
             self.metrics.increment("invalidations")
@@ -661,14 +715,46 @@ class ClusterGateway:
         self.metrics.increment("invalidations")
         self._invalidate_composites(name)
 
+    def _fetch_migration_heads(
+        self, source_id: Optional[int], names: Tuple[str, ...]
+    ) -> Tuple[Dict[str, Tuple[object, int]], int]:
+        """Bulk-serialize ``names`` off their source for a migration.
+
+        This is the shard-to-shard wire boundary: one flat ``raw+zlib``
+        payload (``config.fetch_transport`` — never the npz container) per
+        (source, destination) pair, rebuilt on the receiving side.  The
+        codec is float-exact, so a migrated expert answers bit-identically
+        to the original.  Migrated payload bytes are counted in
+        :class:`ClusterMetrics` (``migrated_bytes``/``expert_migrations``).
+        Falls back to the parent pool when the source shard no longer
+        holds a task (a re-extraction raced the rebalance).
+        """
+        source_pool = self.shards[source_id].pool if source_id is not None else self.pool
+        if any(name not in source_pool.experts for name in names):
+            source_pool = self.pool
+        payload = serialize_expert_heads(
+            source_pool, names, self.config.fetch_transport
+        )
+        self.metrics.increment("migrated_bytes", len(payload))
+        self.metrics.increment("expert_migrations", len(names))
+        # one payload per (source, destination) route — the bulk property
+        self.metrics.increment("migration_payloads")
+        heads = {
+            name: (remote.head, remote.version)
+            for name, remote in deserialize_expert_heads(payload).items()
+        }
+        return heads, len(payload)
+
     def rebalance(self, router: Optional[ShardRouter] = None) -> RebalanceReport:
         """Migrate experts to the router's current placement.
 
         Call after mutating the router (``pin``/``replicate``) or pass a
-        replacement router (same shard count).  Experts move *by reference*
-        from the shared pool, so answers never change; every cache entry
-        that depended on a moved expert — on the old shard, the new shard,
-        or the cluster composite tiers — is dropped explicitly.
+        replacement router (same shard count).  Experts ship shard-to-shard
+        as bulk serialized head payloads in the float-exact
+        ``fetch_transport`` codec (one payload per source/destination pair),
+        so answers never change; every cache entry that depended on a moved
+        expert — on the old shard, the new shard, or the cluster composite
+        tiers — is dropped explicitly.
         """
         if router is not None:
             if router.num_shards != len(self.shards):
@@ -678,9 +764,13 @@ class ClusterGateway:
                 )
             self.router = router
         moved: List[Tuple[str, Tuple[int, ...], Tuple[int, ...]]] = []
-        installs = drops = composites_dropped = 0
+        installs = drops = composites_dropped = migrated_bytes = 0
         with self._placement_lock:
             old_placement = dict(self._placement)
+        # Plan first, then ship in bulk: group every (source, destination)
+        # pair's tasks into one payload instead of serializing per expert.
+        plans: List[Tuple[str, Tuple[int, ...], Tuple[int, ...], Optional[int]]] = []
+        transfers: Dict[Tuple[Optional[int], int], List[str]] = {}
         for name in sorted(self.pool.expert_names()):
             old = old_placement.get(name, ())
             new = self.router.shards_for(name)
@@ -688,15 +778,24 @@ class ClusterGateway:
                 with self._placement_lock:
                     self._placement[name] = new
                 continue
+            source = old[0] if old else None
+            plans.append((name, old, new, source))
+            for shard_id in new:
+                if shard_id not in old:
+                    transfers.setdefault((source, shard_id), []).append(name)
+        shipped: Dict[Tuple[Optional[int], int], Dict[str, Tuple[object, int]]] = {}
+        for route, names in transfers.items():
+            shipped[route], nbytes = self._fetch_migration_heads(route[0], tuple(names))
+            migrated_bytes += nbytes
+        for name, old, new, source in plans:
             moved.append((name, old, new))
-            version = self.pool.expert_version(name)
-            head = self.pool.experts[name]
             # install on the new shards and repoint the placement *before*
             # dropping from the old ones: a concurrent plan sees either the
             # old home (still serving) or the new one (already installed),
             # never a shard that no longer holds the expert
             for shard_id in new:
                 if shard_id not in old:
+                    head, version = shipped[(source, shard_id)][name]
                     self.shards[shard_id].install_expert(name, head, version)
                     installs += 1
             with self._placement_lock:
@@ -713,6 +812,7 @@ class ClusterGateway:
             installs=installs,
             drops=drops,
             composite_entries_dropped=composites_dropped,
+            migrated_bytes=migrated_bytes,
         )
 
     # ------------------------------------------------------------------

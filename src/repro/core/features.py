@@ -16,6 +16,12 @@ extraction, and every repeated prediction request.  This module provides:
   (:meth:`~repro.serving.ServingGateway.predict`) so repeated or
   cross-composite predictions on the same images run the shared trunk
   once.
+* :func:`fused_trunk_features` — the cache's **miss path**: one trunk
+  forward through the compiled eval-mode program
+  (:class:`repro.nn.fused.FusedTrunk` — NHWC GEMMs, folded BN, no
+  autograd graph), falling back to the autograd engine only for trunks
+  the compiler cannot walk.  This is what makes *cold* predictions fast,
+  not just repeat traffic.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["array_digest", "TrunkFeatureCache"]
+__all__ = ["array_digest", "fused_trunk_features", "TrunkFeatureCache"]
 
 
 def array_digest(array: np.ndarray) -> str:
@@ -42,6 +48,28 @@ def array_digest(array: np.ndarray) -> str:
     hasher.update(str(array.dtype).encode())
     hasher.update(np.ascontiguousarray(array).tobytes())
     return hasher.hexdigest()
+
+
+def fused_trunk_features(
+    trunk, images: np.ndarray, batch_size: int = 512
+) -> Tuple[np.ndarray, bool]:
+    """``(features, used_fused)`` — one eval-mode trunk forward.
+
+    Runs the compiled NHWC program (:func:`repro.nn.fused.fused_trunk_for`,
+    memoized per trunk object and verified ``allclose`` against autograd at
+    compile time).  A trunk the compiler cannot lower — anything that does
+    not walk like a :class:`~repro.models.wrn.WRNTrunk` — falls back to the
+    autograd engine, so callers never lose correctness, only speed.
+    """
+    from ..nn.fused import fused_trunk_for
+
+    try:
+        fused = fused_trunk_for(trunk)
+    except (AttributeError, TypeError, ValueError):
+        from ..distill.caches import batched_forward
+
+        return batched_forward(trunk, images, batch_size), False
+    return fused(images, batch_size), True
 
 
 class TrunkFeatureCache:
@@ -85,17 +113,21 @@ class TrunkFeatureCache:
         self,
         images: np.ndarray,
         compute: Callable[[np.ndarray], np.ndarray],
+        digest: Optional[str] = None,
     ) -> Tuple[np.ndarray, bool]:
         """``(features, was_hit)`` for ``images`` — the one lookup protocol.
 
         Misses run ``compute(images)`` and insert the result under the
         content digest; every caller (gateway, cluster, micro-batcher)
         shares this sequence so digesting and insertion can't drift apart.
+        Pass ``digest`` when the caller already hashed the images (e.g.
+        for a prediction-result lookup) to avoid hashing twice.
         """
         if self._lru.budget_bytes == 0:
             # disabled cache: skip the digest, it could never hit anyway
             return compute(images), False
-        digest = array_digest(images)
+        if digest is None:
+            digest = array_digest(images)
         features = self.get(digest)
         if features is not None:
             return features, True

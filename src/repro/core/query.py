@@ -73,20 +73,26 @@ class TaskSpecificModel:
         return batched_forward(self.network, np.asarray(images, dtype=np.float32), batch_size)
 
     def fused_logits(self, images: np.ndarray, batch_size: int = 512) -> np.ndarray:
-        """Unified logits via the fused fast path (trunk loop + stacked heads).
+        """Unified logits via the fully fused fast path (no autograd).
 
-        Numerically equal to :meth:`logits` up to float32 round-off; the
+        Numerically equal to :meth:`logits` up to float32 round-off: the
+        shared trunk runs through its compiled eval-mode program
+        (:func:`~repro.core.features.fused_trunk_features` — NHWC GEMMs,
+        folded BN, verified against autograd at compile time) and the
         ``n(Q)`` heads execute as one batched pass
         (:meth:`~repro.models.BranchedSpecialistNet.fused_logits`) instead
         of a Python loop.  Use :meth:`logits` where bit-stable output
         matters (payload round-trip checks); predictions use this path.
         """
+        from .features import fused_trunk_features
+
         images = np.asarray(images, dtype=np.float32)
         bank = self.network.fused_bank()
         out = []
         for start in range(0, images.shape[0], batch_size):
             chunk = images[start : start + batch_size]
-            out.append(bank(batched_forward(self.network.trunk, chunk, batch_size)))
+            features, _ = fused_trunk_features(self.network.trunk, chunk, batch_size)
+            out.append(bank(features))
         return np.concatenate(out, axis=0)
 
     def logits_from_features(self, features: np.ndarray) -> np.ndarray:

@@ -20,6 +20,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..nn import Module, ModuleList
+from ..nn.fused import FusedTrunk, fused_trunk_for, invalidate_fused_trunk
 from ..tensor import Tensor
 from .fused_head import FusedHeadBank
 from .wrn import WRNHead, WRNTrunk
@@ -78,9 +79,32 @@ class BranchedSpecialistNet(Module):
             self._fused = FusedHeadBank(list(self.heads))
         return self._fused
 
+    def fused_trunk(self) -> FusedTrunk:
+        """The compiled eval-mode trunk program (memoized on the trunk).
+
+        Memoization lives on the shared trunk *module*, not on this
+        wrapper: every composite model over one library shares a single
+        compiled program, and a library re-extraction (which installs a
+        new trunk object and bumps ``LIBRARY_TASK``) invalidates it by
+        construction.  Verified ``allclose`` against the autograd trunk
+        at compile time.
+        """
+        return fused_trunk_for(self.trunk)
+
+    def fused_forward(self, images: np.ndarray) -> np.ndarray:
+        """Unified logits from raw NCHW images, fully fused (no autograd).
+
+        Compiled trunk + stacked head bank; matches :meth:`forward` to
+        float32 round-off.
+        """
+        return self.fused_bank()(self.fused_trunk()(images))
+
     def invalidate_fused(self) -> None:
-        """Drop the stacked bank so the next fast-path call restacks."""
+        """Drop the stacked bank (and the trunk compile) so the next
+        fast-path call rebuilds them — required after mutating weights in
+        place (e.g. ``load_state_dict``)."""
         self._fused = None
+        invalidate_fused_trunk(self.trunk)
 
     def fused_logits(self, features: np.ndarray) -> np.ndarray:
         """Unified logits from precomputed trunk features, fused path.

@@ -26,38 +26,14 @@ import numpy as np
 
 from ..nn.fused import (
     FusedAffine,
-    FusedConv,
+    FusedBlock,
     FusedLinearBank,
     stack_affine,
-    stack_conv,
     stack_linear,
 )
 from .wrn import WRNHead
 
 __all__ = ["FusedHeadBank"]
-
-
-class _FusedBlock:
-    """One WRN basic block across the whole bank (pre-activation layout)."""
-
-    def __init__(self, blocks: Sequence) -> None:
-        self.bn1 = stack_affine([b.bn1 for b in blocks])
-        self.conv1 = stack_conv([b.conv1 for b in blocks])
-        self.bn2 = stack_affine([b.bn2 for b in blocks])
-        self.conv2 = stack_conv([b.conv2 for b in blocks])
-        projections = {b.needs_projection for b in blocks}
-        if len(projections) != 1:
-            raise ValueError("cannot stack blocks with differing shortcut shapes")
-        self.shortcut = (
-            stack_conv([b.shortcut for b in blocks]) if projections.pop() else None
-        )
-
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        pre = self.bn1(x, relu=True)
-        residual = self.shortcut(pre) if self.shortcut is not None else x
-        out = self.conv1(pre)
-        out = self.conv2(self.bn2(out, relu=True))
-        return out + residual
 
 
 class FusedHeadBank:
@@ -82,11 +58,11 @@ class FusedHeadBank:
             ] != blocks_per_group:
                 raise ValueError("cannot stack heads with differing block structure")
         self.n_heads = len(heads)
-        self._blocks: List[_FusedBlock] = []
+        self._blocks: List[FusedBlock] = []
         for gi in range(depth):
             for bi in range(blocks_per_group[gi]):
                 self._blocks.append(
-                    _FusedBlock([head.groups[gi].blocks[bi] for head in heads])
+                    FusedBlock([head.groups[gi].blocks[bi] for head in heads])
                 )
         self._final_bn: FusedAffine = stack_affine([head.bn for head in heads])
         self._fc: FusedLinearBank = stack_linear([head.fc for head in heads])
@@ -125,15 +101,7 @@ class FusedHeadBank:
         """Approximate resident size of the stacked weights."""
         total = self._final_bn.scale.nbytes + self._final_bn.shift.nbytes
         total += self._fc.weight.nbytes + self._fc.bias.nbytes
-        for block in self._blocks:
-            for conv in (block.conv1, block.conv2, block.shortcut):
-                if conv is not None:
-                    total += conv.weight.nbytes
-                    if conv.bias is not None:
-                        total += conv.bias.nbytes
-            for affine in (block.bn1, block.bn2):
-                total += affine.scale.nbytes + affine.shift.nbytes
-        return total
+        return total + sum(block.nbytes() for block in self._blocks)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -23,13 +23,24 @@ reshapes with a single contiguous copy, and 1×1 (shortcut) convolutions
 are a strided slice plus matmul with no unfolding at all.  Everything
 here is inference-only (no autograd, no training-mode BN) and operates on
 plain ``np.ndarray``\\ s; :class:`repro.models.fused_head.FusedHeadBank`
-composes these into the full WRN head fast path.
+composes these into the full WRN head fast path, and :class:`FusedTrunk`
+applies the same lowering to the *shared library trunk* (a bank of one)
+so cold predictions skip the autograd engine end to end.
+
+Single-module banks (``n = 1``) **alias** the live parameters wherever
+the GEMM layout is reachable by a view — 1×1 shortcut weights, conv
+biases and classifier weights; k×k conv weights need a layout transform
+(a copy) and folded batch norms are derived by construction.  Either way
+a compiled artifact must be treated as frozen: mutate a module's weights
+in place (``load_state_dict``) and you must recompile (the serving tiers
+do this through the ``expert_version``/``LIBRARY_TASK`` listeners, which
+install *new* module objects on re-extraction).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,8 +53,12 @@ __all__ = [
     "stack_conv",
     "stack_linear",
     "FusedAffine",
+    "FusedBlock",
     "FusedConv",
     "FusedLinearBank",
+    "FusedTrunk",
+    "fused_trunk_for",
+    "invalidate_fused_trunk",
 ]
 
 
@@ -168,20 +183,29 @@ def stack_conv(convs: Sequence) -> FusedConv:
                 f"vs {shape}"
             )
     c_out, c_in, kh, kw = shape
-    # (C_out, C_in, KH, KW) -> channels-last GEMM operand (KH*KW*C_in, C_out)
-    weight = np.stack(
-        [
-            conv.weight.data.transpose(2, 3, 1, 0).reshape(kh * kw * c_in, c_out)
-            for conv in convs
-        ]
-    ).astype(np.float32, copy=False)
+    if len(convs) == 1 and kh == 1 and kw == 1:
+        # single 1x1 module: the GEMM operand (1, C_in, C_out) is a pure
+        # view of the live parameter — aliased, not copied
+        weight = first.weight.data.reshape(c_out, c_in).T[None]
+    else:
+        # (C_out, C_in, KH, KW) -> channels-last GEMM operand (KH*KW*C_in, C_out)
+        weight = np.stack(
+            [
+                conv.weight.data.transpose(2, 3, 1, 0).reshape(kh * kw * c_in, c_out)
+                for conv in convs
+            ]
+        ).astype(np.float32, copy=False)
+        weight = np.ascontiguousarray(weight)
     bias = None
     if first.bias is not None:
-        bias = np.stack([conv.bias.data for conv in convs]).reshape(
-            len(convs), 1, c_out
-        )
+        if len(convs) == 1:
+            bias = first.bias.data.reshape(1, 1, c_out)  # aliased view
+        else:
+            bias = np.stack([conv.bias.data for conv in convs]).reshape(
+                len(convs), 1, c_out
+            )
     return FusedConv(
-        weight=np.ascontiguousarray(weight),
+        weight=weight,
         bias=bias,
         in_channels=c_in,
         out_channels=c_out,
@@ -227,6 +251,15 @@ def stack_linear(linears: Sequence) -> FusedLinearBank:
     widths = tuple(lin.out_features for lin in linears)
     max_out = max(widths)
     n = len(linears)
+    if n == 1 and linears[0].bias is not None:
+        # single classifier needs no padding: both operands are views of
+        # the live parameters (aliased, not copied)
+        lin = linears[0]
+        return FusedLinearBank(
+            weight=lin.weight.data.T[None],
+            bias=lin.bias.data.reshape(1, 1, max_out),
+            widths=widths,
+        )
     weight = np.zeros((n, in_features, max_out), dtype=np.float32)
     bias = np.zeros((n, 1, max_out), dtype=np.float32)
     for i, lin in enumerate(linears):
@@ -234,3 +267,203 @@ def stack_linear(linears: Sequence) -> FusedLinearBank:
         if lin.bias is not None:
             bias[i, 0, : widths[i]] = lin.bias.data
     return FusedLinearBank(weight=weight, bias=bias, widths=widths)
+
+
+class FusedBlock:
+    """One pre-activation WRN basic block across a bank of ``n`` modules.
+
+    Duck-typed over block modules exposing ``bn1``/``conv1``/``bn2``/
+    ``conv2``/``needs_projection``/``shortcut`` (the
+    :class:`~repro.models.wrn.BasicBlock` contract) so both the expert
+    head bank and the single-trunk compiler lower through one code path.
+    """
+
+    def __init__(self, blocks: Sequence) -> None:
+        self.bn1 = stack_affine([b.bn1 for b in blocks])
+        self.conv1 = stack_conv([b.conv1 for b in blocks])
+        self.bn2 = stack_affine([b.bn2 for b in blocks])
+        self.conv2 = stack_conv([b.conv2 for b in blocks])
+        projections = {b.needs_projection for b in blocks}
+        if len(projections) != 1:
+            raise ValueError("cannot stack blocks with differing shortcut shapes")
+        self.shortcut = (
+            stack_conv([b.shortcut for b in blocks]) if projections.pop() else None
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        pre = self.bn1(x, relu=True)
+        residual = self.shortcut(pre) if self.shortcut is not None else x
+        out = self.conv1(pre)
+        out = self.conv2(self.bn2(out, relu=True))
+        return out + residual
+
+    def nbytes(self) -> int:
+        total = 0
+        for conv in (self.conv1, self.conv2, self.shortcut):
+            if conv is not None:
+                total += conv.weight.nbytes
+                if conv.bias is not None:
+                    total += conv.bias.nbytes
+        for affine in (self.bn1, self.bn2):
+            total += affine.scale.nbytes + affine.shift.nbytes
+        return total
+
+
+class FusedTrunk:
+    """A frozen eval-mode WRN trunk compiled to channels-last primitives.
+
+    The one-shot compiler behind the *cold* prediction fast path: walks a
+    trunk module (duck-typed — ``conv1`` plus ``groups[i].blocks[j]`` in
+    the :class:`~repro.models.wrn.WRNTrunk` shape) and lowers every layer
+    to the same NHWC bank primitives the expert head bank uses, with a
+    bank size of one: im2col + one GEMM per conv, eval-BN folded into
+    per-channel affines, 1×1 residual shortcuts as slice+matmul.  The
+    compiled program runs on plain numpy with **no autograd graph**; the
+    NCHW↔NHWC transposes happen once at the boundaries so cached features
+    stay layout-compatible with the loop path.
+
+    Weights are aliased from the live modules where a view reaches the
+    GEMM layout (1×1 shortcuts, biases) and layout-copied otherwise, so
+    the compile is cheap but the artifact goes stale if the source trunk
+    is mutated *in place* — the ``LIBRARY_TASK`` version machinery never
+    does that (re-extraction installs a new trunk object, and
+    :func:`fused_trunk_for` memoizes per object), but after a manual
+    ``load_state_dict`` call :func:`invalidate_fused_trunk`.
+
+    ``verify=True`` (the default) runs a deterministic probe batch through
+    both the compiled program and the autograd trunk at compile time and
+    raises if they diverge beyond float32 round-off — the fast path can
+    never silently serve wrong features.
+    """
+
+    #: Spatial size of the deterministic compile-time verification probe.
+    _PROBE_SIZE = 8
+
+    def __init__(self, trunk, verify: bool = True) -> None:
+        self.conv1 = stack_conv([trunk.conv1])
+        self._blocks: List[FusedBlock] = [
+            FusedBlock([block]) for group in trunk.groups for block in group.blocks
+        ]
+        self.in_channels = int(trunk.conv1.in_channels)
+        self.out_channels = int(
+            self._blocks[-1].conv2.out_channels if self._blocks else self.conv1.out_channels
+        )
+        if verify:
+            self.verify(trunk)
+
+    # ------------------------------------------------------------------
+    def __call__(self, images: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        """Library-level features (N, C, H, W) for NCHW ``images``.
+
+        Matches the autograd trunk's eval-mode forward to float32
+        round-off (``allclose``); chunks over the batch so im2col buffers
+        stay bounded for large prediction batches.
+        """
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim != 4:
+            raise ValueError(f"expected NCHW images, got shape {images.shape}")
+        out: List[np.ndarray] = []
+        for start in range(0, images.shape[0], batch_size):
+            chunk = images[start : start + batch_size]
+            # one NCHW -> NHWC transpose in, one NHWC -> NCHW out; the
+            # interior flows channels-last with no layout copies
+            h = np.ascontiguousarray(chunk.transpose(0, 2, 3, 1))[None]
+            h = self.conv1(h)
+            for block in self._blocks:
+                h = block(h)
+            out.append(np.ascontiguousarray(h[0].transpose(0, 3, 1, 2)))
+        return out[0] if len(out) == 1 else np.concatenate(out, axis=0)
+
+    def verify(
+        self,
+        trunk,
+        images: Optional[np.ndarray] = None,
+        rtol: float = 1e-4,
+        atol: float = 1e-5,
+    ) -> float:
+        """Assert the compiled program matches the autograd trunk.
+
+        Runs ``images`` (or a deterministic random probe) through both
+        paths in eval mode and raises :class:`ValueError` on divergence;
+        returns the max absolute difference for reporting.
+        """
+        from ..tensor import Tensor, no_grad
+
+        if images is None:
+            rng = np.random.default_rng(0)
+            images = rng.standard_normal(
+                (2, self.in_channels, self._PROBE_SIZE, self._PROBE_SIZE)
+            ).astype(np.float32)
+        was_training = trunk.training
+        trunk.eval()
+        try:
+            with no_grad():
+                reference = trunk(Tensor(np.asarray(images, dtype=np.float32))).numpy()
+        finally:
+            if was_training:
+                trunk.train()
+        fused = self(images)
+        max_abs_diff = float(np.abs(reference - fused).max())
+        if not np.allclose(reference, fused, rtol=rtol, atol=atol):
+            raise ValueError(
+                "compiled trunk diverged from the autograd trunk "
+                f"(max abs diff {max_abs_diff:.3e})"
+            )
+        return max_abs_diff
+
+    def nbytes(self) -> int:
+        """Approximate resident size of the compiled weights (views count
+        their base bytes — the aliased share is not double-charged by the
+        serving caches, which charge module weights separately)."""
+        total = self.conv1.weight.nbytes
+        if self.conv1.bias is not None:
+            total += self.conv1.bias.nbytes
+        return total + sum(block.nbytes() for block in self._blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FusedTrunk(blocks={len(self._blocks)}, "
+            f"channels={self.in_channels}->{self.out_channels})"
+        )
+
+
+#: Attribute used to memoize one compiled program per live trunk module.
+_FUSED_TRUNK_ATTR = "_fused_eval_trunk"
+
+
+def fused_trunk_for(trunk, verify: bool = True) -> FusedTrunk:
+    """The compiled eval-mode program for ``trunk``, memoized per object.
+
+    The library trunk is frozen after extraction and *replaced* (never
+    mutated) on re-extraction, so caching the compiled program on the
+    module object itself makes invalidation automatic: every serving tier
+    that follows the ``LIBRARY_TASK`` version bump to a new trunk object
+    gets a fresh compile, and the old program dies with the old trunk.
+    Concurrent first calls may compile twice; the race is benign (both
+    programs are equivalent, one wins the attribute write).
+
+    A *failed* compile (unwalkable structure, or a verify-probe
+    divergence) is memoized too — the original exception is re-raised on
+    every subsequent call instead of re-stacking the weights and re-probing
+    per prediction, so the autograd fallback stays cheap and the root
+    cause stays inspectable.  :func:`invalidate_fused_trunk` clears either
+    outcome.
+    """
+    cached = getattr(trunk, _FUSED_TRUNK_ATTR, None)
+    if isinstance(cached, FusedTrunk):
+        return cached
+    if isinstance(cached, Exception):
+        raise cached
+    try:
+        cached = FusedTrunk(trunk, verify=verify)
+    except (AttributeError, TypeError, ValueError) as error:
+        setattr(trunk, _FUSED_TRUNK_ATTR, error)
+        raise
+    setattr(trunk, _FUSED_TRUNK_ATTR, cached)
+    return cached
+
+
+def invalidate_fused_trunk(trunk) -> None:
+    """Drop ``trunk``'s memoized compile (after an in-place weight mutation)."""
+    if getattr(trunk, _FUSED_TRUNK_ATTR, None) is not None:
+        setattr(trunk, _FUSED_TRUNK_ATTR, None)

@@ -149,6 +149,25 @@ class ByteBudgetLRU:
                 self._evictions += 1
             return True
 
+    def contains(self, key: Hashable) -> bool:
+        """Whether a live (non-expired) entry exists for ``key``.
+
+        A stats-neutral peek: no hit/miss accounting and no recency
+        refresh, for callers that only *plan* around an entry's presence
+        (e.g. the micro-batch drain deciding whether to skip trunk work)
+        and leave the counted lookup to the serving path itself.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            if (
+                self.ttl_seconds is not None
+                and self._clock() - entry[2] > self.ttl_seconds
+            ):
+                return False
+            return True
+
     def discard(self, key: Hashable) -> bool:
         """Drop one entry if present; returns whether it existed."""
         with self._lock:

@@ -28,28 +28,33 @@ and additionally records queue-wait latency, for open-loop load.
 Besides *model delivery*, the gateway also runs **prediction serving**
 (paper Fig. 1b's realtime querying taken to its conclusion):
 ``predict()`` routes images + task set through the fused inference fast
-path — a content-addressed trunk-feature cache (the library is frozen, so
-features are reusable across every ``M(Q)``), then one batched pass over
-all expert heads (:class:`~repro.models.FusedHeadBank`) — with per-stage
-metrics (``predict_trunk`` / ``predict_heads`` / ``predict_argmax``).
+path — a prediction-result cache (fully repeated requests skip all
+compute), a content-addressed trunk-feature cache (the library is frozen,
+so features are reusable across every ``M(Q)``) whose miss path runs the
+**compiled** eval-mode trunk (:class:`~repro.nn.fused.FusedTrunk`, no
+autograd), then one batched pass over all expert heads
+(:class:`~repro.models.FusedHeadBank`) — with per-stage metrics
+(``predict_trunk_fused`` / ``predict_heads`` / ``predict_argmax``).
 ``submit_predict()`` adds cross-request micro-batching: concurrent small
 prediction requests coalesce so the shared trunk runs **once** per drain
-over the union of their images, whatever composite each request asked for.
+over the union of their images, whatever composite each request asked
+for; drains are capped at ``max_batch_images`` and sized by an adaptive
+window (grow under load, shrink when idle).
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Dict, Hashable, List, Optional, Tuple, TypeVar
+from typing import Callable, Deque, Dict, Hashable, List, Optional, Tuple, TypeVar
 
 import numpy as np
 
-from ..core.features import TrunkFeatureCache, array_digest
+from ..core.features import TrunkFeatureCache, array_digest, fused_trunk_features
 from ..core.query import TaskSpecificModel
-from ..distill.caches import batched_forward
 from .canonical import TaskQuery, canonical_tasks, payload_key
 from .cache import ByteBudgetLRU, CacheStats
 from .metrics import ServingMetrics
@@ -83,17 +88,77 @@ def expert_versions(pool, names: Tuple[str, ...]) -> Optional[Tuple[int, ...]]:
     return tuple(getter(name) for name in names) + (getter(LIBRARY_TASK),)
 
 
-def run_fused_prediction(model: TaskSpecificModel, features, metrics) -> "np.ndarray":
-    """Fused heads + argmax over trunk features, with the standard stages.
+def run_trunk_forward(trunk, images, metrics) -> "np.ndarray":
+    """One shared-trunk forward for prediction serving, metered per mode.
+
+    The trunk-feature cache's miss path: runs the compiled eval-mode
+    program (:func:`~repro.core.features.fused_trunk_features`) and records
+    it under the ``predict_trunk_fused`` stage; a trunk the compiler cannot
+    lower falls back to the autograd engine under the legacy
+    ``predict_trunk`` stage plus a ``fused_trunk_fallback`` counter, so the
+    two execution modes stay separable in every metrics report.
+    """
+    start = perf_counter()
+    features, used_fused = fused_trunk_features(trunk, images)
+    if used_fused:
+        metrics.observe("predict_trunk_fused", perf_counter() - start)
+    else:
+        metrics.increment("fused_trunk_fallback")
+        metrics.observe("predict_trunk", perf_counter() - start)
+    return features
+
+
+def result_cache_key(
+    cache: ByteBudgetLRU, pool, names: Tuple[str, ...], digest: str
+) -> Optional[Tuple[str, Tuple[str, ...], object]]:
+    """Prediction-result tier key, or None when the tier is disabled.
+
+    One key recipe for the gateway and the cluster's cross-shard path:
+    ``(image digest, canonical tasks, expert versions)``.  Versions ride
+    in the key, so an entry inserted before a re-extraction can never
+    satisfy a lookup after it — the eager drops in the invalidation
+    listeners only reclaim the bytes sooner.
+    """
+    if cache.budget_bytes == 0:
+        return None
+    return (digest, names, expert_versions(pool, names))
+
+
+def result_cache_put_guarded(
+    cache: ByteBudgetLRU, pool, invalidate_lock, key, logits, class_ids
+) -> None:
+    """Insert a computed answer under the standard stale-put guard.
+
+    Same contract as the model/payload tiers: the key was snapshotted
+    *before* the model was acquired, and is re-derived under the
+    invalidation lock here — if an expert (or the library) was re-extracted
+    while the answer was being computed, the keys differ and the stale
+    answer is not cached.  Entries hold ``(logits, class_ids)`` so a hit
+    needs no model at all (not even for the argmax→global-id mapping).
+    """
+    digest, names, _versions = key
+    with invalidate_lock:
+        if key == result_cache_key(cache, pool, names, digest):
+            cache.put(
+                key, (logits, class_ids), int(logits.nbytes + class_ids.nbytes)
+            )
+
+
+def run_fused_prediction(
+    model: TaskSpecificModel, features, metrics
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """``(class_ids, logits)``: fused heads + argmax, with the standard stages.
 
     The one post-trunk prediction pipeline, shared by the gateway's
     inline/micro-batched paths and the cluster's cross-shard path so the
-    stage names and execution order cannot drift apart.
+    stage names and execution order cannot drift apart.  (A
+    prediction-result cache hit skips this entirely — entries carry the
+    mapped class ids.)
     """
     with metrics.stage("predict_heads"):
         logits = model.logits_from_features(features)
     with metrics.stage("predict_argmax"):
-        return model.classes[logits.argmax(axis=1)]
+        return model.classes[logits.argmax(axis=1)], logits
 
 
 def drop_task_entries(model_cache, payload_cache, name: str) -> int:
@@ -113,6 +178,21 @@ def drop_task_entries(model_cache, payload_cache, name: str) -> int:
     return dropped
 
 
+def drop_result_entries(result_cache, name: str) -> int:
+    """Drop every prediction-result entry whose task set includes ``name``.
+
+    Result keys are built by :func:`result_cache_key` —
+    ``(digest, tasks, versions)``.  Entries are version-keyed, so a stale
+    one could never be *served*; dropping releases the bytes eagerly, like
+    the other tiers.  Shared by the gateway and the cluster tiers.
+    """
+    dropped = 0
+    for key in result_cache.keys():
+        if name in key[1]:
+            dropped += result_cache.discard(key)
+    return dropped
+
+
 @dataclass(frozen=True)
 class GatewayConfig:
     """Operating envelope of a :class:`ServingGateway`."""
@@ -122,11 +202,25 @@ class GatewayConfig:
     payload_cache_bytes: int = 128 << 20
     #: Budget of the content-addressed trunk-feature cache (0 disables).
     trunk_cache_bytes: int = 64 << 20
+    #: Budget of the prediction-result (logits) cache, keyed on
+    #: ``(image digest, canonical tasks, expert versions)`` — a fully
+    #: repeated request skips even the fused heads (0 disables).
+    result_cache_bytes: int = 8 << 20
+    #: Hard cap on images per ``submit_predict`` micro-batch drain; bounds
+    #: the worst-case latency one drain can add to a small request.
+    max_batch_images: int = 2048
+    #: Floor of the adaptive drain window (the window starts here, doubles
+    #: while drains leave a backlog, and halves back when drains run light).
+    min_batch_images: int = 64
     ttl_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if self.min_batch_images < 1:
+            raise ValueError("min_batch_images must be >= 1")
+        if self.max_batch_images < self.min_batch_images:
+            raise ValueError("max_batch_images must be >= min_batch_images")
 
 
 @dataclass(frozen=True)
@@ -169,6 +263,9 @@ class PredictionResponse:
     model_cache_hit: bool
     trunk_cache_hit: bool
     coalesced: bool
+    #: True when the whole answer came from the prediction-result cache —
+    #: neither the trunk nor the fused heads ran for this request.
+    result_cache_hit: bool = False
 
 
 @dataclass
@@ -269,9 +366,18 @@ class ServingGateway:
                 self.config.trunk_cache_bytes, ttl_seconds=self.config.ttl_seconds
             )
         )
+        # fully-materialized answers: logits keyed (digest, tasks, versions)
+        self.result_cache = ByteBudgetLRU(
+            self.config.result_cache_bytes, ttl_seconds=self.config.ttl_seconds
+        )
         self._flights = SingleFlight()
         self._predict_lock = threading.Lock()
-        self._pending_predictions: List[_PendingPrediction] = []
+        # deque: window-bounded drains pop from the head while submitters
+        # append to the tail — O(1) each, under the same hot lock
+        self._pending_predictions: Deque[_PendingPrediction] = deque()
+        # adaptive micro-batch window (images per drain), bounded by
+        # [min_batch_images, max_batch_images]; guarded by _predict_lock
+        self._predict_window = self.config.min_batch_images
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
         self._closed = False
@@ -292,11 +398,14 @@ class ServingGateway:
         from ..core.pool import LIBRARY_TASK
 
         if name == LIBRARY_TASK:
-            # the trunk itself changed: every consolidated model, payload
-            # and cached feature map was computed against the old library
+            # the trunk itself changed: every consolidated model, payload,
+            # cached feature map and cached answer was computed against the
+            # old library (the compiled trunk program needs no drop here —
+            # it is memoized on the old trunk *object* and dies with it)
             with self._invalidate_lock:
                 self.model_cache.clear()
                 self.payload_cache.clear()
+                self.result_cache.clear()
             self.trunk_cache.clear()
         else:
             self.invalidate_task(name)
@@ -373,20 +482,32 @@ class ServingGateway:
             "model": self.model_cache.stats(),
             "payload": self.payload_cache.stats(),
             "trunk": self.trunk_cache.stats(),
+            "result": self.result_cache.stats(),
         }
+
+    @property
+    def predict_window(self) -> int:
+        """Current adaptive micro-batch window, in images per drain."""
+        with self._predict_lock:
+            return self._predict_window
 
     def render_stats(self) -> str:
         return self.metrics.render(cache_stats=self.cache_stats())
 
     def invalidate_task(self, name: str) -> int:
-        """Drop every cached model/payload that includes expert ``name``.
+        """Drop every cached model/payload/result that includes expert ``name``.
 
         Returns the number of entries dropped.  Called automatically when
         the backing pool re-extracts an expert (version bump); also the hook
         the cluster tier uses after migrating an expert between shards.
+        Result entries are version-keyed so a stale one could never be
+        *served* — dropping here releases the bytes eagerly, like the other
+        tiers.
         """
         with self._invalidate_lock:
-            return drop_task_entries(self.model_cache, self.payload_cache, name)
+            return drop_task_entries(
+                self.model_cache, self.payload_cache, name
+            ) + drop_result_entries(self.result_cache, name)
 
     def close(self) -> None:
         remove_listener = getattr(self.pool, "remove_listener", None)
@@ -400,8 +521,8 @@ class ServingGateway:
         # a submit_predict that raced close() may have enqueued after the
         # last drain ran; fail its future instead of leaving it hanging
         with self._predict_lock:
-            leftovers = self._pending_predictions
-            self._pending_predictions = []
+            leftovers = list(self._pending_predictions)
+            self._pending_predictions = deque()
         for item in leftovers:
             item.future.set_exception(RuntimeError("gateway is closed"))
 
@@ -499,14 +620,26 @@ class ServingGateway:
     # ------------------------------------------------------------------
     # Prediction fast path
     # ------------------------------------------------------------------
-    def _trunk_features(self, images: np.ndarray) -> Tuple[np.ndarray, bool]:
-        """Features for ``images`` from the cache or one metered trunk forward."""
+    def _trunk_features(
+        self, images: np.ndarray, digest: Optional[str] = None
+    ) -> Tuple[np.ndarray, bool]:
+        """Features for ``images`` from the cache or one metered trunk forward.
 
-        def compute(batch: np.ndarray) -> np.ndarray:
-            with self.metrics.stage("predict_trunk"):
-                return batched_forward(self.pool.library, batch)
+        The miss path runs the *compiled* eval-mode trunk
+        (``predict_trunk_fused`` stage), not the autograd engine — cold
+        predictions take the fast path too.
+        """
+        return self.trunk_cache.get_or_compute(
+            images,
+            lambda batch: run_trunk_forward(self.pool.library, batch, self.metrics),
+            digest=digest,
+        )
 
-        return self.trunk_cache.get_or_compute(images, compute)
+    def _result_key(
+        self, names: Tuple[str, ...], digest: str
+    ) -> Optional[Tuple[str, Tuple[str, ...], object]]:
+        """Result-cache key for one request, or None when the tier is off."""
+        return result_cache_key(self.result_cache, self.pool, names, digest)
 
     def _predict_one(
         self,
@@ -516,6 +649,7 @@ class ServingGateway:
         features: Optional[np.ndarray] = None,
         trunk_hit: bool = False,
         coalesced: bool = False,
+        digest: Optional[str] = None,
     ) -> PredictionResponse:
         start = perf_counter()
         queue_seconds = 0.0
@@ -524,10 +658,35 @@ class ServingGateway:
             self.metrics.observe("queue", queue_seconds)
         self.metrics.increment("predictions")
         try:
-            model, model_hit = self._model_for(names)
-            if features is None:
-                features, trunk_hit = self._trunk_features(images)
-            ids = run_fused_prediction(model, features, self.metrics)
+            # result lookup FIRST: the key snapshots expert versions before
+            # any model/trunk work (check-before-build, like the other
+            # tiers — a key built after the model could pair stale logits
+            # with fresh versions), and a hit touches no other tier at all
+            cached = key = None
+            if self.result_cache.budget_bytes:
+                if digest is None:
+                    digest = array_digest(images)
+                key = self._result_key(names, digest)
+                cached = self.result_cache.get(key)
+            result_hit = cached is not None
+            if result_hit:
+                self.metrics.increment("predict_result_hits")
+                _logits, ids = cached
+                model_hit = False  # the model tier was never consulted
+            else:
+                model, model_hit = self._model_for(names)
+                if features is None:
+                    features, trunk_hit = self._trunk_features(images, digest=digest)
+                ids, logits = run_fused_prediction(model, features, self.metrics)
+                if key is not None:
+                    result_cache_put_guarded(
+                        self.result_cache,
+                        self.pool,
+                        self._invalidate_lock,
+                        key,
+                        logits,
+                        ids,
+                    )
         except BaseException:
             self.metrics.increment("errors")
             raise
@@ -542,36 +701,75 @@ class ServingGateway:
             model_cache_hit=model_hit,
             trunk_cache_hit=trunk_hit,
             coalesced=coalesced,
+            result_cache_hit=result_hit,
         )
 
-    def _drain_predictions(self) -> None:
-        """Serve every pending prediction in one micro-batch.
+    def _take_drain_batch(self) -> Tuple[List[_PendingPrediction], int]:
+        """Pop one window-bounded micro-batch off the pending queue (FIFO).
 
-        Whichever worker runs first takes the whole queue: requests with
-        cached features resolve from the trunk cache, the rest are
-        concatenated (per image geometry) and pushed through **one** trunk
-        forward, then each request runs its own fused heads on its slice.
-        Later workers find the queue empty and return immediately.
+        The adaptive window bounds the images a single drain may gather
+        (worst-case added latency for the requests inside it); a lone
+        oversized request is still taken whole — it cannot be split.
+        Leftover requests stay queued and are picked up by the drain tasks
+        their own submissions scheduled.  The window doubles (up to
+        ``max_batch_images``) when a drain leaves a backlog and halves
+        (down to ``min_batch_images``) when a drain runs at under half the
+        window — batch more under load, less when idle.
         """
         with self._predict_lock:
-            batch = self._pending_predictions
-            self._pending_predictions = []
+            window = self._predict_window
+            batch: List[_PendingPrediction] = []
+            total = 0
+            while self._pending_predictions:
+                size = int(self._pending_predictions[0].images.shape[0])
+                if batch and total + size > window:
+                    break
+                batch.append(self._pending_predictions.popleft())
+                total += size
+            if self._pending_predictions:
+                self._predict_window = min(window * 2, self.config.max_batch_images)
+            elif batch and total <= window // 2:
+                self._predict_window = max(window // 2, self.config.min_batch_images)
+        return batch, total
+
+    def _drain_predictions(self) -> None:
+        """Serve pending predictions in one window-bounded micro-batch.
+
+        Whichever worker runs first takes up to one adaptive window's worth
+        of the queue: requests with cached answers resolve from the result
+        cache, requests with cached features from the trunk cache, and the
+        rest are concatenated (per image geometry) and pushed through
+        **one** compiled-trunk forward, then each request runs its own
+        fused heads on its slice.  Every request schedules a drain task, so
+        leftovers beyond the window are served by later tasks; workers that
+        find the queue empty return immediately.
+        """
+        batch, total_images = self._take_drain_batch()
         if not batch:
             return
         coalesced = len(batch) > 1
         self.metrics.increment("predict_batches")
+        # drain size telemetry (unit: images, not seconds)
+        self.metrics.observe("predict_drain_images", float(total_images))
         if coalesced:
             self.metrics.increment("predict_coalesced", len(batch) - 1)
 
-        resolved: Dict[int, object] = {}  # id(item) -> (features, hit) | error
+        # id(item) -> (features|None, trunk_hit, digest) | error
+        resolved: Dict[int, object] = {}
         # dedupe by content digest: byte-identical request batches share
         # one representative in the stacked forward (and one cache entry)
         by_digest: Dict[str, List[_PendingPrediction]] = {}
         for item in batch:
             digest = array_digest(item.images)
+            key = self._result_key(item.names, digest)
+            # stats-neutral peek: _predict_one does the counted lookup (or,
+            # if the entry is evicted meanwhile, recomputes) — no trunk work
+            if key is not None and self.result_cache.contains(key):
+                resolved[id(item)] = (None, False, digest)
+                continue
             cached = self.trunk_cache.get(digest)
             if cached is not None:
-                resolved[id(item)] = (cached, True)
+                resolved[id(item)] = (cached, True, digest)
             else:
                 by_digest.setdefault(digest, []).append(item)
         groups: Dict[Tuple[int, ...], List[str]] = {}
@@ -583,8 +781,7 @@ class ServingGateway:
             )
             token = self.trunk_cache.generation()
             try:
-                with self.metrics.stage("predict_trunk"):
-                    features = batched_forward(self.pool.library, stacked)
+                features = run_trunk_forward(self.pool.library, stacked, self.metrics)
             except BaseException as error:
                 for digest in digests:
                     for item in by_digest[digest]:
@@ -598,7 +795,7 @@ class ServingGateway:
                 offset += count
                 self.trunk_cache.put_guarded(digest, chunk, token)
                 for item in sharers:
-                    resolved[id(item)] = (chunk, False)
+                    resolved[id(item)] = (chunk, False, digest)
 
         for item in batch:
             entry = resolved[id(item)]
@@ -611,7 +808,7 @@ class ServingGateway:
                 item.future.set_exception(entry)
                 continue
             try:
-                item_features, trunk_hit = entry
+                item_features, trunk_hit, digest = entry
                 response = self._predict_one(
                     item.images,
                     item.names,
@@ -619,6 +816,7 @@ class ServingGateway:
                     features=item_features,
                     trunk_hit=trunk_hit,
                     coalesced=coalesced,
+                    digest=digest,
                 )
             except BaseException as error:
                 item.future.set_exception(error)

@@ -184,9 +184,12 @@ class ServingMetrics:
             )
             for name in sorted(stages):
                 s = stages[name]
+                # stages named *_images record sizes, not seconds (e.g. the
+                # micro-batch drain histogram) — print them as plain counts
+                fmt = _fmt_size if name.endswith("_images") else _fmt_latency
                 lines.append(
                     f"  {name:<12} {int(s['count']):>7} "
-                    + " ".join(_fmt_latency(s[k]) for k in ("mean", "p50", "p95", "p99", "max"))
+                    + " ".join(fmt(s[k]) for k in ("mean", "p50", "p95", "p99", "max"))
                 )
         counters = snap["counters"]
         if counters:
@@ -198,6 +201,10 @@ class ServingMetrics:
                 f"evictions={stats.evictions} bytes={stats.current_bytes}/{stats.budget_bytes}"
             )
         return "\n".join(lines)
+
+
+def _fmt_size(value: float) -> str:
+    return f"{value:>9.1f}"
 
 
 def _fmt_latency(seconds: float) -> str:

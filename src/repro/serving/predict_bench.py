@@ -1,14 +1,19 @@
 """Measurement harness for the prediction fast path.
 
 One benchmark recipe shared by ``benchmarks/bench_predict_throughput.py``
-(which *asserts* the speedup) and the ``repro predict-bench`` CLI (which
+(which *asserts* the speedups) and the ``repro predict-bench`` CLI (which
 emits the ``BENCH_predict.json`` trajectory): build an ``M(Q)`` with
 ``n(Q)`` heads, then time
 
 * the per-head Python loop vs the fused bank on identical trunk features
   (the ≥3x single-thread claim), checking ``allclose`` along the way;
-* end-to-end prediction — loop path, fused path with a cold trunk, and
-  fused path with the trunk-feature cache warm — through a real
+* the autograd trunk vs the **compiled** eval-mode trunk
+  (:class:`repro.nn.fused.FusedTrunk` — the ≥2.5x trunk-mode claim),
+  also ``allclose``-checked;
+* end-to-end prediction — loop path, fused path with a cold trunk
+  (compiled trunk + fused heads, no caches warm), fused path with the
+  trunk-feature cache warm, and a fully repeated request served from the
+  prediction-result cache — through a real
   :class:`~repro.serving.ServingGateway`.
 
 Timings are medians over ``reps`` runs after warmup, so one scheduler
@@ -71,6 +76,7 @@ def run_predict_benchmark(
     features = batched_forward(network.trunk, batch)
     features_t = Tensor(features)
     bank = network.fused_bank()
+    compiled_trunk = network.fused_trunk()  # verified allclose at compile
 
     def loop_heads() -> np.ndarray:
         with no_grad():
@@ -79,17 +85,29 @@ def run_predict_benchmark(
 
     loop_logits = loop_heads()
     fused_logits = bank(features)
-    max_abs_diff = float(np.abs(loop_logits - fused_logits).max())
-    allclose = bool(np.allclose(loop_logits, fused_logits, rtol=1e-4, atol=1e-5))
+    heads_max_diff = float(np.abs(loop_logits - fused_logits).max())
+    heads_allclose = bool(np.allclose(loop_logits, fused_logits, rtol=1e-4, atol=1e-5))
+
+    fused_features = compiled_trunk(batch)
+    trunk_max_diff = float(np.abs(features - fused_features).max())
+    trunk_allclose = bool(
+        np.allclose(features, fused_features, rtol=1e-4, atol=1e-5)
+    )
 
     loop_heads_ms = _median_ms(loop_heads, reps)
     fused_heads_ms = _median_ms(lambda: bank(features), reps)
+    # trunk mode: the autograd engine vs the compiled NHWC program
+    trunk_autograd_ms = _median_ms(lambda: batched_forward(network.trunk, batch), reps)
+    trunk_fused_ms = _median_ms(lambda: compiled_trunk(batch), reps)
 
-    # end to end through the gateway: cold trunk vs warm trunk-feature cache
+    # end to end through the gateway: cold trunk vs warm trunk-feature
+    # cache (result cache off so the arms measure compute, not memoing)
     from .gateway import GatewayConfig, ServingGateway
 
     loop_e2e_ms = _median_ms(lambda: model.logits(batch).argmax(axis=1), reps)
-    with ServingGateway(pool, GatewayConfig(max_workers=1)) as gateway:
+    with ServingGateway(
+        pool, GatewayConfig(max_workers=1, result_cache_bytes=0)
+    ) as gateway:
         cold_ms = _median_ms(
             lambda: (gateway.trunk_cache.clear(), gateway.predict(batch, names)),
             reps,
@@ -97,24 +115,38 @@ def run_predict_benchmark(
         gateway.trunk_cache.reset_stats()  # report the warm phase's hit rate
         warm_ms = _median_ms(lambda: gateway.predict(batch, names), reps)
         trunk_stats = gateway.trunk_cache.stats()
+    # fourth arm: the fully repeated request (prediction-result cache hit)
+    with ServingGateway(pool, GatewayConfig(max_workers=1)) as gateway:
+        gateway.predict(batch, names)  # populate
+        result_hit_ms = _median_ms(lambda: gateway.predict(batch, names), reps)
 
     return {
         "n_heads": n_heads,
         "batch_size": batch_size,
         "reps": reps,
-        "allclose": allclose,
-        "max_abs_diff": max_abs_diff,
+        "allclose": heads_allclose and trunk_allclose,
+        "max_abs_diff": heads_max_diff,
         "heads": {
             "loop_ms": loop_heads_ms,
             "fused_ms": fused_heads_ms,
             "speedup": loop_heads_ms / fused_heads_ms if fused_heads_ms else 0.0,
+            "allclose": heads_allclose,
+        },
+        "trunk": {
+            "autograd_ms": trunk_autograd_ms,
+            "fused_ms": trunk_fused_ms,
+            "speedup": trunk_autograd_ms / trunk_fused_ms if trunk_fused_ms else 0.0,
+            "allclose": trunk_allclose,
+            "max_abs_diff": trunk_max_diff,
         },
         "end_to_end": {
             "loop_ms": loop_e2e_ms,
             "fused_cold_ms": cold_ms,
             "fused_warm_ms": warm_ms,
+            "result_hit_ms": result_hit_ms,
             "cold_speedup": loop_e2e_ms / cold_ms if cold_ms else 0.0,
             "warm_speedup": loop_e2e_ms / warm_ms if warm_ms else 0.0,
+            "result_speedup": loop_e2e_ms / result_hit_ms if result_hit_ms else 0.0,
         },
         "trunk_cache": {
             "hits": trunk_stats.hits,
@@ -131,13 +163,25 @@ def predict_report_rows(record: Dict[str, object]) -> Tuple[List[List[str]], str
     layout cannot drift from the record schema.
     """
     heads, e2e = record["heads"], record["end_to_end"]
+    trunk = record.get("trunk")
     rows = [
         ["heads: per-head loop", f"{heads['loop_ms']:.3f}", ""],
         ["heads: fused bank", f"{heads['fused_ms']:.3f}", f"{heads['speedup']:.1f}x"],
+    ]
+    if trunk is not None:  # records predating the compiled trunk lack it
+        rows += [
+            ["trunk: autograd", f"{trunk['autograd_ms']:.3f}", ""],
+            ["trunk: compiled", f"{trunk['fused_ms']:.3f}", f"{trunk['speedup']:.1f}x"],
+        ]
+    rows += [
         ["e2e: loop predict", f"{e2e['loop_ms']:.3f}", ""],
         ["e2e: fused, cold trunk", f"{e2e['fused_cold_ms']:.3f}", f"{e2e['cold_speedup']:.1f}x"],
         ["e2e: fused, warm trunk", f"{e2e['fused_warm_ms']:.3f}", f"{e2e['warm_speedup']:.1f}x"],
     ]
+    if "result_hit_ms" in e2e:
+        rows.append(
+            ["e2e: result cache hit", f"{e2e['result_hit_ms']:.3f}", f"{e2e['result_speedup']:.1f}x"]
+        )
     title = (
         f"Prediction fast path (n(Q)={record['n_heads']}, "
         f"batch={record['batch_size']}, allclose={record['allclose']}, "

@@ -127,6 +127,7 @@ class TestServe:
             "composite_payload",
             "trunk",
             "remote_heads",
+            "result",
         }
         assert stats["composite_payload"].hits == 1
         assert stats["payload"].hits >= 1  # aggregate includes the composite tier
@@ -275,3 +276,53 @@ class TestInvalidation:
         finally:
             cluster.close()
             pool.attach_expert(task, original)  # undo for other tests
+
+
+class TestMigrationPayloads:
+    def test_rebalance_ships_serialized_flat_payloads(self, wide_pool):
+        """Migration crosses the wire as raw+zlib bytes, counted in metrics."""
+        pool, data = wide_pool
+        cluster = _make(pool)
+        try:
+            task = sorted(cluster.available_tasks())[0]
+            old_primary = cluster.shards_of(task)[0]
+            new_primary = (old_primary + 1) % 4
+            cluster.router.pin(task, new_primary)
+            report = cluster.rebalance()
+            assert any(m[0] == task for m in report.moved)
+            assert report.migrated_bytes > 0
+            assert cluster.metrics.counter("migrated_bytes") == report.migrated_bytes
+            assert cluster.metrics.counter("expert_migrations") >= 1
+            # the migrated head is a deserialized copy, not the pool's object,
+            # yet it answers bit-identically (the codec is float-exact)
+            shard_head = cluster.shards[new_primary].pool.experts[task]
+            assert shard_head is not pool.experts[task]
+            rebuilt = deserialize_task_model(cluster.serve((task,)).payload)
+            network, _ = pool.consolidate([task])
+            x = data.test.images[:16]
+            assert np.array_equal(rebuilt.logits(x), batched_forward(network, x))
+        finally:
+            cluster.close()
+
+    def test_bulk_moves_share_one_payload_per_route(self, wide_pool):
+        """Several experts moving between the same pair of shards ship together."""
+        pool, _ = wide_pool
+        cluster = _make(pool)
+        try:
+            names = sorted(cluster.available_tasks())
+            # pin everything to shard 0, then everything to shard 1: the
+            # second rebalance moves every expert along the same 0->1 route
+            for name in names:
+                cluster.router.pin(name, 0)
+            cluster.rebalance()
+            cluster.metrics.serving._counters.clear()  # isolate the bulk move
+            for name in names:
+                cluster.router.pin(name, 1)
+            report = cluster.rebalance()
+            assert len(report.moved) == len(names)
+            # one bulk payload for the single 0->1 route, not one per expert
+            assert cluster.metrics.counter("migration_payloads") == 1
+            assert cluster.metrics.counter("expert_migrations") == len(names)
+            assert report.migrated_bytes > 0
+        finally:
+            cluster.close()

@@ -165,3 +165,40 @@ class TestRemoteHeadCache:
             cluster.payload_cache.clear()
             cluster.serve(query)
             assert cluster.metrics.counter("remote_fetches") == 2 * fetches
+
+
+class TestClusterResultCache:
+    def test_cross_shard_repeat_hits_result_cache(self, wide_pool):
+        pool, data = wide_pool
+        x = data.test.images[:10]
+        with _make(pool) as cluster:
+            query = _cross_shard_query(cluster)
+            cold = cluster.predict(x, query)
+            warm = cluster.predict(x, query)
+            assert not cold.result_cache_hit
+            assert warm.result_cache_hit
+            assert np.array_equal(cold.class_ids, warm.class_ids)
+            assert cluster.metrics.counter("predict_result_hits") == 1
+
+    def test_single_shard_repeat_hits_shard_result_cache(self, wide_pool):
+        pool, data = wide_pool
+        x = data.test.images[:10]
+        with _make(pool) as cluster:
+            name = sorted(cluster.available_tasks())[0]
+            cluster.predict(x, [name])
+            warm = cluster.predict(x, [name])
+            assert warm.result_cache_hit
+            assert cluster.cache_stats()["result"].hits >= 1
+
+    def test_reextraction_evicts_cluster_results(self, wide_pool):
+        pool, data = wide_pool
+        x = data.test.images[:10]
+        with _make(pool) as cluster:
+            query = _cross_shard_query(cluster)
+            cluster.predict(x, query)
+            assert len(cluster.result_cache) == 1
+            pool.extract_expert(query[0], data.train.images)
+            assert len(cluster.result_cache) == 0
+            response = cluster.predict(x, query)
+            assert not response.result_cache_hit
+            _assert_matches_reference(response.class_ids, pool, query, x)

@@ -171,3 +171,25 @@ class TestThreadSafety:
         stats = cache.stats()
         assert stats.current_bytes <= 512
         assert stats.current_entries == len(cache.keys())
+
+
+class TestContains:
+    def test_contains_is_stats_neutral(self):
+        from repro.serving.cache import ByteBudgetLRU
+
+        cache = ByteBudgetLRU(1 << 10)
+        cache.put("k", b"v", 1)
+        assert cache.contains("k")
+        assert not cache.contains("missing")
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0  # peeks counted nothing
+
+    def test_contains_respects_ttl(self):
+        from repro.serving.cache import ByteBudgetLRU
+
+        now = [0.0]
+        cache = ByteBudgetLRU(1 << 10, ttl_seconds=5.0, clock=lambda: now[0])
+        cache.put("k", b"v", 1)
+        assert cache.contains("k")
+        now[0] = 10.0
+        assert not cache.contains("k")

@@ -131,8 +131,16 @@ class TestPredict:
         _, data, _ = named_pool
         gateway.predict(data.test.images[:6], ["pets"])
         stages = gateway.metrics.snapshot()["stages"]
-        for stage in ("predict_trunk", "predict_heads", "predict_argmax", "predict_total"):
+        for stage in (
+            "predict_trunk_fused",
+            "predict_heads",
+            "predict_argmax",
+            "predict_total",
+        ):
             assert stage in stages, stage
+        # the compiled trunk ran — the autograd fallback never fired
+        assert "predict_trunk" not in stages
+        assert gateway.metrics.counter("fused_trunk_fallback") == 0
 
 
 class TestMicroBatching:
@@ -169,7 +177,7 @@ class TestMicroBatching:
             assert gw.metrics.counter("predict_coalesced") == 3
             assert all(r.coalesced for r in results)
             # the drain ran the trunk once over the union of images
-            assert gw.metrics.snapshot()["stages"]["predict_trunk"]["count"] == 1
+            assert gw.metrics.snapshot()["stages"]["predict_trunk_fused"]["count"] == 1
         model_net, composite = pool.consolidate(["fish"])
         from repro.distill import batched_forward
 
@@ -220,3 +228,177 @@ class TestMicroBatching:
             with pytest.raises(KeyError):
                 bad.result(timeout=30)
             blocker.result(timeout=30)
+
+
+class TestAdaptiveMicroBatching:
+    def _blocked_gateway(self, pool, **config_kwargs):
+        gw = ServingGateway(
+            pool, GatewayConfig(max_workers=1, **config_kwargs)
+        )
+        release = threading.Event()
+        blocker = gw._ensure_executor().submit(release.wait)
+        return gw, release, blocker
+
+    def test_drains_capped_at_max_batch_images(self, named_pool):
+        """No drain gathers more images than max_batch_images."""
+        pool, data, _ = named_pool
+        gw, release, blocker = self._blocked_gateway(
+            pool, min_batch_images=8, max_batch_images=8
+        )
+        with gw:
+            futures = [
+                gw.submit_predict(data.test.images[i * 4 : (i + 1) * 4], ["fish"])
+                for i in range(4)  # 16 images against an 8-image cap
+            ]
+            release.set()
+            results = [f.result(timeout=30) for f in futures]
+            blocker.result(timeout=30)
+            assert gw.metrics.counter("predict_batches") >= 2
+            drain_sizes = gw.metrics.snapshot()["stages"]["predict_drain_images"]
+            assert drain_sizes["max"] <= 8
+        network, composite = pool.consolidate(["fish"])
+        from repro.distill import batched_forward
+
+        for i, result in enumerate(results):
+            x = data.test.images[i * 4 : (i + 1) * 4]
+            assert_fused_ids_match(
+                result.class_ids, batched_forward(network, x), composite.classes
+            )
+
+    def test_window_grows_under_load(self, named_pool):
+        """A drain that leaves a backlog doubles the window (up to the cap)."""
+        pool, data, _ = named_pool
+        gw, release, blocker = self._blocked_gateway(
+            pool, min_batch_images=4, max_batch_images=64
+        )
+        with gw:
+            assert gw.predict_window == 4
+            futures = [
+                gw.submit_predict(data.test.images[i * 4 : (i + 1) * 4], ["pets"])
+                for i in range(3)  # 12 images > 4-image window -> backlog
+            ]
+            release.set()
+            for f in futures:
+                f.result(timeout=30)
+            blocker.result(timeout=30)
+            assert gw.predict_window > 4
+
+    def test_window_shrinks_when_idle(self, named_pool):
+        """Light drains halve the window back toward min_batch_images."""
+        pool, data, _ = named_pool
+        with ServingGateway(
+            pool,
+            GatewayConfig(max_workers=1, min_batch_images=4, max_batch_images=64),
+        ) as gw:
+            with gw._predict_lock:
+                gw._predict_window = 64  # as if a burst just ended
+            for _ in range(4):  # lone 2-image requests: idle traffic
+                gw.submit_predict(data.test.images[:2], ["pets"]).result(timeout=30)
+            assert gw.predict_window == 4
+
+    def test_oversized_request_still_served_whole(self, named_pool):
+        """A single request larger than the cap cannot be split — it drains alone."""
+        pool, data, _ = named_pool
+        with ServingGateway(
+            pool,
+            GatewayConfig(max_workers=1, min_batch_images=4, max_batch_images=4),
+        ) as gw:
+            response = gw.submit_predict(data.test.images[:12], ["pets"]).result(
+                timeout=30
+            )
+            assert response.batch_size == 12
+
+    def test_config_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError, match="max_batch_images"):
+            GatewayConfig(min_batch_images=128, max_batch_images=8)
+
+
+class TestResultCache:
+    def test_repeat_request_skips_even_the_heads(self, named_pool):
+        pool, data, _ = named_pool
+        x = data.test.images[:10]
+        with ServingGateway(pool, GatewayConfig(max_workers=1)) as gw:
+            cold = gw.predict(x, ["pets", "birds"])
+            heads_runs = gw.metrics.snapshot()["stages"]["predict_heads"]["count"]
+            warm = gw.predict(x, ["pets", "birds"])
+            assert not cold.result_cache_hit
+            assert warm.result_cache_hit and not warm.trunk_cache_hit
+            assert np.array_equal(cold.class_ids, warm.class_ids)
+            # the fused heads did not run again for the repeat
+            assert (
+                gw.metrics.snapshot()["stages"]["predict_heads"]["count"]
+                == heads_runs
+            )
+            assert gw.metrics.counter("predict_result_hits") == 1
+            assert gw.cache_stats()["result"].hits == 1
+
+    def test_different_images_or_tasks_miss(self, named_pool):
+        pool, data, _ = named_pool
+        with ServingGateway(pool, GatewayConfig(max_workers=1)) as gw:
+            gw.predict(data.test.images[:10], ["pets"])
+            other_images = gw.predict(data.test.images[10:20], ["pets"])
+            other_tasks = gw.predict(data.test.images[:10], ["pets", "fish"])
+            assert not other_images.result_cache_hit
+            assert not other_tasks.result_cache_hit
+
+    def test_version_bump_evicts_eagerly_and_recomputes(self, tiny_hierarchy):
+        from tests.conftest import build_micro_pool
+
+        pool, data, _ = build_micro_pool(tiny_hierarchy, seed=8, train_per_class=15)
+        name = sorted(pool.expert_names())[0]
+        query = sorted(pool.expert_names())[:2]
+        x = data.test.images[:8]
+        with ServingGateway(pool) as gw:
+            gw.predict(x, query)
+            assert len(gw.result_cache) == 1
+            pool.extract_expert(name, data.train.images)
+            assert len(gw.result_cache) == 0  # listener released the bytes
+            response = gw.predict(x, query)
+            assert not response.result_cache_hit
+            network, composite = pool.consolidate(query)
+            from repro.distill import batched_forward
+
+            assert_fused_ids_match(
+                response.class_ids, batched_forward(network, x), composite.classes
+            )
+
+    def test_library_bump_clears_results(self, tiny_hierarchy):
+        from tests.conftest import build_micro_pool
+
+        pool, data, _ = build_micro_pool(tiny_hierarchy, seed=10, train_per_class=15)
+        query = sorted(pool.expert_names())[:2]
+        with ServingGateway(pool) as gw:
+            gw.predict(data.test.images[:8], query)
+            assert len(gw.result_cache) == 1
+            pool.extract_library(data.train.images)
+            assert len(gw.result_cache) == 0
+
+    def test_zero_budget_disables(self, named_pool):
+        pool, data, _ = named_pool
+        x = data.test.images[:10]
+        with ServingGateway(
+            pool, GatewayConfig(max_workers=1, result_cache_bytes=0)
+        ) as gw:
+            first = gw.predict(x, ["pets"])
+            second = gw.predict(x, ["pets"])
+            assert not first.result_cache_hit and not second.result_cache_hit
+            assert second.trunk_cache_hit  # the feature tier still works
+            assert np.array_equal(first.class_ids, second.class_ids)
+
+    def test_micro_batched_repeat_hits_result_cache(self, named_pool):
+        """A drained request whose answer is cached resolves without trunk work."""
+        pool, data, _ = named_pool
+        x = data.test.images[:6]
+        with ServingGateway(pool, GatewayConfig(max_workers=1)) as gw:
+            gw.predict(x, ["pets"])
+            trunk_runs = gw.metrics.snapshot()["stages"]["predict_trunk_fused"]["count"]
+            response = gw.submit_predict(x, ["pets"]).result(timeout=30)
+            assert response.result_cache_hit
+            assert (
+                gw.metrics.snapshot()["stages"]["predict_trunk_fused"]["count"]
+                == trunk_runs
+            )
+            # the drain's presence peek is stats-neutral: exactly one
+            # counted lookup per request (1 miss inline, 1 hit drained)
+            stats = gw.cache_stats()["result"]
+            assert stats.hits == 1 and stats.misses == 1
