@@ -11,6 +11,9 @@ Layered architecture (see DESIGN.md):
 * ``repro.distill`` — KD / CKD / Transfer / Scratch / SD / UHC
 * ``repro.core``    — Pool of Experts (the paper's contribution)
 * ``repro.serving`` — realtime serving gateway: caches, coalescing, loadgen
+* ``repro.cluster`` — sharded pools: routing, cross-shard consolidation
+* ``repro.net``     — networked shards: wire protocol, worker processes,
+  asyncio transport (imported on demand; see ``docs/architecture.md``)
 * ``repro.eval``    — metrics, experiment tracks, benchmark runners
 """
 

@@ -7,6 +7,8 @@ Subcommands::
     python -m repro.cli query   --track T --tasks a,b     # serve one query
     python -m repro.cli serve-bench [--mode closed|open]  # gateway load test
     python -m repro.cli cluster-bench --shards 4          # sharded-pool load test
+    python -m repro.cli cluster-bench --networked         # shards in worker processes
+    python -m repro.cli shard-serve --port 7070           # host one shard over TCP
     python -m repro.cli predict-bench --heads 8           # fused-inference bench
     python -m repro.cli report  [--out EXPERIMENTS.md]    # paper-vs-measured
     python -m repro.cli info                              # registry overview
@@ -193,7 +195,14 @@ def _codec_comparison(gateway, workload) -> str:
 
 
 def cmd_cluster_bench(args: argparse.Namespace) -> int:
-    """Load-test a sharded cluster and print per-shard/fan-out statistics."""
+    """Load-test a sharded cluster and print per-shard/fan-out statistics.
+
+    With ``--networked``, shards run as forked worker processes behind the
+    ``repro.net`` socket protocol (optionally dispatching ``submit``
+    through the asyncio transport); the command then also verifies a clean
+    worker shutdown — no leaked processes, exit code 0 — and can append a
+    JSON summary for CI artifacts via ``--out``.
+    """
     from .cluster import ClusterConfig, ClusterGateway
     from .core.server import TRANSPORTS
     from .serving import ZipfianWorkload, build_demo_pool, run_closed_loop, run_open_loop
@@ -202,6 +211,9 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
     unknown = [t for t in transports if t not in TRANSPORTS]
     if unknown:
         print(f"error: unknown transport(s) {unknown}; choose from {', '.join(TRANSPORTS)}")
+        return 2
+    if args.async_transport and not args.networked:
+        print("error: --async-transport requires --networked")
         return 2
 
     print("building self-contained micro pool (seconds)...")
@@ -223,7 +235,17 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         transports=transports,
         seed=args.seed,
     )
-    with ClusterGateway(pool, config) as cluster:
+    networked = None
+    if args.networked:
+        from .net import NetworkedCluster
+
+        networked = NetworkedCluster(
+            pool, config, async_transport=args.async_transport
+        )
+        cluster = networked.gateway
+    else:
+        cluster = ClusterGateway(pool, config)
+    try:
         if args.mode == "closed":
             report = run_closed_loop(
                 cluster,
@@ -231,6 +253,7 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
                 clients=args.clients,
                 requests_per_client=args.requests,
                 seed=args.seed,
+                via_submit=args.networked,
             )
         else:
             report = run_open_loop(
@@ -244,6 +267,88 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         print(report.render())
         print()
         print(cluster.render_stats())
+        fanout = cluster.metrics.fanout_histogram()
+    finally:
+        if networked is not None:
+            networked.close()
+        else:
+            cluster.close()
+
+    if networked is not None:
+        leaked = networked.fleet.leaked_processes()
+        exit_codes = [h.process.exitcode for h in networked.fleet.workers]
+        if leaked or any(code != 0 for code in exit_codes):
+            print(
+                f"error: unclean worker shutdown (leaked={len(leaked)}, "
+                f"exit codes={exit_codes})"
+            )
+            return 1
+        print(f"\nworkers exited cleanly (exit codes {exit_codes}, no leaks)")
+
+    if args.out:
+        from .serving import append_benchmark_record
+
+        append_benchmark_record(
+            args.out,
+            {
+                "bench": "cluster",
+                "networked": bool(args.networked),
+                "async_transport": bool(args.async_transport),
+                "shards": args.shards,
+                "mode": args.mode,
+                "requests": report.requests,
+                "errors": report.errors,
+                "throughput_qps": report.throughput_qps,
+                "latency": report.latency,
+                "payload_hit_rate": report.payload_hit_rate,
+                "fanout": {str(k): v for k, v in fanout.items()},
+            },
+            label=args.label,
+        )
+        print(f"appended run to {args.out}")
+    return 0 if report.errors == 0 else 1
+
+
+def cmd_shard_serve(args: argparse.Namespace) -> int:
+    """Host one PoolShard over TCP (the repro.net wire protocol).
+
+    Builds the deterministic micro pool (same ``--micro-tasks``/``--seed``
+    on every host gives every shard the same weights) and serves the
+    requested task subset until the process is interrupted or a client
+    sends DRAIN.
+    """
+    from .cluster import PoolShard
+    from .net import ShardServer
+    from .serving import GatewayConfig, build_demo_pool
+
+    print("building self-contained micro pool (seconds)...")
+    pool, _ = build_demo_pool(num_tasks=args.micro_tasks, seed=args.seed)
+    names = sorted(pool.expert_names())
+    tasks = args.tasks.split(",") if args.tasks else names
+    unknown = [t for t in tasks if t not in names]
+    if unknown:
+        print(f"error: unknown task(s) {unknown}; available: {names}")
+        return 2
+    shard = PoolShard(
+        args.shard_id, pool, tasks, GatewayConfig(max_workers=args.workers)
+    )
+    server = ShardServer(
+        shard, host=args.host, port=args.port, request_workers=args.workers
+    )
+    host, port = server.start()
+    # flush=True: the address line must reach pipes immediately, so
+    # supervisors (and the tests) can connect without waiting on a buffer
+    print(f"shard {args.shard_id} serving {len(tasks)} task(s) on {host}:{port}", flush=True)
+    print("tasks: " + ", ".join(tasks), flush=True)
+    print("waiting for requests (Ctrl-C or a DRAIN frame stops the server)", flush=True)
+    try:
+        server.wait_drained()
+    except KeyboardInterrupt:
+        print("\ninterrupt: draining")
+        server.drain()
+    server.close()
+    shard.close()
+    print("drained cleanly")
     return 0
 
 
@@ -383,7 +488,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_cluster.add_argument("--no-cache", action="store_true", help="disable every cache tier")
     p_cluster.add_argument("--micro-tasks", type=int, default=8, help="tasks in the micro pool")
     p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument(
+        "--networked",
+        action="store_true",
+        help="run each shard in a forked worker process behind repro.net sockets",
+    )
+    p_cluster.add_argument(
+        "--async-transport",
+        action="store_true",
+        help="dispatch submit() through the asyncio event loop (needs --networked)",
+    )
+    p_cluster.add_argument(
+        "--out", default=None, help="append a JSON summary record to this path"
+    )
+    p_cluster.add_argument("--label", default="cli", help="label stored with --out records")
     p_cluster.set_defaults(fn=cmd_cluster_bench)
+
+    p_shard = sub.add_parser(
+        "shard-serve", help="host one pool shard over TCP (repro.net protocol)"
+    )
+    p_shard.add_argument("--host", default="127.0.0.1")
+    p_shard.add_argument("--port", type=int, default=0, help="0 picks an ephemeral port")
+    p_shard.add_argument("--shard-id", type=int, default=0)
+    p_shard.add_argument(
+        "--tasks", default=None, help="comma-separated task subset (default: all)"
+    )
+    p_shard.add_argument("--workers", type=int, default=2, help="request worker threads")
+    p_shard.add_argument("--micro-tasks", type=int, default=8, help="tasks in the micro pool")
+    p_shard.add_argument("--seed", type=int, default=0)
+    p_shard.set_defaults(fn=cmd_shard_serve)
 
     p_predict = sub.add_parser(
         "predict-bench", help="benchmark the fused prediction fast path"

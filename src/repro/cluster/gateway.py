@@ -26,6 +26,40 @@ references and every dependent cache entry — shard-local and cluster-level
 — is dropped immediately.  :meth:`rebalance` migrates experts to the
 router's current placement (after :meth:`~ShardRouter.pin` /
 :meth:`~ShardRouter.replicate` changes) with the same guarantee.
+
+**Public entry points.**  Model delivery: :meth:`ClusterGateway.serve`
+(blocking) and :meth:`ClusterGateway.submit` (worker pool — or the
+asyncio event loop when a :class:`repro.net.aio.AsyncClusterTransport`
+is attached as :attr:`ClusterGateway.async_transport`).  Prediction:
+:meth:`ClusterGateway.predict` / :meth:`ClusterGateway.submit_predict`
+(micro-batched on the owning shard).  Consolidation without serving:
+:meth:`ClusterGateway.get_model`.  Operations: :meth:`rebalance`,
+:meth:`cache_stats`, :meth:`render_stats`, :meth:`close` (also a context
+manager).
+
+**Shard backends.**  The constructor's ``shard_factory`` decides where
+shards live: the default builds in-process
+:class:`~repro.cluster.shard.PoolShard`\\ s; wiring it to
+:meth:`repro.net.server.ShardWorkerFleet.shard_factory` puts each shard
+in a forked worker process behind a socket
+(:class:`~repro.net.client.RemoteShardClient`).  The gateway only uses
+the narrow surface both implement — ``is_remote()`` is the capability
+probe, ``local_heads()`` the home-shard fast path — everything else,
+including bit-exact cross-shard consolidation, is backend-agnostic.  Errors raised while a shard
+executes a request carry a ``[shard N]`` prefix so a failure inside a
+remote worker is attributable from the front end.
+
+**Thread safety.**  All public methods are safe to call from any number
+of threads: cache tiers are individually locked
+(:class:`~repro.serving.cache.ByteBudgetLRU`), placement reads/writes
+take ``_placement_lock``, duplicate concurrent builds coalesce through
+:class:`~repro.serving.gateway.SingleFlight`, and version-guarded cache
+puts serialize against the pool's invalidation listener via
+``_invalidate_lock``.  Mutating entry points (:meth:`rebalance`, a pool
+re-extraction firing ``_on_expert_update``) may run concurrently with
+serving: readers see the old or the new placement, never a torn one —
+but only with in-process shards (remote placement mutation is the
+shard-autoscaling follow-on tracked in ROADMAP.md).
 """
 
 from __future__ import annotations
@@ -71,6 +105,24 @@ __all__ = ["ClusterConfig", "ClusterGateway", "RebalanceReport"]
 
 #: Head-fetch transports that reconstruct weights bit-exactly.
 _EXACT_TRANSPORTS = ("float32", "raw+zlib", "zstd")
+
+
+def _tag_shard_error(error: BaseException, shard_id: int) -> BaseException:
+    """Prefix ``[shard N]`` onto an exception raised while a shard served.
+
+    Keeps the exception *type* (the replan-and-retry contract dispatches
+    on ``KeyError``), mutating only the message — once shards are remote
+    processes, a failure report without the shard id is unactionable.
+    Already-tagged errors (a RemoteShardClient prefixes server-side
+    failures itself) pass through unchanged.
+    """
+    tag = f"[shard {shard_id}]"
+    if error.args and isinstance(error.args[0], str):
+        if not error.args[0].startswith("[shard "):
+            error.args = (f"{tag} {error.args[0]}",) + error.args[1:]
+    else:
+        error.args = (tag,) + tuple(error.args)
+    return error
 
 
 @dataclass(frozen=True)
@@ -149,6 +201,7 @@ class ClusterGateway:
         config: Optional[ClusterConfig] = None,
         router: Optional[ShardRouter] = None,
         metrics: Optional[ClusterMetrics] = None,
+        shard_factory=None,
     ) -> None:
         self.pool = pool
         self.config = config or ClusterConfig()
@@ -186,16 +239,32 @@ class ClusterGateway:
         self.trunk_cache = TrunkFeatureCache(
             self.config.trunk_cache_bytes, ttl_seconds=self.config.ttl_seconds
         )
+        # shard_factory(shard_id, task_names, gateway_config, trunk_cache)
+        # decides the backend: in-process PoolShards by default, or remote
+        # worker processes via repro.net's ShardWorkerFleet.shard_factory.
+        if shard_factory is None:
+            def shard_factory(shard_id, task_names, gateway_config, trunk_cache):
+                return PoolShard(
+                    shard_id, pool, task_names, gateway_config, trunk_cache=trunk_cache
+                )
+
         self.shards: List[PoolShard] = [
-            PoolShard(
+            shard_factory(
                 shard_id,
-                pool,
-                assignment[shard_id],
+                tuple(assignment[shard_id]),
                 self.config.shard_gateway_config(),
-                trunk_cache=self.trunk_cache,
+                self.trunk_cache,
             )
             for shard_id in range(self.config.num_shards)
         ]
+        #: Optional repro.net.aio.AsyncClusterTransport; when set,
+        #: :meth:`submit` dispatches onto its event loop instead of the
+        #: thread-pool executor.
+        self.async_transport = None
+        #: Set to the mutated task name when the pool changed under a
+        #: networked backend (workers cannot be updated in place); every
+        #: serving entry point refuses until the fleet is restarted.
+        self._remote_stale: Optional[str] = None
         self.model_cache = ByteBudgetLRU(
             self.config.composite_model_cache_bytes, ttl_seconds=self.config.ttl_seconds
         )
@@ -245,8 +314,14 @@ class ClusterGateway:
         """Dispatch one query onto the cluster worker pool.
 
         The pool is sized ``workers_per_shard * num_shards`` — serving
-        capacity grows with the cluster.
+        capacity grows with the cluster.  With an
+        :attr:`async_transport` attached (networked deployments), the
+        query dispatches onto its event loop instead: same future
+        contract, no worker thread held per in-flight request.
         """
+        transport_layer = self.async_transport
+        if transport_layer is not None:
+            return transport_layer.submit(tasks, transport)
         enqueued_at = perf_counter()
         return self._ensure_executor().submit(self._serve, tasks, transport, enqueued_at)
 
@@ -256,7 +331,11 @@ class ClusterGateway:
         plan = self._plan(names)
         if len(plan) == 1:
             (shard_id,) = plan
-            return self.shards[shard_id].gateway.get_model(names)
+            shard = self.shards[shard_id]
+            if not shard.is_remote():
+                return shard.get_model(names)
+            # remote shard: assemble at the front end from fetched heads
+            # (the composite builder handles a one-group plan fine)
         model, _ = self._composite_model(names, plan)
         return model
 
@@ -325,10 +404,10 @@ class ClusterGateway:
         (shard_id,) = plan
         start = perf_counter()
         try:
-            inner = self.shards[shard_id].gateway.submit_predict(images, names)
+            inner = self.shards[shard_id].submit_predict(images, names)
         except BaseException as error:  # shard closing: future-only contract
             self.metrics.increment("errors")
-            result.set_exception(error)
+            result.set_exception(_tag_shard_error(error, shard_id))
             return result
 
         # cluster-level counters are recorded at completion, not dispatch:
@@ -359,7 +438,7 @@ class ClusterGateway:
             else:
                 self.metrics.increment("predictions")
                 self.metrics.increment("errors")
-                result.set_exception(error)
+                result.set_exception(_tag_shard_error(error, shard_id))
 
         inner.add_done_callback(relay)
         return result
@@ -385,7 +464,10 @@ class ClusterGateway:
         if len(plan) == 1:
             (shard_id,) = plan
             self.metrics.record_shard_requests((shard_id,))
-            response = self.shards[shard_id].gateway.predict(images, names)
+            try:
+                response = self.shards[shard_id].predict(images, names)
+            except BaseException as error:
+                raise _tag_shard_error(error, shard_id)
             self.metrics.observe("predict_total", perf_counter() - start)
             return response
 
@@ -435,31 +517,56 @@ class ClusterGateway:
         )
 
     def cache_stats(self) -> Dict[str, CacheStats]:
-        """Aggregated tiers (``model``/``payload``) plus the cluster tiers."""
-        shard_model = [s.gateway.model_cache.stats() for s in self.shards]
-        shard_payload = [s.gateway.payload_cache.stats() for s in self.shards]
+        """Aggregated tiers (``model``/``payload``) plus the cluster tiers.
+
+        Works over the narrow shard surface (one ``cache_stats()`` per
+        shard — a STATS round trip when the shard is remote).
+        """
+        return self._merge_cache_stats([shard.cache_stats() for shard in self.shards])
+
+    def _merge_cache_stats(self, shard_stats) -> Dict[str, CacheStats]:
+        """Aggregate already-collected per-shard tiers with the cluster's."""
         composite_model = self.model_cache.stats()
         composite_payload = self.payload_cache.stats()
+        # the in-process trunk cache is ONE instance shared by every local
+        # shard gateway — merging those copies would double-count it; a
+        # remote worker's trunk cache is its own instance, so it does merge
+        trunk_parts = [self.trunk_cache.stats()]
+        for shard, stats in zip(self.shards, shard_stats):
+            if shard.is_remote() and "trunk" in stats:
+                trunk_parts.append(stats["trunk"])
         return {
-            "model": merge_cache_stats(shard_model + [composite_model]),
-            "payload": merge_cache_stats(shard_payload + [composite_payload]),
+            "model": merge_cache_stats(
+                [s["model"] for s in shard_stats] + [composite_model]
+            ),
+            "payload": merge_cache_stats(
+                [s["payload"] for s in shard_stats] + [composite_payload]
+            ),
             "composite_model": composite_model,
             "composite_payload": composite_payload,
-            # one instance shared by every shard gateway — not merged,
-            # merging would double-count the same cache N times
-            "trunk": self.trunk_cache.stats(),
+            "trunk": merge_cache_stats(trunk_parts),
             "remote_heads": self.remote_head_cache.stats(),
             "result": merge_cache_stats(
-                [s.gateway.result_cache.stats() for s in self.shards]
-                + [self.result_cache.stats()]
+                [s["result"] for s in shard_stats] + [self.result_cache.stats()]
             ),
         }
 
     def render_stats(self) -> str:
-        return self.metrics.render(shards=self.shards, cache_stats=self.cache_stats())
+        # collect each shard's tiers ONCE (a STATS round trip per remote
+        # shard) and reuse them for both the merged view and the per-shard
+        # table, instead of paying a second sweep inside render()
+        shard_stats = [shard.cache_stats() for shard in self.shards]
+        return self.metrics.render(
+            shards=self.shards,
+            cache_stats=self._merge_cache_stats(shard_stats),
+            shard_cache_stats=shard_stats,
+        )
 
     def close(self) -> None:
         self.pool.remove_listener(self._listener)
+        transport_layer, self.async_transport = self.async_transport, None
+        if transport_layer is not None:
+            transport_layer.close()
         with self._executor_lock:
             self._closed = True
             executor, self._executor = self._executor, None
@@ -523,7 +630,10 @@ class ClusterGateway:
             # per-shard traffic counts requests that actually reach a shard
             # (composite-cache hits and coalesced followers touch none)
             self.metrics.record_shard_requests((shard_id,))
-            response = self.shards[shard_id].gateway.serve(names, transport)
+            try:
+                response = self.shards[shard_id].serve(names, transport)
+            except BaseException as error:
+                raise _tag_shard_error(error, shard_id)
             if response.coalesced:
                 self.metrics.increment("coalesced")
             if queue_seconds:
@@ -559,10 +669,34 @@ class ClusterGateway:
             coalesced=coalesced,
         )
 
+    def _check_remote_stale(self) -> None:
+        """Refuse to serve once the pool diverged from networked workers.
+
+        Set by the invalidation listener when a pool mutation could not be
+        pushed into running worker processes; failing at the serving
+        boundary (instead of raising from inside the listener loop, which
+        would skip later listeners) keeps every other gateway on the pool
+        consistent while making this one loudly unusable.
+        """
+        stale = self._remote_stale
+        if stale is not None:
+            raise RuntimeError(
+                f"pool update for {stale!r} could not propagate to networked "
+                "shard workers; this gateway dropped its caches and refuses "
+                "to serve potentially inconsistent answers — restart the "
+                "worker fleet to recover (see ROADMAP: shard autoscaling "
+                "over the socket boundary)"
+            )
+
     def _plan(self, names: Tuple[str, ...]) -> Dict[int, Tuple[str, ...]]:
         """Per-shard task groups from the *current* placement (not the
         router's — between a ``pin()`` and the ``rebalance()`` that applies
-        it, the placement map is what matches shard contents)."""
+        it, the placement map is what matches shard contents).
+
+        Every serving path (sync, micro-batched, asyncio) plans through
+        here, which makes it the one choke point for the remote-staleness
+        refusal."""
+        self._check_remote_stale()
         with self._placement_lock:
             try:
                 candidates = {name: self._placement[name] for name in names}
@@ -583,16 +717,7 @@ class ClusterGateway:
         versions = expert_versions(self.pool, names)
         self.metrics.record_shard_requests(list(plan))
         model, model_hit = self._composite_model(names, plan)
-        with self.metrics.stage("serialize"):
-            payload = serialize_task_model(
-                model.network, model.task, self.pool.config, transport=transport
-            )
-        # don't cache if an expert was re-extracted while we were building:
-        # the invalidation listener fired before this entry existed (the
-        # lock makes check+put atomic against that listener)
-        with self._invalidate_lock:
-            if versions == expert_versions(self.pool, names):
-                self.payload_cache.put(key, payload, len(payload))
+        payload = self._serialize_composite(model, names, versions, transport, key)
         return payload, model_hit
 
     def _composite_model(
@@ -604,56 +729,124 @@ class ClusterGateway:
 
         def build() -> TaskSpecificModel:
             versions = expert_versions(self.pool, names)
-            # Home shard = largest task group (ties -> lowest id): its heads
-            # are local references; every other group crosses the wire.
-            home = max(plan, key=lambda shard_id: (len(plan[shard_id]), -shard_id))
-            heads = dict(self.shards[home].pool.experts)
-            with self.metrics.stage("fetch"):
-                for shard_id, group in plan.items():
-                    if shard_id == home:
-                        continue
-                    # version-keyed remote-head LRU: repeat cross-shard
-                    # builds reuse already-deserialized heads instead of
-                    # refetching the same expert payload per composite
-                    missing: List[str] = []
-                    for name in group:
-                        cached = self.remote_head_cache.get(
-                            (name, self.pool.expert_version(name))
-                        )
-                        if cached is not None:
-                            heads[name] = cached
-                            self.metrics.increment("remote_head_hits")
-                        else:
-                            missing.append(name)
-                    if not missing:
-                        continue
-                    raw = self.shards[shard_id].fetch_heads(
-                        missing, self.config.fetch_transport
-                    )
-                    self.metrics.increment("remote_fetches")
-                    self.metrics.increment("remote_fetch_bytes", len(raw))
-                    for name, remote in deserialize_expert_heads(raw).items():
-                        heads[name] = remote.head
-                        self.remote_head_cache.put(
-                            (name, remote.version),
-                            remote.head,
-                            count_params(remote.head) * BYTES_PER_PARAM,
-                        )
-            with self.metrics.stage("assemble"):
-                network = BranchedSpecialistNet(
-                    self.pool.library, [(name, heads[name]) for name in names]
-                )
-                network.eval()
-                built = TaskSpecificModel(
-                    network, self.pool.hierarchy.composite(names)
-                )
-            with self._invalidate_lock:
-                if versions == expert_versions(self.pool, names):
-                    self.model_cache.put(names, built, built.cache_nbytes())
-            return built
+            heads = self._gather_heads(plan)
+            return self._assemble_composite(names, heads, versions)
 
         built, _ = self._flights.run(("model", names), build)
         return built, False
+
+    # ------------------------------------------------------------------
+    # Composite build stages (shared with the asyncio transport, which
+    # replaces _gather_heads with a concurrent asyncio.gather and runs the
+    # assemble/serialize stages in the loop's executor)
+    # ------------------------------------------------------------------
+    def _gather_heads(self, plan: Dict[int, Tuple[str, ...]]) -> Dict[str, object]:
+        """Collect every planned expert head, local or over the wire.
+
+        The home shard (largest task group, ties → lowest id) contributes
+        plain references when it is in-process; every other group — and
+        the home group too, when the shard is remote — comes through the
+        version-keyed remote-head LRU and, on miss, a ``fetch_heads``
+        round trip in the float-exact ``fetch_transport`` codec.
+        """
+        home = max(plan, key=lambda shard_id: (len(plan[shard_id]), -shard_id))
+        heads: Dict[str, object] = {}
+        with self.metrics.stage("fetch"):
+            for shard_id, group in plan.items():
+                shard = self.shards[shard_id]
+                if shard_id == home:
+                    local = shard.local_heads()
+                    if local is not None:
+                        heads.update(local)
+                        continue
+                cached, missing = self._cached_remote_heads(group)
+                heads.update(cached)
+                if not missing:
+                    continue
+                try:
+                    raw = shard.fetch_heads(missing, self.config.fetch_transport)
+                except BaseException as error:
+                    raise _tag_shard_error(error, shard_id)
+                self.metrics.increment("remote_fetches")
+                self.metrics.increment("remote_fetch_bytes", len(raw))
+                heads.update(self._ingest_head_payload(raw))
+        return heads
+
+    def _cached_remote_heads(
+        self, group: Tuple[str, ...]
+    ) -> Tuple[Dict[str, object], List[str]]:
+        """Split a task group into (cached heads, names still to fetch).
+
+        The remote-head LRU is keyed ``(task, version)``: a version bump
+        can never hit a stale entry, so repeat cross-shard builds skip the
+        refetch without any staleness risk.
+        """
+        heads: Dict[str, object] = {}
+        missing: List[str] = []
+        for name in group:
+            cached = self.remote_head_cache.get(
+                (name, self.pool.expert_version(name))
+            )
+            if cached is not None:
+                heads[name] = cached
+                self.metrics.increment("remote_head_hits")
+            else:
+                missing.append(name)
+        return heads, missing
+
+    def _ingest_head_payload(self, raw: bytes) -> Dict[str, object]:
+        """Deserialize one fetched head payload into the remote-head LRU."""
+        heads: Dict[str, object] = {}
+        for name, remote in deserialize_expert_heads(raw).items():
+            heads[name] = remote.head
+            self.remote_head_cache.put(
+                (name, remote.version),
+                remote.head,
+                count_params(remote.head) * BYTES_PER_PARAM,
+            )
+        return heads
+
+    def _assemble_composite(
+        self,
+        names: Tuple[str, ...],
+        heads: Dict[str, object],
+        versions,
+    ) -> TaskSpecificModel:
+        """One branched net over the shared library, version-guard cached."""
+        with self.metrics.stage("assemble"):
+            network = BranchedSpecialistNet(
+                self.pool.library, [(name, heads[name]) for name in names]
+            )
+            network.eval()
+            built = TaskSpecificModel(network, self.pool.hierarchy.composite(names))
+        with self._invalidate_lock:
+            if versions == expert_versions(self.pool, names):
+                self.model_cache.put(names, built, built.cache_nbytes())
+        return built
+
+    def _serialize_composite(
+        self,
+        model: TaskSpecificModel,
+        names: Tuple[str, ...],
+        versions,
+        transport: str,
+        key,
+    ) -> bytes:
+        """Serialize a composite and cache the payload under the version guard.
+
+        ``versions`` was snapshotted *before* the model was acquired:
+        don't cache if an expert was re-extracted while we were building —
+        the invalidation listener fired before this entry existed (the
+        lock makes check+put atomic against that listener).
+        """
+        with self.metrics.stage("serialize"):
+            payload = serialize_task_model(
+                model.network, model.task, self.pool.config, transport=transport
+            )
+        with self._invalidate_lock:
+            if versions == expert_versions(self.pool, names):
+                self.payload_cache.put(key, payload, len(payload))
+        return payload
 
     # ------------------------------------------------------------------
     # Invalidation + rebalance
@@ -680,6 +873,30 @@ class ClusterGateway:
         """Source pool re-extracted (or removed) an expert: resync shards."""
         from ..core.pool import LIBRARY_TASK
 
+        if any(shard.is_remote() for shard in self.shards):
+            # Networked backend: a pool mutation cannot propagate into
+            # running workers (the ROADMAP autoscaling follow-on), so do
+            # the only safe things — drop the front-end composite tiers
+            # (this gateway must not keep serving cached artifacts of the
+            # superseded state) and POISON the gateway, WITHOUT touching
+            # the placement map or the workers and without raising here:
+            # an exception from inside the pool's listener loop would skip
+            # every listener registered after this one, corrupting *their*
+            # caches.  The next serving call fails loudly instead (see
+            # _check_remote_stale); restart the fleet to recover.
+            if name == LIBRARY_TASK:
+                with self._invalidate_lock:
+                    self.model_cache.clear()
+                    self.payload_cache.clear()
+                    self.result_cache.clear()
+                self.remote_head_cache.clear()
+                self.trunk_cache.clear()
+            else:
+                self._invalidate_composites(name)
+            self.metrics.increment("invalidations")
+            self.metrics.increment("remote_updates_unapplied")
+            self._remote_stale = name
+            return
         if name == LIBRARY_TASK:
             # the trunk changed: repoint every shard view at the new
             # library and drop everything computed against the old one
@@ -755,7 +972,17 @@ class ClusterGateway:
         so answers never change; every cache entry that depended on a moved
         expert — on the old shard, the new shard, or the cluster composite
         tiers — is dropped explicitly.
+
+        In-process shards only: installing experts into a *running* remote
+        worker is the shard-autoscaling follow-on (ROADMAP) — restart the
+        worker fleet to apply a new placement there.
         """
+        if any(shard.is_remote() for shard in self.shards):
+            raise RuntimeError(
+                "rebalance() requires in-process shards; expert migration "
+                "over the socket boundary is not wired yet (see ROADMAP: "
+                "shard autoscaling over the socket boundary)"
+            )
         if router is not None:
             if router.num_shards != len(self.shards):
                 raise ValueError(

@@ -13,7 +13,11 @@ two things only a cluster can see:
 
 Latency stages (``route``, ``fetch``, ``assemble``, ``serialize``,
 ``total``) and counters reuse :class:`~repro.serving.ServingMetrics`, so
-the render shape matches the single-gateway tooling.
+the render shape matches the single-gateway tooling.  Networked
+deployments (:mod:`repro.net`) add the wire's own telemetry into the same
+instance: a ``net_roundtrip`` latency stage plus ``net_requests`` /
+``net_bytes_tx`` / ``net_bytes_rx`` counters, recorded by every
+:class:`~repro.net.client.RemoteShardClient` the cluster owns.
 """
 
 from __future__ import annotations
@@ -78,16 +82,34 @@ class ClusterMetrics:
         snap["shard_requests"] = self.shard_requests()
         return snap
 
-    def render(self, shards: Optional[Sequence] = None, cache_stats=None) -> str:
-        """Cluster report: stages/counters, per-shard table, fan-out."""
+    def render(
+        self,
+        shards: Optional[Sequence] = None,
+        cache_stats=None,
+        shard_cache_stats: Optional[Sequence] = None,
+    ) -> str:
+        """Cluster report: stages/counters, per-shard table, fan-out.
+
+        Pass ``shard_cache_stats`` (one ``cache_stats()`` dict per shard,
+        aligned with ``shards``) when the caller already collected them —
+        for remote shards each collection is a STATS round trip, and the
+        gateway's ``render_stats`` reuses one sweep for both views.
+        """
         lines: List[str] = [self.serving.render(cache_stats=cache_stats)]
         elapsed = max(perf_counter() - self._started_at, 1e-9)
         per_shard = self.shard_requests()
         if shards is not None:
             lines.append("  shards:")
-            for shard in shards:
+            for index, shard in enumerate(shards):
                 requests = per_shard.get(shard.shard_id, 0)
-                stats = shard.gateway.cache_stats()["payload"]
+                # narrow shard surface: works for in-process PoolShards and
+                # remote shard clients (a STATS round trip) alike
+                tiers = (
+                    shard_cache_stats[index]
+                    if shard_cache_stats is not None
+                    else shard.cache_stats()
+                )
+                stats = tiers["payload"]
                 lines.append(
                     f"    shard[{shard.shard_id}]: tasks={len(shard.task_names())} "
                     f"requests={requests} qps={requests / elapsed:,.0f} "

@@ -8,6 +8,15 @@ served entirely inside the shard; cross-shard queries fetch this shard's
 heads as a serialized payload (:meth:`fetch_heads`) — the same wire
 boundary a networked deployment would cross.
 
+This class is also the reference implementation of the **shard backend
+surface** :class:`~repro.cluster.gateway.ClusterGateway` consumes —
+``task_names``/``holds``, ``serve``/``predict``/``submit_predict``/
+``get_model``, ``fetch_heads``, ``cache_stats`` and ``local_heads`` —
+which :class:`repro.net.client.RemoteShardClient` mirrors over a socket.
+A gateway built with a networked ``shard_factory`` runs the same code
+paths against worker processes; :meth:`local_heads` returning a real dict
+(vs. ``None`` remotely) is the one capability probe the gateway uses.
+
 Expert migration (rebalance) and re-extraction flow through
 :meth:`install_expert` / :meth:`drop_expert`, which update the view pool
 and therefore notify the shard gateway's invalidation listener — moved or
@@ -16,14 +25,27 @@ refreshed experts drop their dependent cache entries immediately.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple
 
 from ..core.features import TrunkFeatureCache
 from ..core.pool import PoolOfExperts
 from ..core.server import serialize_expert_heads
 from ..models import WRNHead
-from ..serving.gateway import GatewayConfig, ServingGateway
+from ..serving.cache import CacheStats
+from ..serving.gateway import (
+    GatewayConfig,
+    GatewayResponse,
+    PredictionResponse,
+    ServingGateway,
+)
 from ..serving.metrics import ServingMetrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+    from concurrent.futures import Future
+
+    from ..core.query import TaskSpecificModel
+    from ..serving.canonical import TaskQuery
 
 __all__ = ["PoolShard"]
 
@@ -65,6 +87,47 @@ class PoolShard:
         payload = serialize_expert_heads(self.pool, tuple(names), transport)
         self.gateway.metrics.increment("head_fetches")
         return payload
+
+    def local_heads(self) -> Dict[str, WRNHead]:
+        """In-process head references (``None`` on a remote shard client).
+
+        The cluster's composite builder uses this as its home-shard fast
+        path: local references need no serialization round trip.
+        """
+        return dict(self.pool.experts)
+
+    def is_remote(self) -> bool:
+        """Capability probe: does reaching this shard cross a socket?
+
+        Cheaper than ``local_heads() is None`` (which copies the head
+        dict) for call sites that only need the answer, not the heads.
+        """
+        return False
+
+    # ------------------------------------------------------------------
+    # Serving surface (delegated to the private gateway)
+    # ------------------------------------------------------------------
+    def serve(self, tasks: "TaskQuery", transport: str = "float32") -> GatewayResponse:
+        """Serve one model-delivery query entirely inside this shard."""
+        return self.gateway.serve(tasks, transport)
+
+    def predict(self, images: "np.ndarray", tasks: "TaskQuery") -> PredictionResponse:
+        """Run one prediction through this shard's fused fast path."""
+        return self.gateway.predict(images, tasks)
+
+    def submit_predict(
+        self, images: "np.ndarray", tasks: "TaskQuery"
+    ) -> "Future[PredictionResponse]":
+        """Enqueue a prediction on this shard's micro-batching worker pool."""
+        return self.gateway.submit_predict(images, tasks)
+
+    def get_model(self, tasks: "TaskQuery") -> "TaskSpecificModel":
+        """The consolidated model for ``tasks`` from this shard's caches."""
+        return self.gateway.get_model(tasks)
+
+    def cache_stats(self) -> Dict[str, CacheStats]:
+        """This shard's cache tiers (model/payload/trunk/result)."""
+        return self.gateway.cache_stats()
 
     # ------------------------------------------------------------------
     # Membership changes (rebalance / re-extraction)

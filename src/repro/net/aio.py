@@ -1,0 +1,466 @@
+"""Asyncio transport for networked clusters: multiplexed, streaming I/O.
+
+The thread-pool path (:class:`~repro.net.client.RemoteShardClient`) holds
+one connection per in-flight request; under high fan-out that costs a
+thread *and* a socket per concurrent call.  This module is the event-loop
+alternative the ROADMAP's "async transport" item asks for:
+
+* :class:`AsyncShardChannel` — one connection carrying **many** requests
+  at once, matched to responses by request id.  Large responses arrive as
+  chunked frames (the server interleaves them between other responses),
+  so a small serve is never stuck behind a big head payload on the same
+  connection.
+* :class:`AsyncShardPool` — ``connections_per_shard`` channels per shard,
+  round-robin, opened lazily inside the loop.
+* :class:`AsyncClusterTransport` — a background event-loop thread exposed
+  through :meth:`submit`, the drop-in alternative to
+  :class:`~repro.cluster.gateway.ClusterGateway.submit`'s thread-pool
+  executor (the gateway delegates when its ``async_transport`` attribute
+  is set, which :class:`~repro.net.server.NetworkedCluster` does for
+  ``async_transport=True``).  Single-shard queries are forwarded to the
+  owning worker and await only network I/O; cross-shard queries check the
+  cluster's composite caches, ``gather`` the remote head fetches
+  **concurrently**, and run assembly/serialization in the loop's default
+  executor so the event loop never blocks on CPU work.
+
+Concurrency notes: all channel state lives on the loop thread; the
+cluster caches and metrics the coroutines touch are the same thread-safe
+objects the sync path uses, so both transports can run side by side.
+Duplicate concurrent cross-shard builds coalesce on an asyncio future per
+payload key (the loop-native analogue of the gateway's
+:class:`~repro.serving.gateway.SingleFlight`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from concurrent.futures import Future
+from dataclasses import replace
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.gateway import _tag_shard_error
+from ..serving.canonical import TaskQuery, canonical_tasks, payload_key
+from ..serving.gateway import GatewayResponse, expert_versions
+from .client import gateway_response_from_body, raise_remote_error
+from .frame import (
+    CODEC_JSON,
+    FrameDecoder,
+    FrameError,
+    MessageAssembler,
+    MsgType,
+    PROTOCOL_VERSION,
+    codec_for_transport,
+    encode_message,
+    json_payload,
+    parse_json,
+    unpack_body,
+)
+
+__all__ = ["AsyncShardChannel", "AsyncShardPool", "AsyncClusterTransport"]
+
+
+class AsyncShardChannel:
+    """One multiplexed connection to a shard worker (loop-thread only)."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, address: Tuple[str, int], timeout: float = 120.0) -> None:
+        self.address = address
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, "asyncio.Future"] = {}
+        self._reader_task: Optional["asyncio.Task"] = None
+        self.info: Dict = {}
+        #: True once the read loop exited (connection dead) or close() ran;
+        #: the pool evicts closed channels instead of round-robining onto
+        #: a connection no reader will ever answer on.
+        self.closed = False
+
+    async def open(self) -> None:
+        # bounded like the sync client's socket timeout: a worker that
+        # accepts but never answers must not wedge the event loop's traffic
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(*self.address), self.timeout
+        )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        msg_type, _codec, payload = await self.request(
+            MsgType.HELLO, json_payload({"protocol": PROTOCOL_VERSION})
+        )
+        if msg_type != MsgType.HELLO_OK:
+            raise FrameError(f"handshake got unexpected message type {msg_type}")
+        self.info = parse_json(payload)
+
+    async def request(
+        self, msg_type: int, payload: bytes, codec: int = CODEC_JSON
+    ) -> Tuple[int, int, bytes]:
+        """Send one message; await its (reassembled) response message."""
+        if self._writer is None or self.closed:
+            raise ConnectionError("channel is not open")
+        request_id = next(self._ids)
+        future: "asyncio.Future" = asyncio.get_event_loop().create_future()
+        self._pending[request_id] = future
+        # no await between writes: the message's frames hit the transport
+        # buffer contiguously, so concurrent requests cannot interleave
+        # *requests* (responses interleave server-side, by design)
+        for frame_bytes in encode_message(msg_type, request_id, payload, codec):
+            self._writer.write(frame_bytes)
+        try:
+            await asyncio.wait_for(self._writer.drain(), self.timeout)
+            response_type, response_codec, body = await asyncio.wait_for(
+                future, self.timeout
+            )
+        except asyncio.TimeoutError:
+            self._pending.pop(request_id, None)
+            raise ConnectionError(
+                f"shard at {self.address} did not answer within "
+                f"{self.timeout:.0f}s"
+            ) from None
+        if response_type == MsgType.ERROR:
+            raise_remote_error(parse_json(body))
+        return response_type, response_codec, body
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        decoder = FrameDecoder()
+        # multiplexed channel: many legitimate partials at once, but each
+        # reassembled message stays under the payload cap
+        assembler = MessageAssembler(max_partial_messages=65536)
+        error: BaseException = ConnectionError("shard connection closed")
+        try:
+            while True:
+                data = await self._reader.read(1 << 16)
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    # feed the assembler even for abandoned requests (e.g.
+                    # a timed-out caller popped its pending entry): the
+                    # terminal frame then clears the partial state instead
+                    # of leaking it for the connection's lifetime
+                    message = assembler.add(frame)
+                    if message is None:
+                        continue
+                    msg_type, codec, request_id, body = message
+                    future = self._pending.pop(request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result((msg_type, codec, body))
+        except (OSError, FrameError) as caught:
+            error = caught
+        except asyncio.CancelledError:
+            error = ConnectionError("channel closed")
+        self.closed = True
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def close(self) -> None:
+        self.closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (OSError, ConnectionError):  # pragma: no cover
+                pass
+
+
+class AsyncShardPool:
+    """Round-robin over up to ``size`` channels to one shard."""
+
+    def __init__(
+        self, address: Tuple[str, int], size: int = 2, timeout: float = 120.0
+    ) -> None:
+        self.address = address
+        self.size = max(1, size)
+        self.timeout = timeout
+        self._channels: List[AsyncShardChannel] = []
+        self._cursor = 0
+        self._lock = asyncio.Lock()
+
+    async def channel(self) -> AsyncShardChannel:
+        async with self._lock:
+            # evict dead channels first: one transient reset must not leave
+            # a corpse in the rotation soaking up requests until timeout
+            self._channels = [c for c in self._channels if not c.closed]
+            if len(self._channels) < self.size:
+                # dialing under the lock serializes ramp-up, but open() is
+                # timeout-bounded, so a dead worker delays — never wedges —
+                # traffic to this shard
+                channel = AsyncShardChannel(self.address, self.timeout)
+                await channel.open()
+                self._channels.append(channel)
+                return channel
+            self._cursor = (self._cursor + 1) % len(self._channels)
+            return self._channels[self._cursor]
+
+    async def request(
+        self, msg_type: int, payload: bytes, codec: int = CODEC_JSON
+    ) -> Tuple[int, int, bytes]:
+        channel = await self.channel()
+        return await channel.request(msg_type, payload, codec)
+
+    async def close(self) -> None:
+        channels, self._channels = self._channels, []
+        for channel in channels:
+            await channel.close()
+
+
+class AsyncClusterTransport:
+    """Event-loop request dispatch for a networked :class:`ClusterGateway`."""
+
+    def __init__(
+        self, cluster, connections_per_shard: int = 2, timeout: float = 120.0
+    ) -> None:
+        self.cluster = cluster
+        addresses = []
+        for shard in cluster.shards:
+            address = getattr(shard, "address", None)
+            if address is None:
+                raise ValueError(
+                    "the async transport needs networked shards "
+                    "(RemoteShardClient); in-process shards dispatch through "
+                    "the cluster executor"
+                )
+            addresses.append(address)
+        self._pools = [
+            AsyncShardPool(address, connections_per_shard, timeout)
+            for address in addresses
+        ]
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        # payload key -> in-flight build (the loop-native single flight)
+        self._inflight: Dict[object, "asyncio.Future"] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._loop is not None:
+            return
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="poe-net-aio", daemon=True
+        )
+        self._thread.start()
+
+    def submit(
+        self, tasks: TaskQuery, transport: str = "float32"
+    ) -> "Future[GatewayResponse]":
+        """Dispatch one query onto the event loop; returns a future.
+
+        The drop-in alternative to the cluster executor:
+        ``run_coroutine_threadsafe`` hands back the same
+        ``concurrent.futures.Future`` contract ``submit`` always had.
+        """
+        if self._loop is None:
+            raise RuntimeError("async transport is not started")
+        return asyncio.run_coroutine_threadsafe(
+            self._serve(tasks, transport, perf_counter()), self._loop
+        )
+
+    def close(self) -> None:
+        loop, self._loop = self._loop, None
+        if loop is None:
+            return
+        asyncio.run_coroutine_threadsafe(self._close_pools(), loop).result(timeout=30)
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        loop.close()
+
+    async def _close_pools(self) -> None:
+        for pool in self._pools:
+            await pool.close()
+
+    # ------------------------------------------------------------------
+    async def _serve(
+        self, tasks: TaskQuery, transport: str, enqueued_at: float
+    ) -> GatewayResponse:
+        from ..core.server import TRANSPORTS
+
+        cluster = self.cluster
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
+        start = perf_counter()
+        queue_seconds = start - enqueued_at
+        cluster.metrics.observe("queue", queue_seconds)
+        cluster.metrics.increment("requests")
+        try:
+            names = canonical_tasks(tasks)
+            # same one-retry contract as the sync path: a rebalance can move
+            # a task between planning and serving
+            for attempt in (0, 1):
+                try:
+                    return await self._serve_planned(
+                        names, transport, start, queue_seconds
+                    )
+                except KeyError:
+                    with cluster._placement_lock:
+                        still_placed = all(
+                            name in cluster._placement for name in names
+                        )
+                    if attempt == 1 or not still_placed:
+                        raise
+                    cluster.metrics.increment("plan_retries")
+        except BaseException:
+            cluster.metrics.increment("errors")
+            raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _serve_planned(
+        self,
+        names: Tuple[str, ...],
+        transport: str,
+        start: float,
+        queue_seconds: float,
+    ) -> GatewayResponse:
+        cluster = self.cluster
+        plan = cluster._plan(names)
+        cluster.metrics.record_fanout(len(plan))
+
+        if len(plan) == 1:
+            (shard_id,) = plan
+            cluster.metrics.record_shard_requests((shard_id,))
+            try:
+                _msg, _codec, payload = await self._pools[shard_id].request(
+                    MsgType.SERVE,
+                    json_payload({"tasks": list(names), "transport": transport}),
+                )
+            except BaseException as error:
+                # same [shard N] attribution contract as the sync path
+                raise _tag_shard_error(error, shard_id)
+            meta, blob = unpack_body(payload)
+            response = gateway_response_from_body(meta, blob)
+            if response.coalesced:
+                cluster.metrics.increment("coalesced")
+            response = replace(response, queue_seconds=queue_seconds)
+            cluster.metrics.observe("total", perf_counter() - start)
+            return response
+
+        cluster.metrics.increment("cross_shard")
+        key = payload_key(names, transport)
+        payload = cluster.payload_cache.get(key)
+        model_hit, coalesced, payload_hit = False, False, payload is not None
+        if payload is None:
+            flight = self._inflight.get(key)
+            if flight is not None:
+                coalesced = True
+                cluster.metrics.increment("coalesced")
+                payload, model_hit = await asyncio.shield(flight)
+            else:
+                flight = asyncio.get_event_loop().create_future()
+                # retrieve the exception eagerly so an unawaited flight
+                # (no followers) never logs "exception was never retrieved"
+                flight.add_done_callback(
+                    lambda f: f.exception() if not f.cancelled() else None
+                )
+                self._inflight[key] = flight
+                try:
+                    payload, model_hit = await self._build_cross_shard(
+                        names, plan, transport, key
+                    )
+                except BaseException as error:
+                    flight.set_exception(error)
+                    raise
+                else:
+                    flight.set_result((payload, model_hit))
+                finally:
+                    self._inflight.pop(key, None)
+
+        service_seconds = perf_counter() - start
+        cluster.metrics.observe("total", service_seconds)
+        return GatewayResponse(
+            payload=payload,
+            tasks=names,
+            transport=transport,
+            payload_bytes=len(payload),
+            queue_seconds=queue_seconds,
+            service_seconds=service_seconds,
+            model_cache_hit=model_hit,
+            payload_cache_hit=payload_hit,
+            coalesced=coalesced,
+        )
+
+    async def _build_cross_shard(
+        self,
+        names: Tuple[str, ...],
+        plan: Dict[int, Tuple[str, ...]],
+        transport: str,
+        key,
+    ) -> Tuple[bytes, bool]:
+        """Concurrent head gather → executor-side assemble + serialize.
+
+        Mirrors the sync ``_build_payload`` pipeline (same version-guarded
+        cache puts, same metrics stages) with the network part replaced by
+        an ``asyncio.gather`` across shards.
+        """
+        cluster = self.cluster
+        loop = asyncio.get_event_loop()
+        versions = expert_versions(cluster.pool, names)
+        cluster.metrics.record_shard_requests(list(plan))
+        model = cluster.model_cache.get(names)
+        model_hit = model is not None
+        if model is None:
+            heads: Dict[str, object] = {}
+            fetch_start = perf_counter()
+
+            async def fetch_group(shard_id: int, group: Sequence[str]) -> None:
+                cached, missing = cluster._cached_remote_heads(group)
+                heads.update(cached)
+                if not missing:
+                    return
+                try:
+                    _msg, _codec, raw = await self._pools[shard_id].request(
+                        MsgType.FETCH_HEADS,
+                        json_payload(
+                            {
+                                "names": list(missing),
+                                "transport": cluster.config.fetch_transport,
+                            }
+                        ),
+                    )
+                except BaseException as error:
+                    # same [shard N] attribution contract as the sync path
+                    raise _tag_shard_error(error, shard_id)
+                expected = codec_for_transport(cluster.config.fetch_transport)
+                if _codec != expected:
+                    raise FrameError(
+                        f"HEADS response advertised codec {_codec}, expected {expected}"
+                    )
+                cluster.metrics.increment("remote_fetches")
+                cluster.metrics.increment("remote_fetch_bytes", len(raw))
+                heads.update(
+                    await loop.run_in_executor(
+                        None, cluster._ingest_head_payload, raw
+                    )
+                )
+
+            await asyncio.gather(
+                *(fetch_group(sid, group) for sid, group in plan.items())
+            )
+            cluster.metrics.observe("fetch", perf_counter() - fetch_start)
+            model = await loop.run_in_executor(
+                None, cluster._assemble_composite, names, heads, versions
+            )
+        payload = await loop.run_in_executor(
+            None,
+            cluster._serialize_composite,
+            model,
+            names,
+            versions,
+            transport,
+            key,
+        )
+        return payload, model_hit
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AsyncClusterTransport(shards={len(self._pools)})"

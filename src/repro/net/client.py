@@ -1,0 +1,440 @@
+"""The client half of ``repro.net``: a shard you talk to over a socket.
+
+:class:`RemoteShardClient` implements the same surface the
+:class:`~repro.cluster.gateway.ClusterGateway` consumes from an
+in-process :class:`~repro.cluster.shard.PoolShard` — ``task_names`` /
+``holds``, ``fetch_heads``, ``serve``, ``predict`` / ``submit_predict``
+and ``cache_stats`` — by translating each call into one frame-protocol
+request against a :class:`~repro.net.server.ShardServer`.  Because head
+payloads travel in the same float-exact codecs the in-process boundary
+already uses, a cluster running on remote shards is **bit-identical** to
+one running on local shards; only the process hosting the work changes.
+
+Thread safety: a client is safe to call from many gateway worker threads
+at once.  Each request takes a pooled TCP connection exclusively (a small
+idle pool, dialing extra connections under burst), so no multiplexing
+state is shared between threads — the asyncio transport in
+:mod:`repro.net.aio` is the multiplexed path.
+
+Remote errors arrive as typed ``ERROR`` frames and are re-raised locally
+with the originating shard id prefixed to the message.  ``KeyError`` and
+``ValueError`` keep their type across the wire because the cluster's
+retry-on-rebalance contract dispatches on them; everything else becomes
+:class:`RemoteShardError`.  Placement mutations (``install_expert`` /
+``drop_expert`` / ``refresh_library``) raise
+:class:`RemoteOperationUnsupported` — migrating experts into a running
+worker is the shard-autoscaling follow-on tracked in ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..serving.cache import CacheStats
+from ..serving.canonical import TaskQuery, canonical_tasks
+from ..serving.gateway import GatewayResponse, PredictionResponse
+from .frame import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    FrameDecoder,
+    FrameError,
+    MessageAssembler,
+    MsgType,
+    PROTOCOL_VERSION,
+    codec_for_transport,
+    encode_message,
+    json_payload,
+    pack_body,
+    parse_json,
+    unpack_body,
+)
+
+__all__ = [
+    "RemoteShardClient",
+    "RemoteShardError",
+    "RemoteOperationUnsupported",
+    "raise_remote_error",
+    "gateway_response_from_body",
+    "prediction_response_from_body",
+]
+
+#: Exception types that keep their identity across the wire (the cluster's
+#: replan-and-retry contract dispatches on KeyError specifically).
+_WIRE_EXCEPTIONS = {
+    "KeyError": KeyError,
+    "ValueError": ValueError,
+    "RuntimeError": RuntimeError,
+    "FrameError": FrameError,
+}
+
+
+class RemoteShardError(RuntimeError):
+    """A shard worker failed in a way with no local exception equivalent."""
+
+    def __init__(self, message: str, shard_id: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
+class RemoteOperationUnsupported(RuntimeError):
+    """The operation requires in-process shard access (see ROADMAP)."""
+
+
+def raise_remote_error(info: Dict) -> None:
+    """Re-raise a decoded ``ERROR`` payload with its shard id attached."""
+    shard_id = info.get("shard_id")
+    prefix = f"[shard {shard_id}] " if shard_id is not None else ""
+    message = f"{prefix}{info.get('message', 'remote failure')}"
+    exc_type = _WIRE_EXCEPTIONS.get(info.get("type", ""))
+    if exc_type is not None:
+        raise exc_type(message)
+    raise RemoteShardError(
+        f"{message} (remote type {info.get('type', '?')})", shard_id=shard_id
+    )
+
+
+def gateway_response_from_body(meta: Dict, blob: bytes) -> GatewayResponse:
+    """Rebuild a :class:`GatewayResponse` from a ``SERVED`` body."""
+    return GatewayResponse(
+        payload=blob,
+        tasks=tuple(meta["tasks"]),
+        transport=meta["transport"],
+        payload_bytes=len(blob),
+        queue_seconds=float(meta["queue_seconds"]),
+        service_seconds=float(meta["service_seconds"]),
+        model_cache_hit=bool(meta["model_cache_hit"]),
+        payload_cache_hit=bool(meta["payload_cache_hit"]),
+        coalesced=bool(meta["coalesced"]),
+    )
+
+
+def prediction_response_from_body(meta: Dict, blob: bytes) -> PredictionResponse:
+    """Rebuild a :class:`PredictionResponse` from a ``PREDICTED`` body."""
+    # .copy(): frombuffer over received bytes is read-only, but in-process
+    # shards hand out writable arrays — the backends must not diverge
+    class_ids = (
+        np.frombuffer(blob, dtype=meta["dtype"]).reshape(meta["shape"]).copy()
+    )
+    return PredictionResponse(
+        class_ids=class_ids,
+        tasks=tuple(meta["tasks"]),
+        batch_size=int(meta["batch_size"]),
+        queue_seconds=float(meta["queue_seconds"]),
+        service_seconds=float(meta["service_seconds"]),
+        model_cache_hit=bool(meta["model_cache_hit"]),
+        trunk_cache_hit=bool(meta["trunk_cache_hit"]),
+        coalesced=bool(meta["coalesced"]),
+        result_cache_hit=bool(meta["result_cache_hit"]),
+    )
+
+
+class _SyncChannel:
+    """One handshaken TCP connection, used by one request at a time."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, address: Tuple[str, int], timeout: float) -> None:
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._decoder = FrameDecoder()
+        self.dirty = False
+        try:
+            msg_type, _codec, payload = self.request(
+                MsgType.HELLO, json_payload({"protocol": PROTOCOL_VERSION})
+            )
+            if msg_type != MsgType.HELLO_OK:
+                raise FrameError(f"handshake got unexpected message type {msg_type}")
+            self.info = parse_json(payload)
+        except BaseException:
+            # a failed handshake (ERROR reply, version mismatch, draining
+            # server) has no owner to close the socket — do it here
+            self.close()
+            raise
+
+    def request(
+        self, msg_type: int, payload: bytes, codec: int = CODEC_JSON
+    ) -> Tuple[int, int, bytes]:
+        """Send one message, block for its response message.
+
+        Returns ``(msg_type, codec, payload)``; an ``ERROR`` response is
+        raised through :func:`raise_remote_error`.  The channel carries one
+        request at a time, so every incoming frame belongs to it.
+        ``self.dirty`` stays True until a complete response message was
+        consumed off the stream — a channel that raised while dirty has
+        undefined buffered state and must be closed, never re-pooled.
+        """
+        self.dirty = True
+        request_id = next(self._ids)
+        for frame_bytes in encode_message(msg_type, request_id, payload, codec):
+            self.sock.sendall(frame_bytes)
+        # one request in flight per channel, so one partial message max;
+        # the assembler still caps the reassembled response size
+        assembler = MessageAssembler(max_partial_messages=1)
+        while True:
+            for frame in self._decoder.feed(self._recv()):
+                if frame.request_id != request_id:
+                    raise FrameError(
+                        f"response for request {frame.request_id} on a channel "
+                        f"awaiting request {request_id}"
+                    )
+                message = assembler.add(frame)
+                if message is None:
+                    continue
+                response_type, response_codec, _rid, body = message
+                self.dirty = False  # full message consumed: stream is clean
+                if response_type == MsgType.ERROR:
+                    raise_remote_error(parse_json(body))
+                return response_type, response_codec, body
+
+    def _recv(self) -> bytes:
+        data = self.sock.recv(1 << 16)
+        if not data:
+            raise ConnectionError("shard connection closed mid-response")
+        return data
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class RemoteShardClient:
+    """A :class:`~repro.cluster.shard.PoolShard` look-alike over TCP."""
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        connections: int = 2,
+        timeout: float = 120.0,
+        metrics=None,
+    ) -> None:
+        self.address = (address[0], int(address[1]))
+        self.timeout = timeout
+        self.metrics = metrics
+        self._max_idle = max(1, connections)
+        self._idle: List[_SyncChannel] = []
+        self._pool_lock = threading.Lock()
+        self._info: Optional[Dict] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Connection pool
+    # ------------------------------------------------------------------
+    def _acquire(self) -> _SyncChannel:
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("remote shard client is closed")
+            if self._idle:
+                return self._idle.pop()
+        channel = _SyncChannel(self.address, self.timeout)
+        with self._pool_lock:
+            if self._info is None:
+                self._info = channel.info
+        return channel
+
+    def _release(self, channel: _SyncChannel) -> None:
+        with self._pool_lock:
+            if not self._closed and len(self._idle) < self._max_idle:
+                self._idle.append(channel)
+                return
+        channel.close()
+
+    def _request(
+        self, msg_type: int, payload: bytes, codec: int = CODEC_JSON
+    ) -> Tuple[int, int, bytes]:
+        channel = self._acquire()
+        start = perf_counter()
+        try:
+            response = channel.request(msg_type, payload, codec)
+        except BaseException:
+            if channel.dirty:
+                # mid-stream failure (socket error, corrupt frame, local
+                # interrupt): buffered state is undefined, drop the channel
+                channel.close()
+            else:
+                # a complete (typed ERROR) response was consumed: clean
+                self._release(channel)
+            raise
+        else:
+            self._release(channel)
+        if self.metrics is not None:
+            self.metrics.observe("net_roundtrip", perf_counter() - start)
+            self.metrics.increment("net_requests")
+            self.metrics.increment("net_bytes_tx", len(payload))
+            self.metrics.increment("net_bytes_rx", len(response[2]))
+        return response
+
+    # ------------------------------------------------------------------
+    # PoolShard surface
+    # ------------------------------------------------------------------
+    @property
+    def info(self) -> Dict:
+        if self._info is None:
+            self._release(self._acquire())  # dial once for the handshake info
+        assert self._info is not None
+        return self._info
+
+    @property
+    def shard_id(self) -> int:
+        return int(self.info["shard_id"])
+
+    @property
+    def worker_pid(self) -> int:
+        return int(self.info["pid"])
+
+    def task_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.info["tasks"]))
+
+    def holds(self, task: str) -> bool:
+        return task in self.info["tasks"]
+
+    def local_heads(self) -> None:
+        """Remote shards have no in-process head references (see gateway)."""
+        return None
+
+    def is_remote(self) -> bool:
+        """Capability probe: this shard lives behind a socket."""
+        return True
+
+    def ping(self) -> float:
+        """Health probe: one PING round trip, returns its latency."""
+        start = perf_counter()
+        self._request(MsgType.PING, b"")
+        return perf_counter() - start
+
+    def fetch_heads(self, names: Sequence[str], transport: str = "raw+zlib") -> bytes:
+        _msg, codec, payload = self._request(
+            MsgType.FETCH_HEADS,
+            json_payload({"names": list(names), "transport": transport}),
+        )
+        if codec != codec_for_transport(transport):
+            raise FrameError(
+                f"HEADS response advertised codec {codec}, expected "
+                f"{codec_for_transport(transport)} for transport {transport!r}"
+            )
+        return payload
+
+    def serve(self, tasks: TaskQuery, transport: str = "float32") -> GatewayResponse:
+        _msg, _codec, payload = self._request(
+            MsgType.SERVE,
+            json_payload({"tasks": list(canonical_tasks(tasks)), "transport": transport}),
+        )
+        meta, blob = unpack_body(payload)
+        return gateway_response_from_body(meta, blob)
+
+    def predict(self, images: np.ndarray, tasks: TaskQuery) -> PredictionResponse:
+        images = np.ascontiguousarray(images, dtype=np.float32)
+        body = pack_body(
+            {
+                "tasks": list(canonical_tasks(tasks)),
+                "dtype": str(images.dtype),
+                "shape": list(images.shape),
+            },
+            images.tobytes(),
+        )
+        _msg, _codec, payload = self._request(MsgType.PREDICT, body, CODEC_BINARY)
+        meta, blob = unpack_body(payload)
+        return prediction_response_from_body(meta, blob)
+
+    def submit_predict(
+        self, images: np.ndarray, tasks: TaskQuery
+    ) -> "Future[PredictionResponse]":
+        """Async-shaped predict: runs on the client's small dispatch pool.
+
+        Cross-request micro-batching happens **worker-side** only for
+        requests that land on the worker concurrently; the client does not
+        batch (that is the asyncio transport's territory).
+        """
+        return self._ensure_executor().submit(self.predict, images, tasks)
+
+    def cache_stats(self) -> Dict[str, CacheStats]:
+        return {
+            tier: CacheStats(**fields)
+            for tier, fields in self.stats()["cache_stats"].items()
+        }
+
+    def stats(self) -> Dict:
+        """The worker's raw stats payload (cache tiers, counters, pid)."""
+        _msg, _codec, payload = self._request(MsgType.STATS, json_payload({}))
+        info = parse_json(payload)
+        with self._pool_lock:
+            self._info = {
+                "shard_id": info["shard_id"],
+                "tasks": info["tasks"],
+                "pid": info["pid"],
+                "protocol": PROTOCOL_VERSION,
+            }
+        return info
+
+    # ------------------------------------------------------------------
+    # Placement mutations: not yet wired over the socket boundary
+    # ------------------------------------------------------------------
+    def install_expert(self, name: str, head, version: int) -> None:
+        raise RemoteOperationUnsupported(
+            f"install_expert({name!r}) on a remote shard: expert migration "
+            "over the wire is the shard-autoscaling follow-on (ROADMAP)"
+        )
+
+    def drop_expert(self, name: str) -> None:
+        raise RemoteOperationUnsupported(
+            f"drop_expert({name!r}) on a remote shard: expert migration "
+            "over the wire is the shard-autoscaling follow-on (ROADMAP)"
+        )
+
+    def refresh_library(self, library, library_student, version: int) -> None:
+        raise RemoteOperationUnsupported(
+            "refresh_library on a remote shard: restart the worker fleet "
+            "after a library re-extraction (ROADMAP follow-on)"
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._pool_lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for channel in idle:
+            channel.close()
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "RemoteShardClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @staticmethod
+    def drain_address(address: Tuple[str, int], timeout: float = 20.0) -> None:
+        """Ask the worker at ``address`` to drain and wait for DRAINED."""
+        channel = _SyncChannel(address, timeout)
+        try:
+            msg_type, _codec, _payload = channel.request(MsgType.DRAIN, json_payload({}))
+            if msg_type != MsgType.DRAINED:
+                raise FrameError(f"drain got unexpected message type {msg_type}")
+        finally:
+            channel.close()
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._closed:
+                raise RuntimeError("remote shard client is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_idle, thread_name_prefix="poe-net-predict"
+                )
+            return self._executor
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RemoteShardClient(address={self.address})"

@@ -1,0 +1,359 @@
+"""The length-prefixed binary frame protocol networked shards speak.
+
+This is the wire layer under :mod:`repro.net`: every message between a
+:class:`~repro.net.client.RemoteShardClient` (or the asyncio transport)
+and a :class:`~repro.net.server.ShardServer` is one or more **frames**,
+each a fixed 20-byte header followed by a payload:
+
+.. code-block:: text
+
+    offset  size  field
+    0       4     magic          b"POEN"
+    4       1     protocol version (currently 1)
+    5       1     message type   (MsgType)
+    6       1     flags          (bit 0 = FLAG_END: last frame of message)
+    7       1     codec tag      (payload encoding, see below)
+    8       8     request id     (u64 little-endian)
+    16      4     payload length (u32 little-endian)
+    20      N     payload bytes
+
+A logical *message* is the concatenated payloads of all frames sharing a
+request id up to (and including) the frame with ``FLAG_END`` set.  Small
+messages are one frame; large ones (head payloads, composite models) are
+**chunked** at ``DEFAULT_CHUNK_BYTES`` so a connection multiplexing many
+requests can interleave a small response between the chunks of a big one
+instead of head-of-line-blocking behind it.
+
+Codec tags name the payload encoding: ``CODEC_JSON`` for control
+payloads, ``CODEC_BINARY`` for mixed binary bodies (a u32-length JSON
+meta header + raw tensor bytes, see :func:`pack_body`), and one tag per
+entry of :data:`repro.core.server.TRANSPORTS` for model/head payloads —
+the existing ``raw+zlib``/``zstd`` payload bytes travel unmodified, the
+tag just says which decoder applies.
+
+Hard limits are enforced at decode time: a frame whose declared length
+exceeds ``MAX_PAYLOAD_BYTES``, whose magic or version byte is wrong, or
+whose codec tag is unknown raises :class:`FrameError` (version mismatch
+raises the :class:`ProtocolMismatch` subclass so handshakes can answer
+it specifically).  ``docs/wire-protocol.md`` is the prose spec of this
+module; keep the two in sync.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "HEADER_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "DEFAULT_CHUNK_BYTES",
+    "FLAG_END",
+    "MsgType",
+    "CODEC_JSON",
+    "CODEC_BINARY",
+    "CODEC_NAMES",
+    "FrameError",
+    "ProtocolMismatch",
+    "Frame",
+    "FrameDecoder",
+    "MessageAssembler",
+    "codec_for_transport",
+    "transport_for_codec",
+    "encode_frame",
+    "encode_message",
+    "json_payload",
+    "parse_json",
+    "pack_body",
+    "unpack_body",
+]
+
+MAGIC = b"POEN"
+PROTOCOL_VERSION = 1
+#: magic(4) + version(1) + msg type(1) + flags(1) + codec(1) + id(8) + len(4)
+HEADER_BYTES = 20
+_HEADER = struct.Struct("<4sBBBBQI")
+
+#: Hard cap on one frame's payload; a header declaring more is corrupt.
+MAX_PAYLOAD_BYTES = 64 << 20
+#: Messages larger than this are split into multiple frames.
+DEFAULT_CHUNK_BYTES = 256 << 10
+
+FLAG_END = 0x01
+
+
+class MsgType:
+    """Message-type byte values (one namespace, not an enum, for struct speed)."""
+
+    HELLO = 1
+    HELLO_OK = 2
+    ERROR = 3
+    PING = 4
+    PONG = 5
+    FETCH_HEADS = 6
+    HEADS = 7
+    SERVE = 8
+    SERVED = 9
+    PREDICT = 10
+    PREDICTED = 11
+    STATS = 12
+    STATS_OK = 13
+    DRAIN = 14
+    DRAINED = 15
+
+
+#: Codec tags 1..4 mirror ``repro.core.server.TRANSPORTS`` order.
+CODEC_JSON = 0
+_TRANSPORT_CODECS: Dict[str, int] = {
+    "float32": 1,
+    "uint8": 2,
+    "raw+zlib": 3,
+    "zstd": 4,
+}
+CODEC_BINARY = 5
+CODEC_NAMES: Dict[int, str] = {
+    CODEC_JSON: "json",
+    CODEC_BINARY: "binary",
+    **{tag: name for name, tag in _TRANSPORT_CODECS.items()},
+}
+
+
+class FrameError(ValueError):
+    """The byte stream is not a well-formed frame sequence."""
+
+
+class ProtocolMismatch(FrameError):
+    """The peer speaks a different protocol version."""
+
+
+def codec_for_transport(transport: str) -> int:
+    """The codec tag advertising a :data:`~repro.core.server.TRANSPORTS` payload."""
+    try:
+        return _TRANSPORT_CODECS[transport]
+    except KeyError:
+        raise FrameError(f"no codec tag for transport {transport!r}") from None
+
+
+def transport_for_codec(codec: int) -> str:
+    """Inverse of :func:`codec_for_transport`; raises on unknown tags."""
+    for transport, tag in _TRANSPORT_CODECS.items():
+        if tag == codec:
+            return transport
+    raise FrameError(f"unknown payload codec tag {codec}")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame (header fields + payload slice)."""
+
+    msg_type: int
+    request_id: int
+    payload: bytes
+    codec: int = CODEC_JSON
+    flags: int = FLAG_END
+
+    @property
+    def last(self) -> bool:
+        """Whether this frame ends its logical message."""
+        return bool(self.flags & FLAG_END)
+
+
+def encode_frame(
+    msg_type: int,
+    request_id: int,
+    payload: bytes = b"",
+    codec: int = CODEC_JSON,
+    flags: int = FLAG_END,
+) -> bytes:
+    """Pack one frame; validates the payload size and codec tag."""
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte cap — chunk it (encode_message)"
+        )
+    if codec not in CODEC_NAMES:
+        raise FrameError(f"unknown payload codec tag {codec}")
+    return (
+        _HEADER.pack(
+            MAGIC, PROTOCOL_VERSION, msg_type, flags, codec, request_id, len(payload)
+        )
+        + payload
+    )
+
+
+def encode_message(
+    msg_type: int,
+    request_id: int,
+    payload: bytes,
+    codec: int = CODEC_JSON,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> Iterator[bytes]:
+    """Yield the frame(s) of one message, chunking large payloads.
+
+    Every frame but the last has ``FLAG_END`` clear; an empty payload
+    still yields exactly one (terminal) frame.  Writers should emit the
+    chunks frame-by-frame under their connection write lock so concurrent
+    responses interleave at chunk granularity.
+    """
+    if chunk_bytes < 1:
+        raise ValueError("chunk_bytes must be >= 1")
+    if not payload:
+        yield encode_frame(msg_type, request_id, b"", codec, FLAG_END)
+        return
+    for start in range(0, len(payload), chunk_bytes):
+        chunk = payload[start : start + chunk_bytes]
+        last = start + chunk_bytes >= len(payload)
+        yield encode_frame(
+            msg_type, request_id, chunk, codec, FLAG_END if last else 0
+        )
+
+
+class FrameDecoder:
+    """Incremental decoder: feed arbitrary byte slices, pop whole frames.
+
+    Handles the stream side of the protocol — partial headers and split
+    payloads simply stay buffered until the rest arrives, so callers can
+    feed whatever ``recv`` returned.  Corrupt input (bad magic, wrong
+    version, oversized declared length) raises :class:`FrameError`
+    immediately: a framing error is unrecoverable on a byte stream, so
+    the connection must be dropped.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Append ``data`` and return every frame completed by it."""
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            frame = self._try_pop()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward a not-yet-complete frame."""
+        return len(self._buffer)
+
+    def _try_pop(self) -> Optional[Frame]:
+        if len(self._buffer) < HEADER_BYTES:
+            return None
+        magic, version, msg_type, flags, codec, request_id, length = _HEADER.unpack_from(
+            self._buffer
+        )
+        if magic != MAGIC:
+            raise FrameError(f"bad frame magic {bytes(magic)!r} (expected {MAGIC!r})")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolMismatch(
+                f"peer speaks protocol {version}, this side speaks {PROTOCOL_VERSION}"
+            )
+        if length > MAX_PAYLOAD_BYTES:
+            raise FrameError(
+                f"frame declares a {length}-byte payload, over the "
+                f"{MAX_PAYLOAD_BYTES}-byte cap"
+            )
+        if codec not in CODEC_NAMES:
+            raise FrameError(f"unknown payload codec tag {codec}")
+        end = HEADER_BYTES + length
+        if len(self._buffer) < end:
+            return None
+        payload = bytes(self._buffer[HEADER_BYTES:end])
+        del self._buffer[:end]
+        return Frame(msg_type, request_id, payload, codec, flags)
+
+
+class MessageAssembler:
+    """Reassemble chunked messages with aggregate limits enforced.
+
+    The per-frame payload cap alone bounds nothing in aggregate — a peer
+    could stream non-terminal frames forever, or open partial messages
+    under unbounded request ids.  This tracks both: a *message* whose
+    reassembled payload would exceed ``max_message_bytes`` and a
+    connection holding more than ``max_partial_messages`` incomplete
+    messages each raise :class:`FrameError` (the connection must then be
+    dropped, like any other framing violation).
+    """
+
+    def __init__(
+        self,
+        max_message_bytes: int = MAX_PAYLOAD_BYTES,
+        max_partial_messages: int = 256,
+    ) -> None:
+        self.max_message_bytes = max_message_bytes
+        self.max_partial_messages = max_partial_messages
+        # request id -> (msg type, codec, chunks, total bytes so far)
+        self._partial: Dict[int, Tuple[int, int, List[bytes], int]] = {}
+
+    def add(self, frame: Frame) -> Optional[Tuple[int, int, int, bytes]]:
+        """Fold one frame in; return ``(msg_type, codec, request_id,
+        payload)`` when it completes a message, else ``None``."""
+        entry = self._partial.get(frame.request_id)
+        if entry is None:
+            if len(self._partial) >= self.max_partial_messages:
+                raise FrameError(
+                    f"more than {self.max_partial_messages} partial messages "
+                    "in flight on one connection"
+                )
+            entry = (frame.msg_type, frame.codec, [], 0)
+        msg_type, codec, chunks, total = entry
+        total += len(frame.payload)
+        if total > self.max_message_bytes:
+            raise FrameError(
+                f"reassembled message exceeds the {self.max_message_bytes}-byte "
+                "cap (runaway chunk stream)"
+            )
+        chunks.append(frame.payload)
+        if not frame.last:
+            self._partial[frame.request_id] = (msg_type, codec, chunks, total)
+            return None
+        self._partial.pop(frame.request_id, None)
+        # the terminal frame's header wins: all frames of a message carry
+        # the same type/codec, and the final one is the authoritative copy
+        return frame.msg_type, frame.codec, frame.request_id, b"".join(chunks)
+
+    @property
+    def partial_messages(self) -> int:
+        return len(self._partial)
+
+
+# ----------------------------------------------------------------------
+# Payload helpers
+# ----------------------------------------------------------------------
+def json_payload(obj: object) -> bytes:
+    """Encode a control payload (compact separators, stable key order)."""
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def parse_json(payload: bytes) -> Dict:
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"malformed JSON payload: {error}") from None
+
+
+def pack_body(meta: Dict, blob: bytes = b"") -> bytes:
+    """A ``CODEC_BINARY`` body: u32 meta length + JSON meta + raw blob.
+
+    Used where a message carries both telemetry and tensor bytes (serve
+    and predict responses, predict requests).  Chunking splits the packed
+    bytes arbitrarily; :func:`unpack_body` parses the reassembled whole.
+    """
+    encoded = json_payload(meta)
+    return struct.pack("<I", len(encoded)) + encoded + blob
+
+
+def unpack_body(payload: bytes) -> Tuple[Dict, bytes]:
+    """Split a ``CODEC_BINARY`` body back into ``(meta, blob)``."""
+    if len(payload) < 4:
+        raise FrameError("binary body shorter than its meta-length prefix")
+    (meta_len,) = struct.unpack_from("<I", payload)
+    if 4 + meta_len > len(payload):
+        raise FrameError("binary body truncated inside its meta header")
+    meta = parse_json(payload[4 : 4 + meta_len])
+    return meta, payload[4 + meta_len :]

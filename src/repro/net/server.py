@@ -1,0 +1,726 @@
+"""Shard workers behind sockets: the server half of ``repro.net``.
+
+Three layers, innermost first:
+
+* :class:`ShardServer` — a TCP server around one
+  :class:`~repro.cluster.shard.PoolShard`.  Each connection gets a reader
+  thread; each request is dispatched to a small worker pool so multiple
+  requests on one connection execute concurrently and their chunked
+  responses interleave on the wire (no head-of-line blocking behind a big
+  head payload).  Speaks the :mod:`repro.net.frame` protocol: handshake
+  (``HELLO``/``HELLO_OK`` with version check), ``FETCH_HEADS``, ``SERVE``,
+  ``PREDICT``, ``STATS``, ``PING`` and a graceful ``DRAIN``.
+* :func:`_shard_worker_main` / :class:`ShardWorkerFleet` — the
+  multiprocess deployment: one **forked worker process per shard**, each
+  hosting a ``PoolShard`` + ``ShardServer`` with its own GIL.  Workers
+  report readiness (their bound port) over a pipe before the fleet hands
+  out clients; shutdown drains each worker over the wire and joins the
+  process, escalating to ``terminate()`` only on timeout.
+* :class:`NetworkedCluster` — the one-call deployment: spawns a fleet,
+  builds a :class:`~repro.cluster.gateway.ClusterGateway` whose
+  ``shard_factory`` returns :class:`~repro.net.client.RemoteShardClient`\\ s,
+  optionally attaches the asyncio transport, and tears everything down in
+  order on ``close()``.
+
+Worker processes are created with the ``fork`` start method so the
+already-preprocessed pool is inherited copy-on-write — nothing re-trains
+and expert weights are bit-identical across the process boundary.  Spawn
+workers **before** serving traffic (fork duplicates only the calling
+thread), and note that pool mutations (re-extraction, rebalance) do not
+propagate to running workers — that is the shard-autoscaling follow-on
+tracked in ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.gateway import ClusterConfig, ClusterGateway
+from ..cluster.metrics import ClusterMetrics
+from ..cluster.shard import PoolShard
+from ..serving.gateway import GatewayConfig
+from .client import RemoteShardClient
+from .frame import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    DEFAULT_CHUNK_BYTES,
+    FrameDecoder,
+    FrameError,
+    MessageAssembler,
+    MsgType,
+    PROTOCOL_VERSION,
+    codec_for_transport,
+    encode_message,
+    json_payload,
+    pack_body,
+    parse_json,
+    unpack_body,
+)
+
+__all__ = ["ShardServer", "ShardWorkerFleet", "NetworkedCluster"]
+
+
+class ShardServer:
+    """Serve one :class:`PoolShard` over TCP (the worker-side event loop).
+
+    Thread model: one acceptor thread, one reader thread per connection,
+    and a shared ``request_workers``-wide pool executing request handlers.
+    Responses are written frame-by-frame under a per-connection lock, so
+    chunked payloads from concurrent requests interleave cleanly.
+    ``DRAIN`` and ``HELLO`` are handled outside the pool (a drain must be
+    able to wait for the pool to empty without occupying it).
+    """
+
+    def __init__(
+        self,
+        shard: PoolShard,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_workers: int = 2,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> None:
+        self.shard = shard
+        self.host = host
+        self.port = port
+        self.chunk_bytes = chunk_bytes
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, request_workers), thread_name_prefix="poe-net-req"
+        )
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._connections: List[socket.socket] = []
+        self._conn_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._drain_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen, and start accepting; returns the bound address."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self.host, self.port = listener.getsockname()
+        self._listener = listener
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="poe-net-accept", daemon=True
+        )
+        acceptor.start()
+        self._threads.append(acceptor)
+        return self.host, self.port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until a ``DRAIN`` completed (worker main loops on this)."""
+        return self._drained.wait(timeout)
+
+    def drain(self, on_drained=None) -> None:
+        """Stop accepting, let in-flight requests finish, then signal done.
+
+        Idempotent *and* synchronous for every caller: a second concurrent
+        drain (two supervisors, or SIGTERM racing a wire DRAIN) blocks
+        until the first one actually finishes — returning means all
+        accepted work completed, never merely that a drain had started.
+        Also the SIGTERM handler's path, so a killed worker still answers
+        everything it already accepted.
+
+        ``on_drained`` (initiator only) runs after in-flight work completed
+        but *before* ``_drained`` is signalled — the wire DRAIN handler
+        sends its DRAINED ack there, so a worker main loop waking on
+        ``wait_drained()`` cannot close the connection under the ack.
+        """
+        with self._drain_lock:
+            initiator = not self._draining.is_set()
+            if initiator:
+                self._draining.set()
+        if not initiator:
+            self._drained.wait()
+            return
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        with self._inflight_cond:
+            while self._inflight > 0:
+                self._inflight_cond.wait(timeout=0.5)
+        try:
+            if on_drained is not None:
+                on_drained()
+        finally:
+            self._drained.set()
+
+    def close(self) -> None:
+        """Force-close everything (after :meth:`drain` for a graceful exit)."""
+        self._closed = True
+        self._draining.set()
+        self._drained.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        with self._conn_lock:
+            conns, self._connections = self._connections, []
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Accept / read loops
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._draining.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: drain or shutdown
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._conn_lock:
+                self._connections.append(conn)
+            # daemon reader, not tracked: it exits with its connection, and
+            # holding references would grow without bound on a long-lived
+            # worker accepting many short connections
+            threading.Thread(
+                target=self._connection_loop, args=(conn,),
+                name="poe-net-conn", daemon=True,
+            ).start()
+
+    def _connection_loop(self, conn: socket.socket) -> None:
+        decoder = FrameDecoder()
+        # the assembler bounds reassembled-message size and the number of
+        # concurrent partial messages, so a runaway chunk stream cannot
+        # balloon worker memory past the advertised payload cap
+        assembler = MessageAssembler()
+        write_lock = threading.Lock()
+        try:
+            while True:
+                data = conn.recv(1 << 16)
+                if not data:
+                    return
+                for frame in decoder.feed(data):
+                    message = assembler.add(frame)
+                    if message is None:
+                        continue
+                    msg_type, codec, request_id, payload = message
+                    self._dispatch(conn, write_lock, msg_type, request_id, payload, codec)
+        except (OSError, FrameError):
+            return  # connection torn down or peer sent garbage: drop it
+        finally:
+            with self._conn_lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        conn: socket.socket,
+        write_lock: threading.Lock,
+        msg_type: int,
+        request_id: int,
+        payload: bytes,
+        codec: int,
+    ) -> None:
+        if msg_type == MsgType.HELLO:
+            # inline: the handshake must precede any pooled response
+            self._handle_hello(conn, write_lock, request_id, payload)
+            return
+        if msg_type == MsgType.DRAIN:
+            # dedicated thread: drain waits for the request pool to empty,
+            # so it must never occupy a slot in that pool
+            threading.Thread(
+                target=self._handle_drain, args=(conn, write_lock, request_id),
+                name="poe-net-drain", daemon=True,
+            ).start()
+            return
+        with self._inflight_cond:
+            if self._draining.is_set():
+                self._send_error(
+                    conn, write_lock, request_id,
+                    RuntimeError("shard server is draining"),
+                )
+                return
+            self._inflight += 1
+        try:
+            self._executor.submit(
+                self._run_request, conn, write_lock, msg_type, request_id, payload, codec
+            )
+        except RuntimeError:  # executor shut down under us
+            self._finish_request()
+
+    def _finish_request(self) -> None:
+        with self._inflight_cond:
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
+
+    def _run_request(
+        self,
+        conn: socket.socket,
+        write_lock: threading.Lock,
+        msg_type: int,
+        request_id: int,
+        payload: bytes,
+        codec: int,
+    ) -> None:
+        try:
+            try:
+                handler = self._HANDLERS[msg_type]
+            except KeyError:
+                raise FrameError(f"unsupported message type {msg_type}") from None
+            handler(self, conn, write_lock, request_id, payload, codec)
+        except BaseException as error:
+            try:
+                self._send_error(conn, write_lock, request_id, error)
+            except OSError:
+                pass  # peer is gone; nothing to report to
+        finally:
+            self._finish_request()
+
+    def _send(
+        self,
+        conn: socket.socket,
+        write_lock: threading.Lock,
+        msg_type: int,
+        request_id: int,
+        payload: bytes,
+        codec: int = CODEC_JSON,
+    ) -> None:
+        # lock per *frame*, not per message: concurrent responses on the
+        # same connection interleave at chunk granularity
+        for frame in encode_message(
+            msg_type, request_id, payload, codec, self.chunk_bytes
+        ):
+            with write_lock:
+                conn.sendall(frame)
+
+    def _send_error(
+        self, conn, write_lock, request_id: int, error: BaseException
+    ) -> None:
+        message = str(error.args[0]) if error.args else str(error)
+        self._send(
+            conn,
+            write_lock,
+            MsgType.ERROR,
+            request_id,
+            json_payload(
+                {
+                    "type": type(error).__name__,
+                    "message": message,
+                    "shard_id": self.shard.shard_id,
+                }
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _handle_hello(self, conn, write_lock, request_id: int, payload: bytes) -> None:
+        request = parse_json(payload) if payload else {}
+        theirs = request.get("protocol")
+        if theirs != PROTOCOL_VERSION:
+            # version-mismatch contract: answer with a typed ERROR naming
+            # both versions, then hang up — never guess at framing
+            self._send_error(
+                conn,
+                write_lock,
+                request_id,
+                FrameError(
+                    f"protocol mismatch: client speaks {theirs!r}, "
+                    f"server speaks {PROTOCOL_VERSION}"
+                ),
+            )
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:  # pragma: no cover
+                pass
+            return
+        self._send(
+            conn,
+            write_lock,
+            MsgType.HELLO_OK,
+            request_id,
+            json_payload(
+                {
+                    "protocol": PROTOCOL_VERSION,
+                    "shard_id": self.shard.shard_id,
+                    "tasks": list(self.shard.task_names()),
+                    "pid": os.getpid(),
+                }
+            ),
+        )
+
+    def _handle_drain(self, conn, write_lock, request_id: int) -> None:
+        acked = []
+
+        def ack() -> None:
+            self._send(conn, write_lock, MsgType.DRAINED, request_id, json_payload({}))
+            acked.append(True)
+
+        try:
+            self.drain(on_drained=ack)
+        except OSError:  # pragma: no cover - peer vanished mid-drain
+            return
+        if not acked:
+            # a concurrent drain beat us to initiating: ack best-effort
+            # (the worker main loop may already be tearing connections down)
+            try:
+                ack()
+            except OSError:
+                pass
+
+    def _handle_ping(self, conn, write_lock, request_id, payload, codec) -> None:
+        self._send(conn, write_lock, MsgType.PONG, request_id, payload, codec)
+
+    def _handle_fetch_heads(self, conn, write_lock, request_id, payload, codec) -> None:
+        request = parse_json(payload)
+        transport = request.get("transport", "raw+zlib")
+        raw = self.shard.fetch_heads(tuple(request["names"]), transport)
+        self._send(
+            conn, write_lock, MsgType.HEADS, request_id, raw,
+            codec_for_transport(transport),
+        )
+
+    def _handle_serve(self, conn, write_lock, request_id, payload, codec) -> None:
+        request = parse_json(payload)
+        response = self.shard.serve(
+            tuple(request["tasks"]), request.get("transport", "float32")
+        )
+        body = pack_body(
+            {
+                "tasks": list(response.tasks),
+                "transport": response.transport,
+                "payload_bytes": response.payload_bytes,
+                "queue_seconds": response.queue_seconds,
+                "service_seconds": response.service_seconds,
+                "model_cache_hit": response.model_cache_hit,
+                "payload_cache_hit": response.payload_cache_hit,
+                "coalesced": response.coalesced,
+            },
+            response.payload,
+        )
+        self._send(conn, write_lock, MsgType.SERVED, request_id, body, CODEC_BINARY)
+
+    def _handle_predict(self, conn, write_lock, request_id, payload, codec) -> None:
+        meta, blob = unpack_body(payload)
+        images = (
+            np.frombuffer(blob, dtype=meta["dtype"]).reshape(meta["shape"]).copy()
+        )
+        response = self.shard.predict(images, tuple(meta["tasks"]))
+        ids = np.ascontiguousarray(response.class_ids)
+        body = pack_body(
+            {
+                "tasks": list(response.tasks),
+                "batch_size": response.batch_size,
+                "queue_seconds": response.queue_seconds,
+                "service_seconds": response.service_seconds,
+                "model_cache_hit": response.model_cache_hit,
+                "trunk_cache_hit": response.trunk_cache_hit,
+                "coalesced": response.coalesced,
+                "result_cache_hit": response.result_cache_hit,
+                "dtype": str(ids.dtype),
+                "shape": list(ids.shape),
+            },
+            ids.tobytes(),
+        )
+        self._send(conn, write_lock, MsgType.PREDICTED, request_id, body, CODEC_BINARY)
+
+    def _handle_stats(self, conn, write_lock, request_id, payload, codec) -> None:
+        stats = {
+            tier: dataclasses.asdict(s) for tier, s in self.shard.cache_stats().items()
+        }
+        snapshot = self.shard.gateway.metrics.snapshot()
+        self._send(
+            conn,
+            write_lock,
+            MsgType.STATS_OK,
+            request_id,
+            json_payload(
+                {
+                    "shard_id": self.shard.shard_id,
+                    "pid": os.getpid(),
+                    "tasks": list(self.shard.task_names()),
+                    "cache_stats": stats,
+                    "counters": snapshot["counters"],
+                }
+            ),
+        )
+
+    _HANDLERS = {
+        MsgType.PING: _handle_ping,
+        MsgType.FETCH_HEADS: _handle_fetch_heads,
+        MsgType.SERVE: _handle_serve,
+        MsgType.PREDICT: _handle_predict,
+        MsgType.STATS: _handle_stats,
+    }
+
+
+# ----------------------------------------------------------------------
+# Worker processes
+# ----------------------------------------------------------------------
+def _shard_worker_main(
+    control,
+    shard_id: int,
+    task_names: Tuple[str, ...],
+    pool,
+    gateway_config: Optional[GatewayConfig],
+    host: str,
+    request_workers: int,
+) -> None:
+    """Entry point of one forked shard worker (readiness → serve → drain)."""
+    import signal
+
+    try:
+        shard = PoolShard(shard_id, pool, task_names, gateway_config)
+        server = ShardServer(
+            shard, host=host, port=0, request_workers=request_workers
+        )
+        _host, port = server.start()
+    except BaseException as error:  # report startup failure, don't hang the parent
+        try:
+            control.send(("error", f"{type(error).__name__}: {error}"))
+        finally:
+            control.close()
+        os._exit(1)
+    control.send(("ready", port))
+    control.close()
+    signal.signal(signal.SIGTERM, lambda *_args: server.drain())
+    server.wait_drained()
+    server.close()
+    shard.close()
+
+
+@dataclasses.dataclass
+class _WorkerHandle:
+    shard_id: int
+    process: "multiprocessing.process.BaseProcess"
+    address: Tuple[str, int]
+
+
+class ShardWorkerFleet:
+    """Spawn and retire one shard worker process per shard.
+
+    Workers are spawned lazily as :meth:`shard_factory` is called (the
+    :class:`~repro.cluster.gateway.ClusterGateway` constructor drives it,
+    handing over each shard's task assignment), so the fleet needs no
+    routing knowledge of its own.  ``shutdown()`` drains every worker over
+    the wire, joins it, and only terminates on timeout;
+    :meth:`leaked_processes` is the post-shutdown leak check the CI smoke
+    asserts on.
+    """
+
+    def __init__(
+        self,
+        pool,
+        host: str = "127.0.0.1",
+        connections_per_shard: int = 2,
+        startup_timeout: float = 60.0,
+        metrics: Optional[ClusterMetrics] = None,
+    ) -> None:
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError(
+                "networked shards need the 'fork' start method to inherit "
+                "the preprocessed pool; this platform does not support it"
+            ) from None
+        self.pool = pool
+        self.host = host
+        self.connections_per_shard = connections_per_shard
+        self.startup_timeout = startup_timeout
+        self.metrics = metrics
+        self.workers: List[_WorkerHandle] = []
+        self._clients: List[RemoteShardClient] = []
+
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        shard_id: int,
+        task_names: Sequence[str],
+        gateway_config: Optional[GatewayConfig] = None,
+    ) -> Tuple[str, int]:
+        """Fork one worker for ``task_names``; block until it is ready."""
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        request_workers = gateway_config.max_workers if gateway_config else 2
+        process = self._context.Process(
+            target=_shard_worker_main,
+            args=(
+                child_conn,
+                shard_id,
+                tuple(task_names),
+                self.pool,
+                gateway_config,
+                self.host,
+                request_workers,
+            ),
+            name=f"poe-shard-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(self.startup_timeout):
+            process.terminate()
+            raise RuntimeError(
+                f"shard worker {shard_id} did not report readiness within "
+                f"{self.startup_timeout:.0f}s"
+            )
+        status, value = parent_conn.recv()
+        parent_conn.close()
+        if status != "ready":
+            process.join(timeout=5.0)
+            raise RuntimeError(f"shard worker {shard_id} failed to start: {value}")
+        address = (self.host, int(value))
+        self.workers.append(_WorkerHandle(shard_id, process, address))
+        return address
+
+    def shard_factory(
+        self,
+        shard_id: int,
+        task_names: Sequence[str],
+        gateway_config: Optional[GatewayConfig] = None,
+        trunk_cache=None,
+    ) -> RemoteShardClient:
+        """The ``ClusterGateway`` shard-factory hook: one worker per shard.
+
+        ``trunk_cache`` is accepted for signature compatibility and
+        ignored — a worker process owns its own trunk-feature cache (the
+        cluster front end keeps a separate one for cross-shard predicts).
+        """
+        address = self.spawn(shard_id, task_names, gateway_config)
+        client = RemoteShardClient(
+            address,
+            connections=self.connections_per_shard,
+            metrics=self.metrics,
+        )
+        self._clients.append(client)
+        return client
+
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: float = 20.0) -> None:
+        """Drain + join every worker; terminate only the unresponsive."""
+        for client in self._clients:
+            client.close()
+        self._clients = []
+        for handle in self.workers:
+            if not handle.process.is_alive():
+                continue
+            try:
+                RemoteShardClient.drain_address(handle.address, timeout=timeout)
+            except OSError:
+                pass  # worker already exiting; join below decides
+            handle.process.join(timeout=timeout)
+            if handle.process.is_alive():  # pragma: no cover - unresponsive worker
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+
+    def leaked_processes(self) -> List["multiprocessing.process.BaseProcess"]:
+        """Workers still alive (should be empty after :meth:`shutdown`)."""
+        return [h.process for h in self.workers if h.process.is_alive()]
+
+    def __enter__(self) -> "ShardWorkerFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ShardWorkerFleet(workers={len(self.workers)}, host={self.host!r})"
+
+
+# ----------------------------------------------------------------------
+# One-call deployment
+# ----------------------------------------------------------------------
+class NetworkedCluster:
+    """A :class:`ClusterGateway` whose shards live in worker processes.
+
+    Construction spawns ``config.num_shards`` forked workers (readiness-
+    gated), wires the gateway's ``shard_factory`` to return
+    :class:`RemoteShardClient`\\ s, and — with ``async_transport=True`` —
+    attaches the :class:`~repro.net.aio.AsyncClusterTransport` so
+    ``gateway.submit`` dispatches through the asyncio event loop instead
+    of the thread pool.  ``close()`` tears down in dependency order:
+    transport, gateway (client sockets), then the fleet (drain + join).
+    """
+
+    def __init__(
+        self,
+        pool,
+        config: Optional[ClusterConfig] = None,
+        host: str = "127.0.0.1",
+        connections_per_shard: int = 2,
+        async_transport: bool = False,
+        startup_timeout: float = 60.0,
+    ) -> None:
+        self.metrics = ClusterMetrics()
+        self.fleet = ShardWorkerFleet(
+            pool,
+            host=host,
+            connections_per_shard=connections_per_shard,
+            startup_timeout=startup_timeout,
+            metrics=self.metrics,
+        )
+        try:
+            self.gateway = ClusterGateway(
+                pool,
+                config,
+                metrics=self.metrics,
+                shard_factory=self.fleet.shard_factory,
+            )
+        except BaseException:
+            self.fleet.shutdown()
+            raise
+        if async_transport:
+            from .aio import AsyncClusterTransport
+
+            try:
+                transport = AsyncClusterTransport(
+                    self.gateway, connections_per_shard=connections_per_shard
+                )
+                transport.start()
+            except BaseException:
+                self.close()
+                raise
+            self.gateway.async_transport = transport
+
+    def close(self) -> None:
+        self.gateway.close()
+        self.fleet.shutdown()
+
+    def __enter__(self) -> "NetworkedCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"NetworkedCluster(workers={len(self.fleet.workers)})"

@@ -35,6 +35,30 @@ a compiled artifact must be treated as frozen: mutate a module's weights
 in place (``load_state_dict``) and you must recompile (the serving tiers
 do this through the ``expert_version``/``LIBRARY_TASK`` listeners, which
 install *new* module objects on re-extraction).
+
+**Public entry points.**  Layer builders: :func:`stack_conv`,
+:func:`stack_affine` (+ :func:`fold_batchnorm`), :func:`stack_linear`,
+composed per residual stage by :class:`FusedBlock`.  Trunk compilation:
+:class:`FusedTrunk` (one-shot compiler over a frozen eval-mode
+``WRNTrunk``, ``allclose``-probed against autograd at compile time),
+normally reached through :func:`fused_trunk_for` — the per-trunk-object
+memo that makes a ``LIBRARY_TASK`` re-extraction recompile by
+construction — with :func:`invalidate_fused_trunk` as the escape hatch
+for deliberate in-place mutation.  :func:`im2col_nhwc` is the shared
+window-unfold primitive.  Higher layers should not call these directly:
+``repro.models.FusedHeadBank`` wraps the head bank,
+``repro.core.features.fused_trunk_features`` the trunk.
+
+**Thread-safety expectations.**  Compiled artifacts are **immutable
+after construction**: any number of serving threads may run the same
+``FusedTrunk``/``FusedBlock``/bank concurrently (forward passes share
+only read-only weights and allocate their own activations).
+*Compilation* is not internally locked — :func:`fused_trunk_for` may
+compile the same trunk twice under a race, which costs a duplicate probe
+but is harmless because the memo write is atomic and either artifact is
+valid.  Callers that mutate module weights in place must ensure no
+forward is concurrently reading the aliased views; the serving tiers
+never do this (they swap module objects and recompile instead).
 """
 
 from __future__ import annotations

@@ -40,6 +40,35 @@ prediction requests coalesce so the shared trunk runs **once** per drain
 over the union of their images, whatever composite each request asked
 for; drains are capped at ``max_batch_images`` and sized by an adaptive
 window (grow under load, shrink when idle).
+
+**Public entry points.**  Model delivery: :meth:`ServingGateway.serve`
+(inline) and :meth:`ServingGateway.submit` (worker pool + queue-wait
+telemetry).  Prediction: :meth:`ServingGateway.predict` (inline fused
+path) and :meth:`ServingGateway.submit_predict` (micro-batched).
+Consolidation without serving: :meth:`ServingGateway.get_model`.
+Operations: :meth:`ServingGateway.invalidate_task` (also the hook the
+cluster tier calls after migrating an expert), ``cache_stats()`` /
+``render_stats()`` / the :attr:`predict_window` probe, and ``close()``
+(the gateway is a context manager).  The helper functions in this module
+(:func:`expert_versions`, :func:`run_trunk_forward`,
+:func:`run_fused_prediction`, :func:`result_cache_key` /
+:func:`result_cache_put_guarded`, :func:`drop_task_entries` /
+:func:`drop_result_entries`) are shared with
+:class:`repro.cluster.ClusterGateway` so the two tiers cannot drift.
+
+**Thread safety.**  Every public method may be called from any number of
+threads concurrently.  Cache tiers are individually locked
+(:class:`~repro.serving.cache.ByteBudgetLRU` /
+:class:`~repro.core.features.TrunkFeatureCache`); duplicate concurrent
+builds coalesce through :class:`SingleFlight`; the micro-batch queue and
+adaptive window are guarded by ``_predict_lock``; and version-guarded
+cache puts serialize against the pool's invalidation listener via
+``_invalidate_lock`` (a build snapshots expert versions before touching
+weights and re-checks under that lock before caching, so a stale
+artifact can never survive a concurrent re-extraction).  The pool object
+itself is treated as read-mostly: mutations must go through
+``PoolOfExperts`` (which fires the listeners), never by poking
+``pool.experts`` directly.
 """
 
 from __future__ import annotations

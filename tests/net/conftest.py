@@ -1,0 +1,20 @@
+"""Fixtures for the networked-shard tier: a small pool, built once.
+
+The networked tests fork worker processes off the already-preprocessed
+pool, so the pool itself can stay tiny — what matters is that it spans
+at least two shards and serves bit-exactly, not its accuracy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def net_pool():
+    """(pool, data) with 4 primitive tasks — enough to span 2 shards."""
+    from repro.serving.demo import build_demo_pool
+
+    return build_demo_pool(
+        num_tasks=4, train_per_class=12, test_per_class=8, epochs=2, seed=5
+    )

@@ -1,0 +1,206 @@
+"""Frame-protocol property tests: round trips and malformed-input rejection."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.frame import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    CODEC_NAMES,
+    FLAG_END,
+    HEADER_BYTES,
+    MAGIC,
+    MAX_PAYLOAD_BYTES,
+    MsgType,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameError,
+    ProtocolMismatch,
+    codec_for_transport,
+    encode_frame,
+    encode_message,
+    pack_body,
+    transport_for_codec,
+    unpack_body,
+)
+
+_MSG_TYPES = st.sampled_from(
+    [MsgType.HELLO, MsgType.FETCH_HEADS, MsgType.SERVE, MsgType.PREDICTED]
+)
+_CODECS = st.sampled_from(sorted(CODEC_NAMES))
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+@given(
+    msg_type=_MSG_TYPES,
+    request_id=st.integers(min_value=0, max_value=2**64 - 1),
+    payload=st.binary(max_size=4096),
+    codec=_CODECS,
+)
+def test_single_frame_round_trip(msg_type, request_id, payload, codec):
+    decoder = FrameDecoder()
+    frames = decoder.feed(encode_frame(msg_type, request_id, payload, codec))
+    assert len(frames) == 1
+    (frame,) = frames
+    assert frame.msg_type == msg_type
+    assert frame.request_id == request_id
+    assert frame.payload == payload
+    assert frame.codec == codec
+    assert frame.last
+    assert decoder.pending_bytes == 0
+
+
+@given(
+    payload=st.binary(min_size=0, max_size=8192),
+    chunk_bytes=st.integers(min_value=1, max_value=1024),
+    request_id=st.integers(min_value=0, max_value=2**32),
+)
+def test_chunked_message_reassembles(payload, chunk_bytes, request_id):
+    wire = b"".join(
+        encode_message(MsgType.HEADS, request_id, payload, CODEC_BINARY, chunk_bytes)
+    )
+    frames = FrameDecoder().feed(wire)
+    assert frames, "even an empty message yields one terminal frame"
+    assert all(f.request_id == request_id for f in frames)
+    assert all(not f.last for f in frames[:-1])
+    assert frames[-1].last
+    assert b"".join(f.payload for f in frames) == payload
+
+
+@given(payload=st.binary(max_size=2048), split=st.integers(min_value=1, max_value=64))
+def test_decoder_handles_arbitrary_feed_boundaries(payload, split):
+    """A truncated frame stays pending; the remainder completes it."""
+    wire = encode_frame(MsgType.SERVE, 7, payload, CODEC_BINARY)
+    decoder = FrameDecoder()
+    collected = []
+    for start in range(0, len(wire), split):
+        collected.extend(decoder.feed(wire[start : start + split]))
+    assert len(collected) == 1
+    assert collected[0].payload == payload
+    assert decoder.pending_bytes == 0
+
+
+def test_truncated_frame_is_not_yielded():
+    wire = encode_frame(MsgType.PING, 1, b"x" * 100)
+    decoder = FrameDecoder()
+    assert decoder.feed(wire[:-1]) == []
+    assert decoder.pending_bytes == len(wire) - 1
+    (frame,) = decoder.feed(wire[-1:])
+    assert frame.payload == b"x" * 100
+
+
+# ----------------------------------------------------------------------
+# Malformed input
+# ----------------------------------------------------------------------
+def _header(magic=MAGIC, version=PROTOCOL_VERSION, msg=MsgType.PING,
+            flags=FLAG_END, codec=CODEC_JSON, request_id=1, length=0) -> bytes:
+    return struct.pack("<4sBBBBQI", magic, version, msg, flags, codec, request_id, length)
+
+
+def test_bad_magic_raises():
+    with pytest.raises(FrameError, match="magic"):
+        FrameDecoder().feed(_header(magic=b"HTTP"))
+
+
+def test_version_mismatch_raises_protocol_mismatch():
+    with pytest.raises(ProtocolMismatch, match="protocol"):
+        FrameDecoder().feed(_header(version=PROTOCOL_VERSION + 1))
+
+
+def test_oversize_declared_payload_raises():
+    with pytest.raises(FrameError, match="cap"):
+        FrameDecoder().feed(_header(length=MAX_PAYLOAD_BYTES + 1))
+
+
+def test_oversize_encode_raises():
+    class _Huge(bytes):
+        def __len__(self) -> int:  # avoid allocating 64 MiB in a unit test
+            return MAX_PAYLOAD_BYTES + 1
+
+    with pytest.raises(FrameError, match="chunk"):
+        encode_frame(MsgType.HEADS, 1, _Huge())
+
+
+def test_unknown_codec_tag_rejected_everywhere():
+    with pytest.raises(FrameError, match="codec"):
+        encode_frame(MsgType.HEADS, 1, b"", codec=99)
+    with pytest.raises(FrameError, match="codec"):
+        FrameDecoder().feed(_header(codec=99))
+    with pytest.raises(FrameError, match="codec"):
+        transport_for_codec(99)
+    with pytest.raises(FrameError, match="transport"):
+        codec_for_transport("carrier-pigeon")
+
+
+def test_transport_codec_tags_round_trip():
+    from repro.core.server import TRANSPORTS
+
+    for transport in TRANSPORTS:
+        assert transport_for_codec(codec_for_transport(transport)) == transport
+
+
+# ----------------------------------------------------------------------
+# Binary bodies
+# ----------------------------------------------------------------------
+@given(blob=st.binary(max_size=2048), count=st.integers(min_value=0, max_value=99))
+def test_body_round_trip(blob, count):
+    meta, out = unpack_body(pack_body({"n": count, "s": "x"}, blob))
+    assert meta == {"n": count, "s": "x"}
+    assert out == blob
+
+
+def test_truncated_body_raises():
+    packed = pack_body({"k": 1}, b"tail")
+    with pytest.raises(FrameError, match="meta"):
+        unpack_body(packed[:2])
+    with pytest.raises(FrameError, match="truncated"):
+        unpack_body(packed[:6])
+
+
+def test_header_size_constant_matches_struct():
+    assert len(_header()) == HEADER_BYTES
+
+
+# ----------------------------------------------------------------------
+# Message reassembly limits
+# ----------------------------------------------------------------------
+def test_assembler_completes_messages():
+    from repro.net.frame import Frame, MessageAssembler
+
+    assembler = MessageAssembler()
+    assert assembler.add(Frame(MsgType.HEADS, 9, b"ab", CODEC_BINARY, flags=0)) is None
+    assert assembler.partial_messages == 1
+    done = assembler.add(Frame(MsgType.HEADS, 9, b"cd", CODEC_BINARY, flags=FLAG_END))
+    assert done == (MsgType.HEADS, CODEC_BINARY, 9, b"abcd")
+    assert assembler.partial_messages == 0
+
+
+def test_runaway_chunk_stream_rejected():
+    """Non-terminal frames must not grow a message past the aggregate cap."""
+    from repro.net.frame import Frame, MessageAssembler
+
+    assembler = MessageAssembler(max_message_bytes=1000)
+    chunk = Frame(MsgType.HEADS, 1, b"x" * 600, CODEC_BINARY, flags=0)
+    assert assembler.add(chunk) is None
+    with pytest.raises(FrameError, match="cap"):
+        assembler.add(chunk)
+
+
+def test_partial_message_count_capped():
+    from repro.net.frame import Frame, MessageAssembler
+
+    assembler = MessageAssembler(max_partial_messages=2)
+    assembler.add(Frame(MsgType.HEADS, 1, b"a", CODEC_BINARY, flags=0))
+    assembler.add(Frame(MsgType.HEADS, 2, b"b", CODEC_BINARY, flags=0))
+    with pytest.raises(FrameError, match="partial"):
+        assembler.add(Frame(MsgType.HEADS, 3, b"c", CODEC_BINARY, flags=0))
+    # completing one message frees its slot
+    assembler.add(Frame(MsgType.HEADS, 1, b"", CODEC_BINARY, flags=FLAG_END))
+    assert assembler.add(Frame(MsgType.HEADS, 3, b"c", CODEC_BINARY, flags=0)) is None

@@ -1,0 +1,286 @@
+"""Networked-shard integration: multiprocess clusters match in-process ones.
+
+The acceptance contract of ``repro.net``: a 2-process networked cluster
+returns **bit-identical** consolidated payloads and prediction outputs
+vs. the in-process ``PoolShard`` path, errors keep their type (and gain
+the shard id) across the wire, and shutdown leaks no worker processes.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterGateway, PoolShard
+from repro.core import deserialize_task_model
+from repro.net import (
+    MsgType,
+    NetworkedCluster,
+    PROTOCOL_VERSION,
+    RemoteOperationUnsupported,
+    RemoteShardClient,
+    ShardServer,
+)
+from repro.net.frame import FrameDecoder, encode_frame, json_payload, parse_json
+from repro.serving import GatewayConfig
+
+CONFIG = ClusterConfig(num_shards=2, workers_per_shard=2)
+
+
+def _cross_shard_query(cluster) -> tuple:
+    names = sorted(cluster.available_tasks())
+    first = names[0]
+    partner = next(
+        n for n in names[1:] if cluster.shards_of(n)[0] != cluster.shards_of(first)[0]
+    )
+    return (first, partner)
+
+
+@pytest.fixture(scope="module")
+def networked(net_pool):
+    pool, _data = net_pool
+    with NetworkedCluster(pool, CONFIG) as deployment:
+        yield deployment
+
+
+@pytest.fixture(scope="module")
+def in_process(net_pool):
+    pool, _data = net_pool
+    with ClusterGateway(pool, CONFIG) as cluster:
+        yield cluster
+
+
+# ----------------------------------------------------------------------
+# Bit-identical serving across the process boundary
+# ----------------------------------------------------------------------
+def test_worker_processes_are_real(networked):
+    pids = {shard.worker_pid for shard in networked.gateway.shards}
+    assert len(pids) == len(networked.gateway.shards)
+    assert os.getpid() not in pids
+
+
+def test_cross_shard_payload_and_logits_bit_identical(networked, in_process, net_pool):
+    pool, data = net_pool
+    query = _cross_shard_query(in_process)
+    remote = networked.gateway.serve(query)
+    local = in_process.serve(query)
+    assert networked.gateway.metrics.counter("cross_shard") >= 1
+    assert remote.payload == local.payload
+    x = data.test.images[:16]
+    rebuilt = deserialize_task_model(remote.payload)
+    reference = deserialize_task_model(local.payload)
+    assert np.array_equal(rebuilt.logits(x), reference.logits(x))
+
+
+def test_single_shard_payload_bit_identical(networked, in_process):
+    task = sorted(in_process.available_tasks())[0]
+    assert networked.gateway.serve((task,)).payload == in_process.serve((task,)).payload
+
+
+def test_get_model_logits_bit_identical(networked, in_process, net_pool):
+    _pool, data = net_pool
+    query = _cross_shard_query(in_process)
+    x = data.test.images[:16]
+    remote_model = networked.gateway.get_model(query)
+    local_model = in_process.get_model(query)
+    assert np.array_equal(remote_model.logits(x), local_model.logits(x))
+    # single-shard plans assemble at the front end when the shard is remote
+    task = sorted(in_process.available_tasks())[0]
+    assert np.array_equal(
+        networked.gateway.get_model((task,)).logits(x),
+        in_process.get_model((task,)).logits(x),
+    )
+
+
+def test_predict_bit_identical(networked, in_process, net_pool):
+    _pool, data = net_pool
+    x = data.test.images[:16]
+    query = _cross_shard_query(in_process)
+    for tasks in (query, query[:1]):
+        remote = networked.gateway.predict(x, tasks)
+        local = in_process.predict(x, tasks)
+        assert np.array_equal(remote.class_ids, local.class_ids)
+
+
+def test_submit_predict_through_worker(networked, in_process, net_pool):
+    _pool, data = net_pool
+    x = data.test.images[:8]
+    task = sorted(in_process.available_tasks())[0]
+    response = networked.gateway.submit_predict(x, (task,)).result(timeout=60)
+    assert np.array_equal(
+        response.class_ids, in_process.predict(x, (task,)).class_ids
+    )
+
+
+def test_fetch_heads_bytes_identical(networked, in_process):
+    """The remote fetch ships the exact bytes the in-process boundary does."""
+    shard_id = 0
+    names = in_process.shards[shard_id].task_names()
+    local_bytes = in_process.shards[shard_id].fetch_heads(names)
+    remote_bytes = networked.gateway.shards[shard_id].fetch_heads(names)
+    assert remote_bytes == local_bytes
+
+
+def test_stats_round_trip(networked):
+    client = networked.gateway.shards[0]
+    stats = client.cache_stats()
+    assert {"model", "payload", "trunk", "result"} <= set(stats)
+    assert stats["payload"].budget_bytes > 0
+    rendered = networked.gateway.render_stats()
+    assert "shard[0]" in rendered
+    assert "net_roundtrip" in rendered
+
+
+# ----------------------------------------------------------------------
+# Errors across the wire
+# ----------------------------------------------------------------------
+def test_remote_keyerror_keeps_type_and_names_shard(networked):
+    client = networked.gateway.shards[1]
+    with pytest.raises(KeyError) as excinfo:
+        client.fetch_heads(("no-such-task",))
+    assert "[shard 1]" in str(excinfo.value)
+    assert "no-such-task" in str(excinfo.value)
+
+
+def test_unknown_task_raises_keyerror_at_front_end(networked):
+    with pytest.raises(KeyError, match="no expert extracted"):
+        networked.gateway.serve(("no-such-task",))
+
+
+def test_placement_mutation_unsupported_remotely(networked):
+    client = networked.gateway.shards[0]
+    with pytest.raises(RemoteOperationUnsupported, match="ROADMAP"):
+        client.drop_expert("task0")
+    with pytest.raises(RuntimeError, match="in-process shards"):
+        networked.gateway.rebalance()
+
+
+# ----------------------------------------------------------------------
+# Async transport
+# ----------------------------------------------------------------------
+def test_async_transport_bit_identical(net_pool, in_process):
+    pool, _data = net_pool
+    query = _cross_shard_query(in_process)
+    task = sorted(in_process.available_tasks())[0]
+    reference_cross = in_process.serve(query).payload
+    reference_single = in_process.serve((task,)).payload
+    with NetworkedCluster(pool, CONFIG, async_transport=True) as deployment:
+        gateway = deployment.gateway
+        assert gateway.async_transport is not None
+        futures = [gateway.submit(query) for _ in range(3)]
+        futures += [gateway.submit((task,)) for _ in range(3)]
+        results = [f.result(timeout=120) for f in futures]
+        assert all(r.payload == reference_cross for r in results[:3])
+        assert all(r.payload == reference_single for r in results[3:])
+        with pytest.raises(KeyError):
+            gateway.submit(("no-such-task",)).result(timeout=60)
+    assert deployment.fleet.leaked_processes() == []
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+def test_clean_shutdown_no_leaked_processes(net_pool):
+    pool, _data = net_pool
+    deployment = NetworkedCluster(pool, CONFIG)
+    task = sorted(deployment.gateway.available_tasks())[0]
+    deployment.gateway.serve((task,))
+    deployment.close()
+    assert deployment.fleet.leaked_processes() == []
+    assert [h.process.exitcode for h in deployment.fleet.workers] == [0, 0]
+
+
+def test_in_process_server_drain_rejects_new_requests(net_pool):
+    """ShardServer (no fork): drain answers in-flight work, then refuses."""
+    pool, _data = net_pool
+    shard = PoolShard(0, pool, sorted(pool.expert_names())[:2], GatewayConfig(max_workers=2))
+    server = ShardServer(shard, request_workers=2)
+    address = server.start()
+    try:
+        client = RemoteShardClient(address)
+        assert client.ping() >= 0.0
+        client.close()
+        RemoteShardClient.drain_address(address)
+        assert server.wait_drained(timeout=5)
+    finally:
+        server.close()
+        shard.close()
+
+
+def test_protocol_mismatch_is_answered_with_typed_error(net_pool):
+    pool, _data = net_pool
+    shard = PoolShard(0, pool, sorted(pool.expert_names())[:1], GatewayConfig(max_workers=1))
+    server = ShardServer(shard, request_workers=1)
+    (host, port) = server.start()
+    try:
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                encode_frame(
+                    MsgType.HELLO, 1, json_payload({"protocol": PROTOCOL_VERSION + 9})
+                )
+            )
+            decoder = FrameDecoder()
+            frames = []
+            while not frames:
+                data = sock.recv(1 << 16)
+                assert data, "server closed without answering the bad HELLO"
+                frames = decoder.feed(data)
+            error = parse_json(frames[0].payload)
+            assert frames[0].msg_type == MsgType.ERROR
+            assert error["type"] == "FrameError"
+            assert "protocol mismatch" in error["message"]
+            # ...and the server hangs up after answering
+            assert sock.recv(1 << 16) == b""
+    finally:
+        server.close()
+        shard.close()
+
+
+def test_remote_mutation_drops_caches_and_poisons_the_gateway(net_pool, in_process):
+    """A pool mutation cannot propagate into running workers.  The
+    listener must NOT raise (an exception from inside the pool's listener
+    loop would skip every listener registered after it); instead it drops
+    the front-end composite caches, leaves the placement map untouched
+    (it keeps mirroring what the workers actually hold), and poisons the
+    gateway so the next serving call fails loudly."""
+    pool, _data = net_pool
+    with NetworkedCluster(pool, CONFIG) as deployment:
+        gateway = deployment.gateway
+        query = _cross_shard_query(in_process)
+        gateway.serve(query)
+        assert len(gateway.payload_cache) == 1
+        assert len(gateway.model_cache) == 1
+        task = query[0]
+        placement_before = gateway.available_tasks()
+        # the listener returns normally (later listeners still run)...
+        gateway._on_expert_update(task, pool.expert_version(task) + 1)
+        assert len(gateway.payload_cache) == 0
+        assert len(gateway.model_cache) == 0
+        assert gateway.available_tasks() == placement_before
+        assert gateway.metrics.counter("remote_updates_unapplied") == 1
+        # ...and every serving entry point refuses until a fleet restart
+        with pytest.raises(RuntimeError, match="restart the worker fleet"):
+            gateway.serve(query)
+        with pytest.raises(RuntimeError, match="restart the worker fleet"):
+            gateway.predict(np.zeros((1, 3, 6, 6), dtype=np.float32), (task,))
+        with pytest.raises(RuntimeError, match="restart the worker fleet"):
+            gateway.get_model(query)
+
+
+def test_remote_library_bump_clears_trunk_tiers_and_poisons(net_pool, in_process):
+    pool, _data = net_pool
+    from repro.core.pool import LIBRARY_TASK
+
+    with NetworkedCluster(pool, CONFIG) as deployment:
+        gateway = deployment.gateway
+        query = _cross_shard_query(in_process)
+        gateway.serve(query)
+        assert len(gateway.payload_cache) == 1
+        gateway._on_expert_update(LIBRARY_TASK, 99)
+        assert len(gateway.payload_cache) == 0
+        assert len(gateway.remote_head_cache) == 0
+        with pytest.raises(RuntimeError, match="restart the worker fleet"):
+            gateway.serve(query)
