@@ -10,8 +10,14 @@ Subcommands::
     python -m repro.cli cluster-bench --networked         # shards in worker processes
     python -m repro.cli shard-serve --port 7070           # host one shard over TCP
     python -m repro.cli predict-bench --heads 8           # fused-inference bench
+    python -m repro.cli scrape  [--networked]             # Prometheus text scrape
+    python -m repro.cli trace-dump --file trace.jsonl     # render recorded span trees
     python -m repro.cli report  [--out EXPERIMENTS.md]    # paper-vs-measured
     python -m repro.cli info                              # registry overview
+
+The bench subcommands accept ``--trace FILE`` (JSONL span log, readable
+by ``trace-dump``) and ``--slow-ms T`` (slow-query log at ``FILE.slow``);
+``predict-bench --profile-ops`` prints the per-op profiling arena.
 
 The CLI is a thin veneer over :mod:`repro.eval` so scripted and interactive
 use share one code path.
@@ -44,6 +50,48 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tracks", default=DEFAULT_TRACKS, help="comma-separated tracks")
     parser.add_argument("--fast", action="store_true", help="reduced budgets")
     parser.add_argument("--root", default=None, help="artifact store root")
+
+
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record request spans to this JSONL file (read with trace-dump)",
+    )
+    parser.add_argument(
+        "--slow-ms", type=float, default=None, metavar="T",
+        help="with --trace: log full span trees of requests slower than T ms "
+        "to FILE.slow",
+    )
+
+
+def _enable_tracing(args: argparse.Namespace):
+    """Light the process tracer per ``--trace``/``--slow-ms``; return the writer."""
+    if not getattr(args, "trace", None):
+        return None
+    from .obs import TRACER, JsonlTraceWriter, SlowQueryLog
+
+    writer = JsonlTraceWriter(args.trace)
+    slow_log = None
+    if args.slow_ms is not None:
+        slow_log = SlowQueryLog(args.trace + ".slow", threshold_s=args.slow_ms / 1000.0)
+    TRACER.enable(writer=writer, slow_log=slow_log, service="cli")
+    return writer
+
+
+def _finish_tracing(args: argparse.Namespace, writer) -> None:
+    if writer is None:
+        return
+    from .obs import TRACER
+
+    writer.close()
+    print(f"\ntrace: {len(TRACER.collector)} span(s) recorded -> {args.trace}")
+    if args.slow_ms is not None:
+        slow = TRACER._slow_log
+        count = slow.count if slow is not None else 0
+        print(
+            f"trace: {count} slow quer{'y' if count == 1 else 'ies'} "
+            f"(> {args.slow_ms:g} ms) -> {args.trace}.slow"
+        )
 
 
 def cmd_build(args: argparse.Namespace) -> int:
@@ -122,6 +170,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"error: unknown transport(s) {unknown}; choose from {', '.join(TRANSPORTS)}")
         return 2
 
+    writer = _enable_tracing(args)
     if args.track == "micro":
         print("building self-contained micro pool (seconds)...")
         pool, _ = build_demo_pool(num_tasks=args.micro_tasks, seed=args.seed)
@@ -166,6 +215,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         print(gateway.render_stats())
         print()
         print(_codec_comparison(gateway, workload))
+    _finish_tracing(args, writer)
     return 0
 
 
@@ -216,6 +266,7 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         print("error: --async-transport requires --networked")
         return 2
 
+    writer = _enable_tracing(args)
     print("building self-contained micro pool (seconds)...")
     pool, _ = build_demo_pool(num_tasks=args.micro_tasks, seed=args.seed)
     config = ClusterConfig(
@@ -268,6 +319,7 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         print()
         print(cluster.render_stats())
         fanout = cluster.metrics.fanout_histogram()
+        snapshot = cluster.unified_snapshot()
     finally:
         if networked is not None:
             networked.close()
@@ -302,10 +354,12 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
                 "latency": report.latency,
                 "payload_hit_rate": report.payload_hit_rate,
                 "fanout": {str(k): v for k, v in fanout.items()},
+                "snapshot": snapshot,
             },
             label=args.label,
         )
         print(f"appended run to {args.out}")
+    _finish_tracing(args, writer)
     return 0 if report.errors == 0 else 1
 
 
@@ -347,6 +401,13 @@ def cmd_shard_serve(args: argparse.Namespace) -> int:
         print("\ninterrupt: draining")
         server.drain()
     server.close()
+    # print the unified metrics snapshot before releasing the shard, so a
+    # supervisor capturing stdout gets the final counters alongside DRAIN
+    import json
+
+    snap = shard.gateway.metrics.snapshot()
+    print("final metrics snapshot:")
+    print(json.dumps(snap, sort_keys=True))
     shard.close()
     print("drained cleanly")
     return 0
@@ -365,6 +426,11 @@ def cmd_predict_bench(args: argparse.Namespace) -> int:
             f"error: --heads {args.heads} exceeds --micro-tasks {args.micro_tasks}"
         )
         return 2
+    writer = _enable_tracing(args)
+    if args.profile_ops:
+        from .obs import ARENA
+
+        ARENA.enable()
     print("building self-contained micro pool (seconds)...")
     pool, data = build_demo_pool(num_tasks=args.micro_tasks, seed=args.seed)
     record = run_predict_benchmark(
@@ -379,6 +445,12 @@ def cmd_predict_bench(args: argparse.Namespace) -> int:
     rows, title = predict_report_rows(record)
     print()
     print(render_table(["Path", "ms/call", "speedup"], rows, title=title))
+    if args.profile_ops:
+        from .obs import ARENA
+
+        print()
+        print(ARENA.render())
+    _finish_tracing(args, writer)
     doc = append_benchmark_record(args.out, record, label=args.label)
     print(f"\nappended run {len(doc['runs'])} to {args.out}")
     if not record["allclose"]:
@@ -399,6 +471,95 @@ def cmd_predict_bench(args: argparse.Namespace) -> int:
             f"{floor:g}x gate"
         )
         return 1
+    return 0
+
+
+def cmd_trace_dump(args: argparse.Namespace) -> int:
+    """Render the span trees recorded in a JSONL trace log."""
+    from .obs import build_trace_tree, format_trace, load_jsonl_spans
+
+    spans = load_jsonl_spans(args.file)
+    if not spans:
+        print(f"no spans in {args.file}")
+        return 1
+    trees = build_trace_tree(spans)
+    shown = 0
+    for trace_id, ordered in trees.items():
+        if args.trace_id and trace_id != args.trace_id:
+            continue
+        print(format_trace(ordered))
+        print()
+        shown += 1
+        if args.limit and shown >= args.limit:
+            break
+    print(f"{shown} trace(s) shown ({len(spans)} spans in {args.file})")
+    return 0
+
+
+def _cross_shard_query(cluster, names: List[str]) -> List[str]:
+    """A task pair spanning two shards (first pair when single-sharded)."""
+    first_on_shard = {}
+    for name in names:
+        first_on_shard.setdefault(cluster.router.shard_for(name), name)
+    picks = sorted(first_on_shard.values())
+    if len(picks) >= 2:
+        return [picks[0], picks[1]]
+    return names[: min(2, len(names))]
+
+
+def cmd_scrape(args: argparse.Namespace) -> int:
+    """Drive demo traffic through a cluster and emit a Prometheus scrape.
+
+    Exercises every documented stage — ``submit`` serves for queue/total,
+    a cross-shard serve for fetch/assemble/serialize, predictions for the
+    ``predict_*`` family — then renders the cluster's **unified snapshot**
+    (front-end metrics merged with every shard's, remote or in-process)
+    as Prometheus text exposition.  CI parses the output back and asserts
+    each documented stage is present.
+
+    Status lines go to stderr so stdout stays a clean exposition when
+    ``--out`` is omitted.
+    """
+    from .cluster import ClusterConfig, ClusterGateway
+    from .obs import render_prometheus
+    from .serving import build_demo_pool
+
+    writer = _enable_tracing(args)
+    print("building self-contained micro pool (seconds)...", file=sys.stderr)
+    pool, data = build_demo_pool(num_tasks=args.micro_tasks, seed=args.seed)
+    names = sorted(pool.expert_names())
+    config = ClusterConfig(num_shards=args.shards, workers_per_shard=2)
+    networked = None
+    if args.networked:
+        from .net import NetworkedCluster
+
+        networked = NetworkedCluster(pool, config)
+        cluster = networked.gateway
+    else:
+        cluster = ClusterGateway(pool, config)
+    images = data.test.images[:8]
+    try:
+        cross = _cross_shard_query(cluster, names)
+        for i in range(args.requests):
+            single = [names[i % len(names)]]
+            cluster.submit(single).result()
+            cluster.serve(cross)
+            cluster.predict(images, single)
+            cluster.predict(images, cross)
+        snapshot = cluster.unified_snapshot()
+    finally:
+        if networked is not None:
+            networked.close()
+        else:
+            cluster.close()
+    text = render_prometheus(snapshot)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote scrape to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    _finish_tracing(args, writer)
     return 0
 
 
@@ -466,6 +627,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench.add_argument("--no-cache", action="store_true", help="disable both cache tiers")
     p_bench.add_argument("--micro-tasks", type=int, default=5, help="tasks in the micro pool")
     p_bench.add_argument("--seed", type=int, default=0)
+    _add_trace_flags(p_bench)
     p_bench.set_defaults(fn=cmd_serve_bench)
 
     p_cluster = sub.add_parser(
@@ -502,6 +664,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default=None, help="append a JSON summary record to this path"
     )
     p_cluster.add_argument("--label", default="cli", help="label stored with --out records")
+    _add_trace_flags(p_cluster)
     p_cluster.set_defaults(fn=cmd_cluster_bench)
 
     p_shard = sub.add_parser(
@@ -530,7 +693,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default="BENCH_predict.json", help="JSON trajectory to append to"
     )
     p_predict.add_argument("--label", default="cli", help="label stored with this run")
+    p_predict.add_argument(
+        "--profile-ops",
+        action="store_true",
+        help="enable the per-op profiling arena and print its table",
+    )
+    _add_trace_flags(p_predict)
     p_predict.set_defaults(fn=cmd_predict_bench)
+
+    p_trace = sub.add_parser(
+        "trace-dump", help="render span trees from a JSONL trace log"
+    )
+    p_trace.add_argument("--file", required=True, help="JSONL trace log (from --trace)")
+    p_trace.add_argument("--trace-id", default=None, help="show only this trace")
+    p_trace.add_argument("--limit", type=int, default=0, help="max traces to show (0 = all)")
+    p_trace.set_defaults(fn=cmd_trace_dump)
+
+    p_scrape = sub.add_parser(
+        "scrape", help="drive demo traffic and emit a Prometheus metrics scrape"
+    )
+    p_scrape.add_argument("--shards", type=int, default=2, help="number of pool shards")
+    p_scrape.add_argument("--micro-tasks", type=int, default=6, help="tasks in the micro pool")
+    p_scrape.add_argument("--requests", type=int, default=3, help="traffic rounds to drive")
+    p_scrape.add_argument("--seed", type=int, default=0)
+    p_scrape.add_argument(
+        "--networked",
+        action="store_true",
+        help="run each shard in a forked worker process behind repro.net sockets",
+    )
+    p_scrape.add_argument("--out", default=None, help="write exposition here (default stdout)")
+    _add_trace_flags(p_scrape)
+    p_scrape.set_defaults(fn=cmd_scrape)
 
     p_report = sub.add_parser("report", help="write EXPERIMENTS.md")
     p_report.add_argument("--root", default=None)

@@ -82,6 +82,7 @@ from ..core.server import (
     serialize_task_model,
 )
 from ..models import BranchedSpecialistNet, count_params
+from ..obs.trace import TRACER
 from ..serving.cache import BYTES_PER_PARAM, ByteBudgetLRU, CacheStats, merge_cache_stats
 from ..serving.canonical import TaskQuery, canonical_tasks, payload_key
 from ..serving.gateway import (
@@ -97,6 +98,7 @@ from ..serving.gateway import (
     run_fused_prediction,
     run_trunk_forward,
 )
+from ..serving.metrics import merge_snapshots
 from .metrics import ClusterMetrics
 from .router import ShardRouter, plan_groups
 from .shard import PoolShard
@@ -352,22 +354,25 @@ class ClusterGateway:
         names = canonical_tasks(tasks)
         start = perf_counter()
         self.metrics.increment("predictions")
-        try:
-            # same one-retry contract as _serve: a concurrent rebalance can
-            # invalidate a plan between planning and serving
-            for attempt in (0, 1):
-                try:
-                    return self._predict_planned(images, names, start)
-                except KeyError:
-                    with self._placement_lock:
-                        still_placed = all(n in self._placement for n in names)
-                    if attempt == 1 or not still_placed:
-                        raise
-                    self.metrics.increment("plan_retries")
-        except BaseException:
-            self.metrics.increment("errors")
-            raise
-        raise AssertionError("unreachable")  # pragma: no cover
+        with TRACER.span("cluster.predict") as span:
+            span.tag("tasks", len(names))
+            span.tag("batch", int(images.shape[0]))
+            try:
+                # same one-retry contract as _serve: a concurrent rebalance can
+                # invalidate a plan between planning and serving
+                for attempt in (0, 1):
+                    try:
+                        return self._predict_planned(images, names, start)
+                    except KeyError:
+                        with self._placement_lock:
+                            still_placed = all(n in self._placement for n in names)
+                        if attempt == 1 or not still_placed:
+                            raise
+                        self.metrics.increment("plan_retries")
+            except BaseException:
+                self.metrics.increment("errors")
+                raise
+            raise AssertionError("unreachable")  # pragma: no cover
 
     def submit_predict(
         self, images: np.ndarray, tasks: TaskQuery
@@ -551,6 +556,23 @@ class ClusterGateway:
             ),
         }
 
+    def unified_snapshot(self) -> Dict[str, object]:
+        """One merged unified-schema snapshot for the whole deployment.
+
+        Combines the cluster front end's own metrics with every shard's
+        (a STATS round trip per remote shard, a direct metrics read for
+        in-process shards) via
+        :func:`~repro.serving.metrics.merge_snapshots` — the scrape
+        exporter consumes this for networked and local clusters alike.
+        """
+        parts = [self.metrics.snapshot(include_histograms=True)]
+        for shard in self.shards:
+            if shard.is_remote():
+                parts.append(shard.stats())
+            else:
+                parts.append(shard.gateway.metrics.snapshot(include_histograms=True))
+        return merge_snapshots(parts)
+
     def render_stats(self) -> str:
         # collect each shard's tiers ONCE (a STATS round trip per remote
         # shard) and reuse them for both the merged view and the per-shard
@@ -595,24 +617,27 @@ class ClusterGateway:
             queue_seconds = start - enqueued_at
             self.metrics.observe("queue", queue_seconds)
         self.metrics.increment("requests")
-        try:
-            names = canonical_tasks(tasks)
-            # One retry: a rebalance can drop an expert from the shard a
-            # concurrent plan chose between planning and serving; the task
-            # is still in the cluster, so a fresh plan finds its new home.
-            for attempt in (0, 1):
-                try:
-                    return self._serve_planned(names, transport, start, queue_seconds)
-                except KeyError:
-                    with self._placement_lock:
-                        still_placed = all(n in self._placement for n in names)
-                    if attempt == 1 or not still_placed:
-                        raise  # genuinely unknown task, or still failing
-                    self.metrics.increment("plan_retries")
-        except BaseException:
-            self.metrics.increment("errors")
-            raise
-        raise AssertionError("unreachable")  # pragma: no cover
+        with TRACER.span("cluster.serve") as span:
+            span.tag("transport", transport)
+            try:
+                names = canonical_tasks(tasks)
+                span.tag("tasks", len(names))
+                # One retry: a rebalance can drop an expert from the shard a
+                # concurrent plan chose between planning and serving; the task
+                # is still in the cluster, so a fresh plan finds its new home.
+                for attempt in (0, 1):
+                    try:
+                        return self._serve_planned(names, transport, start, queue_seconds)
+                    except KeyError:
+                        with self._placement_lock:
+                            still_placed = all(n in self._placement for n in names)
+                        if attempt == 1 or not still_placed:
+                            raise  # genuinely unknown task, or still failing
+                        self.metrics.increment("plan_retries")
+            except BaseException:
+                self.metrics.increment("errors")
+                raise
+            raise AssertionError("unreachable")  # pragma: no cover
 
     def _serve_planned(
         self,

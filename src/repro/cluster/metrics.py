@@ -76,8 +76,10 @@ class ClusterMetrics:
         with self._lock:
             return dict(sorted(self._per_shard.items()))
 
-    def snapshot(self) -> Dict[str, object]:
-        snap = self.serving.snapshot()
+    def snapshot(self, include_histograms: bool = False) -> Dict[str, object]:
+        """Unified-schema snapshot (``kind="cluster"``) with fan-out tables."""
+        snap = self.serving.snapshot(include_histograms=include_histograms)
+        snap["kind"] = "cluster"
         snap["fanout"] = self.fanout_histogram()
         snap["shard_requests"] = self.shard_requests()
         return snap

@@ -31,6 +31,7 @@ from ..nn.fused import (
     stack_affine,
     stack_linear,
 )
+from ..obs.arena import ARENA
 from .wrn import WRNHead
 
 __all__ = ["FusedHeadBank"]
@@ -81,12 +82,13 @@ class FusedHeadBank:
             raise ValueError(f"expected NCHW features, got shape {features.shape}")
         # one NCHW -> NHWC transpose at the boundary; everything after is
         # channels-last so GEMM outputs feed the next layer copy-free
-        h = np.ascontiguousarray(features.transpose(0, 2, 3, 1))[None]
-        for block in self._blocks:
-            h = block(h)
-        h = self._final_bn(h, relu=True)
-        feats = h.mean(axis=(2, 3))  # global average pool -> (n, N, C)
-        return self._fc.concatenate(self._fc(feats))
+        with ARENA.scope("heads"):
+            h = np.ascontiguousarray(features.transpose(0, 2, 3, 1))[None]
+            for block in self._blocks:
+                h = block(h)
+            h = self._final_bn(h, relu=True)
+            feats = h.mean(axis=(2, 3))  # global average pool -> (n, N, C)
+            return self._fc.concatenate(self._fc(feats))
 
     def logits_per_head(self, features: np.ndarray) -> List[np.ndarray]:
         """Per-head sub-logit blocks (diagnostics), in bank order."""

@@ -30,6 +30,7 @@ from .client import (
 )
 from .frame import (
     DEFAULT_CHUNK_BYTES,
+    FEATURE_TRACE,
     FLAG_END,
     Frame,
     FrameDecoder,
@@ -39,15 +40,18 @@ from .frame import (
     MsgType,
     PROTOCOL_VERSION,
     ProtocolMismatch,
+    SUPPORTED_FEATURES,
     codec_for_transport,
     encode_frame,
     encode_message,
+    negotiate_features,
     transport_for_codec,
 )
 from .server import NetworkedCluster, ShardServer, ShardWorkerFleet
 
 __all__ = [
     "DEFAULT_CHUNK_BYTES",
+    "FEATURE_TRACE",
     "FLAG_END",
     "Frame",
     "FrameDecoder",
@@ -57,9 +61,11 @@ __all__ = [
     "MsgType",
     "PROTOCOL_VERSION",
     "ProtocolMismatch",
+    "SUPPORTED_FEATURES",
     "codec_for_transport",
     "encode_frame",
     "encode_message",
+    "negotiate_features",
     "transport_for_codec",
     "RemoteOperationUnsupported",
     "RemoteShardClient",

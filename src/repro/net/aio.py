@@ -42,11 +42,13 @@ from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.gateway import _tag_shard_error
+from ..obs.trace import TRACER
 from ..serving.canonical import TaskQuery, canonical_tasks, payload_key
 from ..serving.gateway import GatewayResponse, expert_versions
 from .client import gateway_response_from_body, raise_remote_error
 from .frame import (
     CODEC_JSON,
+    FEATURE_TRACE,
     FrameDecoder,
     FrameError,
     MessageAssembler,
@@ -88,7 +90,8 @@ class AsyncShardChannel:
         )
         self._reader_task = asyncio.ensure_future(self._read_loop())
         msg_type, _codec, payload = await self.request(
-            MsgType.HELLO, json_payload({"protocol": PROTOCOL_VERSION})
+            MsgType.HELLO,
+            json_payload({"protocol": PROTOCOL_VERSION, "features": [FEATURE_TRACE]}),
         )
         if msg_type != MsgType.HELLO_OK:
             raise FrameError(f"handshake got unexpected message type {msg_type}")
@@ -294,27 +297,32 @@ class AsyncClusterTransport:
         queue_seconds = start - enqueued_at
         cluster.metrics.observe("queue", queue_seconds)
         cluster.metrics.increment("requests")
-        try:
-            names = canonical_tasks(tasks)
-            # same one-retry contract as the sync path: a rebalance can move
-            # a task between planning and serving
-            for attempt in (0, 1):
-                try:
-                    return await self._serve_planned(
-                        names, transport, start, queue_seconds
-                    )
-                except KeyError:
-                    with cluster._placement_lock:
-                        still_placed = all(
-                            name in cluster._placement for name in names
+        # each submitted query is its own asyncio task with its own
+        # contextvars copy, so the ambient span nests correctly even with
+        # many queries in flight on the one loop
+        with TRACER.span("cluster.serve", {"transport": transport}) as span:
+            try:
+                names = canonical_tasks(tasks)
+                span.tag("tasks", len(names))
+                # same one-retry contract as the sync path: a rebalance can
+                # move a task between planning and serving
+                for attempt in (0, 1):
+                    try:
+                        return await self._serve_planned(
+                            names, transport, start, queue_seconds
                         )
-                    if attempt == 1 or not still_placed:
-                        raise
-                    cluster.metrics.increment("plan_retries")
-        except BaseException:
-            cluster.metrics.increment("errors")
-            raise
-        raise AssertionError("unreachable")  # pragma: no cover
+                    except KeyError:
+                        with cluster._placement_lock:
+                            still_placed = all(
+                                name in cluster._placement for name in names
+                            )
+                        if attempt == 1 or not still_placed:
+                            raise
+                        cluster.metrics.increment("plan_retries")
+            except BaseException:
+                cluster.metrics.increment("errors")
+                raise
+            raise AssertionError("unreachable")  # pragma: no cover
 
     async def _serve_planned(
         self,
@@ -330,15 +338,27 @@ class AsyncClusterTransport:
         if len(plan) == 1:
             (shard_id,) = plan
             cluster.metrics.record_shard_requests((shard_id,))
-            try:
-                _msg, _codec, payload = await self._pools[shard_id].request(
-                    MsgType.SERVE,
-                    json_payload({"tasks": list(names), "transport": transport}),
-                )
-            except BaseException as error:
-                # same [shard N] attribution contract as the sync path
-                raise _tag_shard_error(error, shard_id)
-            meta, blob = unpack_body(payload)
+            with TRACER.span("net.serve", {"shard_id": shard_id}):
+                request: Dict[str, object] = {
+                    "tasks": list(names),
+                    "transport": transport,
+                }
+                try:
+                    channel = await self._pools[shard_id].channel()
+                    ctx = TRACER.inject()
+                    if ctx is not None and FEATURE_TRACE in (
+                        channel.info.get("features") or ()
+                    ):
+                        request["trace"] = ctx
+                    _msg, _codec, payload = await channel.request(
+                        MsgType.SERVE, json_payload(request)
+                    )
+                except BaseException as error:
+                    # same [shard N] attribution contract as the sync path
+                    raise _tag_shard_error(error, shard_id)
+                meta, blob = unpack_body(payload)
+                if meta.get("trace_spans"):
+                    TRACER.attach(meta["trace_spans"])
             response = gateway_response_from_body(meta, blob)
             if response.coalesced:
                 cluster.metrics.increment("coalesced")
@@ -447,7 +467,10 @@ class AsyncClusterTransport:
             await asyncio.gather(
                 *(fetch_group(sid, group) for sid, group in plan.items())
             )
-            cluster.metrics.observe("fetch", perf_counter() - fetch_start)
+            fetch_seconds = perf_counter() - fetch_start
+            cluster.metrics.observe("fetch", fetch_seconds)
+            if TRACER.enabled:
+                TRACER.record_stage("fetch", fetch_seconds)
             model = await loop.run_in_executor(
                 None, cluster._assemble_composite, names, heads, versions
             )

@@ -37,12 +37,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.trace import TRACER
 from ..serving.cache import CacheStats
 from ..serving.canonical import TaskQuery, canonical_tasks
 from ..serving.gateway import GatewayResponse, PredictionResponse
 from .frame import (
     CODEC_BINARY,
     CODEC_JSON,
+    FEATURE_TRACE,
     FrameDecoder,
     FrameError,
     MessageAssembler,
@@ -147,7 +149,10 @@ class _SyncChannel:
         self.dirty = False
         try:
             msg_type, _codec, payload = self.request(
-                MsgType.HELLO, json_payload({"protocol": PROTOCOL_VERSION})
+                MsgType.HELLO,
+                json_payload(
+                    {"protocol": PROTOCOL_VERSION, "features": [FEATURE_TRACE]}
+                ),
             )
             if msg_type != MsgType.HELLO_OK:
                 raise FrameError(f"handshake got unexpected message type {msg_type}")
@@ -313,38 +318,66 @@ class RemoteShardClient:
         return perf_counter() - start
 
     def fetch_heads(self, names: Sequence[str], transport: str = "raw+zlib") -> bytes:
-        _msg, codec, payload = self._request(
-            MsgType.FETCH_HEADS,
-            json_payload({"names": list(names), "transport": transport}),
-        )
-        if codec != codec_for_transport(transport):
-            raise FrameError(
-                f"HEADS response advertised codec {codec}, expected "
-                f"{codec_for_transport(transport)} for transport {transport!r}"
+        # client-side span only: HEADS responses are raw payload codecs
+        # with no meta header to carry server-side spans (see frame.py)
+        with TRACER.span("net.fetch_heads", {"heads": len(names)}):
+            _msg, codec, payload = self._request(
+                MsgType.FETCH_HEADS,
+                json_payload({"names": list(names), "transport": transport}),
             )
-        return payload
+            if codec != codec_for_transport(transport):
+                raise FrameError(
+                    f"HEADS response advertised codec {codec}, expected "
+                    f"{codec_for_transport(transport)} for transport {transport!r}"
+                )
+            return payload
+
+    def _trace_ctx(self) -> Optional[Dict[str, str]]:
+        """Wire trace context, only when tracing is live AND negotiated.
+
+        ``inject()`` is checked first so untraced requests never pay the
+        (possibly dialing) ``info`` lookup; a peer that didn't negotiate
+        ``"trace"`` (an older server) gets no trace key at all.
+        """
+        ctx = TRACER.inject()
+        if ctx is None:
+            return None
+        if FEATURE_TRACE not in (self.info.get("features") or ()):
+            return None
+        return ctx
 
     def serve(self, tasks: TaskQuery, transport: str = "float32") -> GatewayResponse:
-        _msg, _codec, payload = self._request(
-            MsgType.SERVE,
-            json_payload({"tasks": list(canonical_tasks(tasks)), "transport": transport}),
-        )
-        meta, blob = unpack_body(payload)
-        return gateway_response_from_body(meta, blob)
+        with TRACER.span("net.serve", {"shard": self.address[1]}):
+            request: Dict[str, object] = {
+                "tasks": list(canonical_tasks(tasks)),
+                "transport": transport,
+            }
+            ctx = self._trace_ctx()
+            if ctx is not None:
+                request["trace"] = ctx
+            _msg, _codec, payload = self._request(MsgType.SERVE, json_payload(request))
+            meta, blob = unpack_body(payload)
+            if meta.get("trace_spans"):
+                TRACER.attach(meta["trace_spans"])
+            return gateway_response_from_body(meta, blob)
 
     def predict(self, images: np.ndarray, tasks: TaskQuery) -> PredictionResponse:
         images = np.ascontiguousarray(images, dtype=np.float32)
-        body = pack_body(
-            {
+        with TRACER.span("net.predict", {"shard": self.address[1]}):
+            request: Dict[str, object] = {
                 "tasks": list(canonical_tasks(tasks)),
                 "dtype": str(images.dtype),
                 "shape": list(images.shape),
-            },
-            images.tobytes(),
-        )
-        _msg, _codec, payload = self._request(MsgType.PREDICT, body, CODEC_BINARY)
-        meta, blob = unpack_body(payload)
-        return prediction_response_from_body(meta, blob)
+            }
+            ctx = self._trace_ctx()
+            if ctx is not None:
+                request["trace"] = ctx
+            body = pack_body(request, images.tobytes())
+            _msg, _codec, payload = self._request(MsgType.PREDICT, body, CODEC_BINARY)
+            meta, blob = unpack_body(payload)
+            if meta.get("trace_spans"):
+                TRACER.attach(meta["trace_spans"])
+            return prediction_response_from_body(meta, blob)
 
     def submit_predict(
         self, images: np.ndarray, tasks: TaskQuery
@@ -368,11 +401,15 @@ class RemoteShardClient:
         _msg, _codec, payload = self._request(MsgType.STATS, json_payload({}))
         info = parse_json(payload)
         with self._pool_lock:
+            # negotiated features come from the handshake, not STATS —
+            # carry them over so tracing keeps working after a stats sweep
+            features = (self._info or {}).get("features", [])
             self._info = {
                 "shard_id": info["shard_id"],
                 "tasks": info["tasks"],
                 "pid": info["pid"],
                 "protocol": PROTOCOL_VERSION,
+                "features": features,
             }
         return info
 

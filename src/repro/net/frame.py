@@ -37,6 +37,20 @@ whose codec tag is unknown raises :class:`FrameError` (version mismatch
 raises the :class:`ProtocolMismatch` subclass so handshakes can answer
 it specifically).  ``docs/wire-protocol.md`` is the prose spec of this
 module; keep the two in sync.
+
+**Optional features** are negotiated in the HELLO exchange, not the
+version byte: the client's HELLO may carry ``"features": [...]`` (a list
+of :data:`SUPPORTED_FEATURES` names) and the server's HELLO_OK echoes
+the intersection it accepted.  A peer that omits the key negotiates the
+empty set — old clients and servers interoperate untouched because
+unknown JSON keys are ignored on both sides.  The one feature today is
+``"trace"`` (:data:`FEATURE_TRACE`): when negotiated, a SERVE request's
+JSON (or a PREDICT request's meta header) may carry a ``"trace"`` object
+``{"trace_id", "parent_id"}``, and the matching response's JSON/meta
+carries ``"trace_spans"`` — the server-side span dicts for that request,
+which the caller stitches into its own trace (see
+``docs/observability.md``).  FETCH_HEADS responses are raw payload
+codecs with no meta header, so they never carry spans.
 """
 
 from __future__ import annotations
@@ -49,6 +63,9 @@ from typing import Dict, Iterator, List, Optional, Tuple
 __all__ = [
     "MAGIC",
     "PROTOCOL_VERSION",
+    "FEATURE_TRACE",
+    "SUPPORTED_FEATURES",
+    "negotiate_features",
     "HEADER_BYTES",
     "MAX_PAYLOAD_BYTES",
     "DEFAULT_CHUNK_BYTES",
@@ -74,6 +91,23 @@ __all__ = [
 
 MAGIC = b"POEN"
 PROTOCOL_VERSION = 1
+
+#: Optional-capability names negotiable in HELLO (see module docstring).
+FEATURE_TRACE = "trace"
+SUPPORTED_FEATURES = (FEATURE_TRACE,)
+
+
+def negotiate_features(requested) -> Tuple[str, ...]:
+    """The subset of ``requested`` feature names this side supports.
+
+    Order follows :data:`SUPPORTED_FEATURES`; unknown names are silently
+    dropped (that is the forward-compatibility contract), and a missing /
+    malformed request negotiates the empty set.
+    """
+    if not isinstance(requested, (list, tuple)):
+        return ()
+    wanted = {str(name) for name in requested}
+    return tuple(name for name in SUPPORTED_FEATURES if name in wanted)
 #: magic(4) + version(1) + msg type(1) + flags(1) + codec(1) + id(8) + len(4)
 HEADER_BYTES = 20
 _HEADER = struct.Struct("<4sBBBBQI")

@@ -43,9 +43,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from contextlib import contextmanager
+
 from ..cluster.gateway import ClusterConfig, ClusterGateway
 from ..cluster.metrics import ClusterMetrics
 from ..cluster.shard import PoolShard
+from ..obs.trace import TRACER
 from ..serving.gateway import GatewayConfig
 from .client import RemoteShardClient
 from .frame import (
@@ -60,6 +63,7 @@ from .frame import (
     codec_for_transport,
     encode_message,
     json_payload,
+    negotiate_features,
     pack_body,
     parse_json,
     unpack_body,
@@ -376,9 +380,29 @@ class ShardServer:
                     "shard_id": self.shard.shard_id,
                     "tasks": list(self.shard.task_names()),
                     "pid": os.getpid(),
+                    # optional-capability intersection (empty for a client
+                    # that sent no "features" key — old peers interop)
+                    "features": list(negotiate_features(request.get("features"))),
                 }
             ),
         )
+
+    @contextmanager
+    def _traced(self, ctx, name: str, spans_out: List[Dict]):
+        """Continue a caller's trace around one shard call.
+
+        ``ctx`` is the request's ``"trace"`` object (or None/absent for an
+        untraced request — then this is a no-op).  On exit the request's
+        server-side spans are pulled out of the collector into
+        ``spans_out`` for the response to carry back.
+        """
+        if not ctx:
+            yield
+            return
+        tags = {"shard_id": self.shard.shard_id, "pid": os.getpid()}
+        with TRACER.continue_from(ctx, name, tags) as span:
+            yield
+        spans_out.extend(TRACER.collector.take_trace(span.trace_id))
 
     def _handle_drain(self, conn, write_lock, request_id: int) -> None:
         acked = []
@@ -413,22 +437,24 @@ class ShardServer:
 
     def _handle_serve(self, conn, write_lock, request_id, payload, codec) -> None:
         request = parse_json(payload)
-        response = self.shard.serve(
-            tuple(request["tasks"]), request.get("transport", "float32")
-        )
-        body = pack_body(
-            {
-                "tasks": list(response.tasks),
-                "transport": response.transport,
-                "payload_bytes": response.payload_bytes,
-                "queue_seconds": response.queue_seconds,
-                "service_seconds": response.service_seconds,
-                "model_cache_hit": response.model_cache_hit,
-                "payload_cache_hit": response.payload_cache_hit,
-                "coalesced": response.coalesced,
-            },
-            response.payload,
-        )
+        spans: List[Dict] = []
+        with self._traced(request.get("trace"), "shard.serve", spans):
+            response = self.shard.serve(
+                tuple(request["tasks"]), request.get("transport", "float32")
+            )
+        meta = {
+            "tasks": list(response.tasks),
+            "transport": response.transport,
+            "payload_bytes": response.payload_bytes,
+            "queue_seconds": response.queue_seconds,
+            "service_seconds": response.service_seconds,
+            "model_cache_hit": response.model_cache_hit,
+            "payload_cache_hit": response.payload_cache_hit,
+            "coalesced": response.coalesced,
+        }
+        if spans:
+            meta["trace_spans"] = spans
+        body = pack_body(meta, response.payload)
         self._send(conn, write_lock, MsgType.SERVED, request_id, body, CODEC_BINARY)
 
     def _handle_predict(self, conn, write_lock, request_id, payload, codec) -> None:
@@ -436,45 +462,45 @@ class ShardServer:
         images = (
             np.frombuffer(blob, dtype=meta["dtype"]).reshape(meta["shape"]).copy()
         )
-        response = self.shard.predict(images, tuple(meta["tasks"]))
+        spans: List[Dict] = []
+        with self._traced(meta.get("trace"), "shard.predict", spans):
+            response = self.shard.predict(images, tuple(meta["tasks"]))
         ids = np.ascontiguousarray(response.class_ids)
-        body = pack_body(
-            {
-                "tasks": list(response.tasks),
-                "batch_size": response.batch_size,
-                "queue_seconds": response.queue_seconds,
-                "service_seconds": response.service_seconds,
-                "model_cache_hit": response.model_cache_hit,
-                "trunk_cache_hit": response.trunk_cache_hit,
-                "coalesced": response.coalesced,
-                "result_cache_hit": response.result_cache_hit,
-                "dtype": str(ids.dtype),
-                "shape": list(ids.shape),
-            },
-            ids.tobytes(),
-        )
+        out_meta = {
+            "tasks": list(response.tasks),
+            "batch_size": response.batch_size,
+            "queue_seconds": response.queue_seconds,
+            "service_seconds": response.service_seconds,
+            "model_cache_hit": response.model_cache_hit,
+            "trunk_cache_hit": response.trunk_cache_hit,
+            "coalesced": response.coalesced,
+            "result_cache_hit": response.result_cache_hit,
+            "dtype": str(ids.dtype),
+            "shape": list(ids.shape),
+        }
+        if spans:
+            out_meta["trace_spans"] = spans
+        body = pack_body(out_meta, ids.tobytes())
         self._send(conn, write_lock, MsgType.PREDICTED, request_id, body, CODEC_BINARY)
 
     def _handle_stats(self, conn, write_lock, request_id, payload, codec) -> None:
         stats = {
             tier: dataclasses.asdict(s) for tier, s in self.shard.cache_stats().items()
         }
-        snapshot = self.shard.gateway.metrics.snapshot()
-        self._send(
-            conn,
-            write_lock,
-            MsgType.STATS_OK,
-            request_id,
-            json_payload(
-                {
-                    "shard_id": self.shard.shard_id,
-                    "pid": os.getpid(),
-                    "tasks": list(self.shard.task_names()),
-                    "cache_stats": stats,
-                    "counters": snapshot["counters"],
-                }
-            ),
+        # the full unified snapshot (schema/kind/stages/counters + full
+        # histogram state) rides at the top level so the cluster front end
+        # can merge per-worker snapshots losslessly; the identity keys and
+        # "cache_stats"/"counters" stay where existing clients expect them
+        response = self.shard.gateway.metrics.snapshot(include_histograms=True)
+        response.update(
+            {
+                "shard_id": self.shard.shard_id,
+                "pid": os.getpid(),
+                "tasks": list(self.shard.task_names()),
+                "cache_stats": stats,
+            }
         )
+        self._send(conn, write_lock, MsgType.STATS_OK, request_id, json_payload(response))
 
     _HANDLERS = {
         MsgType.PING: _handle_ping,
@@ -499,6 +525,13 @@ def _shard_worker_main(
 ) -> None:
     """Entry point of one forked shard worker (readiness → serve → drain)."""
     import signal
+
+    # Fork copies the parent's tracer — including any open JSONL writer fd.
+    # Server-side spans must travel back over the wire (``trace_spans``),
+    # not race the client into a shared file, so start from a clean tracer
+    # and name this process's spans after the shard.
+    TRACER.reset()
+    TRACER.service = f"shard{shard_id}"
 
     try:
         shard = PoolShard(shard_id, pool, task_names, gateway_config)

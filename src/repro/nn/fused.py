@@ -68,6 +68,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.arena import ARENA
 from ..tensor.conv import conv_output_size
 
 __all__ = [
@@ -134,10 +135,11 @@ class FusedAffine:
     shift: np.ndarray
 
     def __call__(self, x: np.ndarray, relu: bool = False) -> np.ndarray:
-        out = x * self.scale + self.shift
-        if relu:
-            np.maximum(out, 0.0, out=out)
-        return out
+        with ARENA.op("affine"):
+            out = x * self.scale + self.shift
+            if relu:
+                np.maximum(out, 0.0, out=out)
+            return out
 
 
 def stack_affine(bns: Sequence) -> FusedAffine:
@@ -175,22 +177,25 @@ class FusedConv:
         k = self.kernel_size
         if k == 1 and self.padding == 0:
             # shortcut path: a 1x1 conv is a channel mix over a strided slice
-            sliced = x[:, :, :: self.stride, :: self.stride, :]
-            out = np.matmul(sliced, self.weight[:, None, None, :, :])
-            if self.bias is not None:
-                out += self.bias[:, None, None, :, :]
-            return out
+            with ARENA.op("conv1x1"):
+                sliced = x[:, :, :: self.stride, :: self.stride, :]
+                out = np.matmul(sliced, self.weight[:, None, None, :, :])
+                if self.bias is not None:
+                    out += self.bias[:, None, None, :, :]
+                return out
         if n_x != n:  # broadcast a shared input across the bank
             x = np.broadcast_to(x, (n, batch, h, w, c))
         oh = conv_output_size(h, k, self.stride, self.padding)
         ow = conv_output_size(w, k, self.stride, self.padding)
-        cols, _, _ = im2col_nhwc(
-            x.reshape(n * batch, h, w, c), k, k, self.stride, self.padding
-        )
-        out = np.matmul(cols.reshape(n, batch * oh * ow, k * k * c), self.weight)
-        if self.bias is not None:
-            out += self.bias
-        return out.reshape(n, batch, oh, ow, self.out_channels)
+        with ARENA.op("im2col"):
+            cols, _, _ = im2col_nhwc(
+                x.reshape(n * batch, h, w, c), k, k, self.stride, self.padding
+            )
+        with ARENA.op("conv_gemm"):
+            out = np.matmul(cols.reshape(n, batch * oh * ow, k * k * c), self.weight)
+            if self.bias is not None:
+                out += self.bias
+            return out.reshape(n, batch, oh, ow, self.out_channels)
 
 
 def stack_conv(convs: Sequence) -> FusedConv:
@@ -254,7 +259,8 @@ class FusedLinearBank:
 
     def __call__(self, feats: np.ndarray) -> np.ndarray:
         """(n, N, C) -> padded logits (n, N, max_out)."""
-        return np.matmul(feats, self.weight) + self.bias
+        with ARENA.op("linear_gemm"):
+            return np.matmul(feats, self.weight) + self.bias
 
     def concatenate(self, padded: np.ndarray) -> np.ndarray:
         """Slice padded logits back to true widths and join along classes."""
@@ -387,15 +393,16 @@ class FusedTrunk:
         if images.ndim != 4:
             raise ValueError(f"expected NCHW images, got shape {images.shape}")
         out: List[np.ndarray] = []
-        for start in range(0, images.shape[0], batch_size):
-            chunk = images[start : start + batch_size]
-            # one NCHW -> NHWC transpose in, one NHWC -> NCHW out; the
-            # interior flows channels-last with no layout copies
-            h = np.ascontiguousarray(chunk.transpose(0, 2, 3, 1))[None]
-            h = self.conv1(h)
-            for block in self._blocks:
-                h = block(h)
-            out.append(np.ascontiguousarray(h[0].transpose(0, 3, 1, 2)))
+        with ARENA.scope("trunk"):
+            for start in range(0, images.shape[0], batch_size):
+                chunk = images[start : start + batch_size]
+                # one NCHW -> NHWC transpose in, one NHWC -> NCHW out; the
+                # interior flows channels-last with no layout copies
+                h = np.ascontiguousarray(chunk.transpose(0, 2, 3, 1))[None]
+                h = self.conv1(h)
+                for block in self._blocks:
+                    h = block(h)
+                out.append(np.ascontiguousarray(h[0].transpose(0, 3, 1, 2)))
         return out[0] if len(out) == 1 else np.concatenate(out, axis=0)
 
     def verify(

@@ -1,0 +1,36 @@
+"""repro.obs — request tracing, telemetry export, per-op profiling.
+
+Stdlib-only foundation layer: every other repro package may import from
+here (serving metrics hook stage timings into the tracer, the fused
+primitives record into the arena, the net layer stitches cross-process
+spans), and :mod:`repro.obs` imports none of them back.
+"""
+
+from .arena import ARENA, ProfilingArena
+from .export import (
+    JsonlTraceWriter,
+    SlowQueryLog,
+    build_trace_tree,
+    format_trace,
+    load_jsonl_spans,
+    parse_prometheus,
+    render_prometheus,
+)
+from .trace import TRACER, Span, SpanCollector, Tracer, new_id
+
+__all__ = [
+    "ARENA",
+    "ProfilingArena",
+    "JsonlTraceWriter",
+    "SlowQueryLog",
+    "build_trace_tree",
+    "format_trace",
+    "load_jsonl_spans",
+    "parse_prometheus",
+    "render_prometheus",
+    "TRACER",
+    "Span",
+    "SpanCollector",
+    "Tracer",
+    "new_id",
+]

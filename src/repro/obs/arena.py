@@ -1,0 +1,148 @@
+"""Per-op profiling arena for the fused NHWC primitives.
+
+The fused layer (:mod:`repro.nn.fused`) is a handful of primitives —
+``im2col``, the conv GEMM, the 1×1 fast path, affine folds, the linear
+head-bank GEMM — and when a fused-path regression shows up in a bench,
+the question is always *which primitive*.  The arena answers that: each
+primitive wraps itself in :meth:`ProfilingArena.op`, compiled trunks and
+head banks declare a :meth:`scope`, and :meth:`snapshot` reports
+``scope/op`` → count/total/mean.
+
+Cost discipline: when disabled (the default), :meth:`op` and
+:meth:`scope` return one shared pre-built no-op context manager — no
+allocation, no clock read, no lock.  Enabling is opt-in per process
+(``ARENA.enable()``, or ``--profile-ops`` on ``repro predict-bench``).
+
+Stdlib-only by design: :mod:`repro.obs` sits below every other repro
+package so anything may import it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextvars import ContextVar
+from time import perf_counter
+from typing import Dict, Iterator, Optional
+
+__all__ = ["ProfilingArena", "ARENA"]
+
+_SCOPE: ContextVar[str] = ContextVar("repro_obs_arena_scope", default="")
+
+
+class _NoopCtx:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopCtx":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NOOP = _NoopCtx()
+
+
+class _OpTimer:
+    __slots__ = ("_arena", "_name", "_t0")
+
+    def __init__(self, arena: "ProfilingArena", name: str) -> None:
+        self._arena = arena
+        self._name = name
+
+    def __enter__(self) -> "_OpTimer":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._arena.record(self._name, perf_counter() - self._t0)
+        return False
+
+
+class _ScopeCtx:
+    __slots__ = ("_name", "_token")
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __enter__(self) -> "_ScopeCtx":
+        self._token = _SCOPE.set(self._name)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        _SCOPE.reset(self._token)
+        return False
+
+
+class ProfilingArena:
+    """Opt-in per-op timing accumulator keyed by ``scope/op``."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._ops: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        with self._lock:
+            self._ops.clear()
+
+    # ------------------------------------------------------------------
+    def scope(self, name: str):
+        """Set the ambient scope (e.g. ``trunk``, ``heads``) for nested ops."""
+        if not self.enabled:
+            return _NOOP
+        return _ScopeCtx(name)
+
+    def op(self, name: str):
+        """Time one primitive invocation under the current scope."""
+        if not self.enabled:
+            return _NOOP
+        return _OpTimer(self, name)
+
+    def record(self, op: str, seconds: float) -> None:
+        key = f"{_SCOPE.get()}/{op}" if _SCOPE.get() else op
+        with self._lock:
+            entry = self._ops.get(key)
+            if entry is None:
+                entry = self._ops[key] = {"count": 0, "total": 0.0}
+            entry["count"] += 1
+            entry["total"] += seconds
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """``{"scope/op": {"count", "total", "mean"}}`` for every recorded op."""
+        with self._lock:
+            return {
+                key: {
+                    "count": entry["count"],
+                    "total": entry["total"],
+                    "mean": entry["total"] / entry["count"] if entry["count"] else 0.0,
+                }
+                for key, entry in self._ops.items()
+            }
+
+    def render(self) -> str:
+        snap = self.snapshot()
+        if not snap:
+            return "profiling arena: no ops recorded"
+        lines = [
+            "profiling arena",
+            f"  {'op':<24} {'count':>8} {'total':>12} {'mean':>12}",
+        ]
+        for key in sorted(snap, key=lambda k: -snap[k]["total"]):
+            s = snap[key]
+            lines.append(
+                f"  {key:<24} {int(s['count']):>8} "
+                f"{s['total'] * 1e3:>10.2f}ms {s['mean'] * 1e6:>10.1f}µs"
+            )
+        return "\n".join(lines)
+
+
+#: The process-wide arena the fused primitives record into.
+ARENA = ProfilingArena()

@@ -1,0 +1,290 @@
+"""Telemetry exporters: JSONL trace log, slow-query log, Prometheus text.
+
+Three consumers of the tracing/metrics layer, all file- or string-based
+so they work identically in tests, benches, and CI:
+
+* :class:`JsonlTraceWriter` — append-only JSON-lines span log with
+  size-based rotation (current file renamed to ``<path>.1`` when it
+  crosses ``max_bytes``); the ``repro trace-dump`` CLI reads it back.
+* :class:`SlowQueryLog` — whenever a local root span exceeds the
+  threshold, the *entire* span tree (plus the root's cache-state tags)
+  is written as one JSON line, so the offender arrives with its context.
+* :func:`render_prometheus` — text exposition of the unified metrics
+  snapshot (``schema``/``kind``/``stages``/``counters``, see
+  :meth:`repro.serving.metrics.ServingMetrics.snapshot`): stage
+  summaries become quantile-labelled summary samples, counters become
+  ``_total`` counters.  :func:`parse_prometheus` is the matching reader
+  used by CI to assert the scrape is well-formed.
+
+Span-tree helpers (:func:`build_trace_tree`, :func:`format_trace`,
+:func:`load_jsonl_spans`) live here too — they are shared by the
+slow-query log, ``trace-dump``, and the tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "JsonlTraceWriter",
+    "SlowQueryLog",
+    "render_prometheus",
+    "parse_prometheus",
+    "build_trace_tree",
+    "format_trace",
+    "load_jsonl_spans",
+]
+
+
+class JsonlTraceWriter:
+    """Append-only JSONL span sink with single-file rotation."""
+
+    def __init__(self, path: str, max_bytes: int = 16 * 1024 * 1024) -> None:
+        self.path = path
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def write(self, span: Dict[str, object]) -> None:
+        line = json.dumps(span, sort_keys=True) + "\n"
+        with self._lock:
+            self._fh.write(line)
+            self._fh.flush()
+            if self._fh.tell() >= self.max_bytes:
+                self._rotate()
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        os.replace(self.path, self.path + ".1")
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+class SlowQueryLog:
+    """Capture full span trees for local roots slower than ``threshold_s``."""
+
+    def __init__(self, path: str, threshold_s: float) -> None:
+        self.path = path
+        self.threshold_s = threshold_s
+        self._lock = threading.Lock()
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def maybe_record(
+        self, root: Dict[str, object], spans: List[Dict[str, object]]
+    ) -> bool:
+        duration = root.get("duration") or 0.0
+        if duration < self.threshold_s:
+            return False
+        entry = {
+            "trace_id": root.get("trace_id"),
+            "root": root.get("name"),
+            "duration": duration,
+            "threshold": self.threshold_s,
+            "tags": root.get("tags", {}),
+            "spans": spans,
+        }
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line)
+            self._count += 1
+        return True
+
+
+# ----------------------------------------------------------------------
+# Prometheus-style text exposition
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def render_prometheus(snapshot: Dict[str, object], prefix: str = "repro") -> str:
+    """Render a unified metrics snapshot as Prometheus text exposition.
+
+    Stage summaries become summary-typed samples with ``quantile`` labels
+    plus ``_count``/``_sum``; counters become one ``_total`` counter per
+    name; cluster fanout/shard-request tallies get their own families.
+    An info gauge carries the schema version and snapshot kind so a
+    scraper can assert what it is looking at.
+    """
+    kind = snapshot.get("kind", "serving")
+    schema = snapshot.get("schema", 0)
+    lines: List[str] = []
+    lines.append(f"# HELP {prefix}_snapshot_info Unified snapshot metadata.")
+    lines.append(f"# TYPE {prefix}_snapshot_info gauge")
+    lines.append(f'{prefix}_snapshot_info{{kind="{kind}",schema="{schema}"}} 1')
+
+    stages = snapshot.get("stages") or {}
+    if stages:
+        metric = f"{prefix}_stage_latency_seconds"
+        lines.append(f"# HELP {metric} Per-stage latency summary.")
+        lines.append(f"# TYPE {metric} summary")
+        for name in sorted(stages):
+            s = stages[name]
+            label = _sanitize(name)
+            for q_label, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+                lines.append(
+                    f'{metric}{{stage="{label}",quantile="{q_label}"}} {s.get(key, 0.0):.9g}'
+                )
+            count = int(s.get("count", 0))
+            lines.append(f'{metric}_count{{stage="{label}"}} {count}')
+            lines.append(
+                f'{metric}_sum{{stage="{label}"}} {s.get("mean", 0.0) * count:.9g}'
+            )
+
+    counters = snapshot.get("counters") or {}
+    if counters:
+        metric = f"{prefix}_counter_total"
+        lines.append(f"# HELP {metric} Event counters.")
+        lines.append(f"# TYPE {metric} counter")
+        for name in sorted(counters):
+            lines.append(f'{metric}{{name="{_sanitize(name)}"}} {counters[name]}')
+
+    fanout = snapshot.get("fanout") or {}
+    if fanout:
+        metric = f"{prefix}_fanout_requests_total"
+        lines.append(f"# HELP {metric} Requests by shard fan-out width.")
+        lines.append(f"# TYPE {metric} counter")
+        for width in sorted(fanout, key=lambda k: int(k)):
+            lines.append(f'{metric}{{shards="{int(width)}"}} {fanout[width]}')
+
+    shard_requests = snapshot.get("shard_requests") or {}
+    if shard_requests:
+        metric = f"{prefix}_shard_requests_total"
+        lines.append(f"# HELP {metric} Requests routed to each shard.")
+        lines.append(f"# TYPE {metric} counter")
+        for shard in sorted(shard_requests, key=lambda k: int(k)):
+            lines.append(f'{metric}{{shard="{int(shard)}"}} {shard_requests[shard]}')
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse text exposition back to ``{(metric, labels): value}``.
+
+    Labels are a sorted tuple of ``(key, value)`` pairs.  Raises
+    :class:`ValueError` on a malformed sample line — CI uses this as a
+    format assertion, not just a reader.
+    """
+    out: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            name_part, value_part = line.rsplit(" ", 1)
+            value = float(value_part)
+            if "{" in name_part:
+                if not name_part.endswith("}"):
+                    raise ValueError("unterminated label set")
+                metric, label_blob = name_part[:-1].split("{", 1)
+                labels = []
+                for item in filter(None, label_blob.split(",")):
+                    key, val = item.split("=", 1)
+                    if not (val.startswith('"') and val.endswith('"')):
+                        raise ValueError("unquoted label value")
+                    labels.append((key, val[1:-1]))
+                out[(metric, tuple(sorted(labels)))] = value
+            else:
+                out[(name_part, ())] = value
+        except ValueError:
+            raise ValueError(f"malformed exposition line: {line!r}")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Span-tree reconstruction
+
+
+def load_jsonl_spans(path: str) -> List[Dict[str, object]]:
+    """Read every span dict out of a JSONL trace log (rotated file first)."""
+    spans: List[Dict[str, object]] = []
+    for candidate in (path + ".1", path):
+        if not os.path.exists(candidate):
+            continue
+        with open(candidate, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    spans.append(json.loads(line))
+    return spans
+
+
+def build_trace_tree(
+    spans: Iterable[Dict[str, object]],
+) -> Dict[str, List[Dict[str, object]]]:
+    """Group spans by trace, each trace ordered parent-before-child.
+
+    Children follow their parent depth-first (siblings by start time);
+    spans whose parent is missing from the set are treated as roots, so
+    partial traces still render.
+    """
+    by_trace: Dict[str, List[Dict[str, object]]] = {}
+    for span in spans:
+        by_trace.setdefault(str(span.get("trace_id")), []).append(span)
+
+    ordered: Dict[str, List[Dict[str, object]]] = {}
+    for trace_id, members in by_trace.items():
+        ids = {s.get("span_id") for s in members}
+        children: Dict[Optional[str], List[Dict[str, object]]] = {}
+        for span in members:
+            parent = span.get("parent_id")
+            key = parent if parent in ids else None
+            children.setdefault(key, []).append(span)  # type: ignore[arg-type]
+        for group in children.values():
+            group.sort(key=lambda s: s.get("start") or 0.0)
+
+        flat: List[Dict[str, object]] = []
+
+        def _walk(parent_key: Optional[str], depth: int) -> None:
+            for span in children.get(parent_key, []):
+                span = dict(span)
+                span["depth"] = depth
+                flat.append(span)
+                _walk(span.get("span_id"), depth + 1)  # type: ignore[arg-type]
+
+        _walk(None, 0)
+        ordered[trace_id] = flat
+    return ordered
+
+
+def format_trace(spans: List[Dict[str, object]]) -> str:
+    """Render one ordered trace (from :func:`build_trace_tree`) as text."""
+    if not spans:
+        return "(empty trace)"
+    lines = [f"trace {spans[0].get('trace_id')}"]
+    for span in spans:
+        depth = int(span.get("depth", 0))
+        duration = span.get("duration")
+        dur_txt = f"{duration * 1e3:8.2f}ms" if isinstance(duration, (int, float)) else "   ?    "
+        tags = span.get("tags") or {}
+        tag_txt = (
+            " [" + ", ".join(f"{k}={v}" for k, v in sorted(tags.items())) + "]"
+            if tags
+            else ""
+        )
+        lines.append(
+            f"  {dur_txt} {'  ' * depth}{span.get('name')}"
+            f" ({span.get('service')}){tag_txt}"
+        )
+    return "\n".join(lines)

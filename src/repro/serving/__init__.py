@@ -32,7 +32,14 @@ from .gateway import (
     SingleFlight,
 )
 from .loadgen import LoadReport, ZipfianWorkload, run_closed_loop, run_open_loop
-from .metrics import LatencyHistogram, ServingMetrics, percentile
+from .metrics import (
+    DOCUMENTED_STAGES,
+    SNAPSHOT_SCHEMA,
+    LatencyHistogram,
+    ServingMetrics,
+    merge_snapshots,
+    percentile,
+)
 from .predict_bench import (
     append_benchmark_record,
     predict_report_rows,
@@ -58,6 +65,9 @@ __all__ = [
     "LatencyHistogram",
     "ServingMetrics",
     "percentile",
+    "merge_snapshots",
+    "SNAPSHOT_SCHEMA",
+    "DOCUMENTED_STAGES",
     "build_demo_pool",
     "run_predict_benchmark",
     "append_benchmark_record",

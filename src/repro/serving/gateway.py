@@ -84,6 +84,7 @@ import numpy as np
 
 from ..core.features import TrunkFeatureCache, array_digest, fused_trunk_features
 from ..core.query import TaskSpecificModel
+from ..obs.trace import TRACER
 from .canonical import TaskQuery, canonical_tasks, payload_key
 from .cache import ByteBudgetLRU, CacheStats
 from .metrics import ServingMetrics
@@ -129,11 +130,16 @@ def run_trunk_forward(trunk, images, metrics) -> "np.ndarray":
     """
     start = perf_counter()
     features, used_fused = fused_trunk_features(trunk, images)
+    elapsed = perf_counter() - start
     if used_fused:
-        metrics.observe("predict_trunk_fused", perf_counter() - start)
+        metrics.observe("predict_trunk_fused", elapsed)
+        stage_name = "predict_trunk_fused"
     else:
         metrics.increment("fused_trunk_fallback")
-        metrics.observe("predict_trunk", perf_counter() - start)
+        metrics.observe("predict_trunk", elapsed)
+        stage_name = "predict_trunk"
+    if TRACER.enabled:
+        TRACER.record_stage(stage_name, elapsed)
     return features
 
 
@@ -577,23 +583,28 @@ class ServingGateway:
             queue_seconds = start - enqueued_at
             self.metrics.observe("queue", queue_seconds)
         self.metrics.increment("requests")
-        try:
-            names = canonical_tasks(tasks)
-            key = payload_key(names, transport)
+        with TRACER.span("gateway.serve") as span:
+            try:
+                names = canonical_tasks(tasks)
+                key = payload_key(names, transport)
 
-            payload = self.payload_cache.get(key)
-            if payload is not None:
-                model_hit, coalesced, payload_hit = False, False, True
-            else:
-                payload_hit = False
-                (payload, model_hit), coalesced = self._flights.run(
-                    key, lambda: self._build_payload(names, transport, key)
-                )
-                if coalesced:
-                    self.metrics.increment("coalesced")
-        except BaseException:
-            self.metrics.increment("errors")
-            raise
+                payload = self.payload_cache.get(key)
+                if payload is not None:
+                    model_hit, coalesced, payload_hit = False, False, True
+                else:
+                    payload_hit = False
+                    (payload, model_hit), coalesced = self._flights.run(
+                        key, lambda: self._build_payload(names, transport, key)
+                    )
+                    if coalesced:
+                        self.metrics.increment("coalesced")
+            except BaseException:
+                self.metrics.increment("errors")
+                raise
+            span.tag("transport", transport)
+            span.tag("tasks", len(names))
+            span.tag("payload_cache_hit", payload_hit)
+            span.tag("model_cache_hit", model_hit)
 
         service_seconds = perf_counter() - start
         self.metrics.observe("total", service_seconds)
@@ -686,39 +697,45 @@ class ServingGateway:
             queue_seconds = start - enqueued_at
             self.metrics.observe("queue", queue_seconds)
         self.metrics.increment("predictions")
-        try:
-            # result lookup FIRST: the key snapshots expert versions before
-            # any model/trunk work (check-before-build, like the other
-            # tiers — a key built after the model could pair stale logits
-            # with fresh versions), and a hit touches no other tier at all
-            cached = key = None
-            if self.result_cache.budget_bytes:
-                if digest is None:
-                    digest = array_digest(images)
-                key = self._result_key(names, digest)
-                cached = self.result_cache.get(key)
-            result_hit = cached is not None
-            if result_hit:
-                self.metrics.increment("predict_result_hits")
-                _logits, ids = cached
-                model_hit = False  # the model tier was never consulted
-            else:
-                model, model_hit = self._model_for(names)
-                if features is None:
-                    features, trunk_hit = self._trunk_features(images, digest=digest)
-                ids, logits = run_fused_prediction(model, features, self.metrics)
-                if key is not None:
-                    result_cache_put_guarded(
-                        self.result_cache,
-                        self.pool,
-                        self._invalidate_lock,
-                        key,
-                        logits,
-                        ids,
-                    )
-        except BaseException:
-            self.metrics.increment("errors")
-            raise
+        with TRACER.span("gateway.predict") as span:
+            try:
+                # result lookup FIRST: the key snapshots expert versions before
+                # any model/trunk work (check-before-build, like the other
+                # tiers — a key built after the model could pair stale logits
+                # with fresh versions), and a hit touches no other tier at all
+                cached = key = None
+                if self.result_cache.budget_bytes:
+                    if digest is None:
+                        digest = array_digest(images)
+                    key = self._result_key(names, digest)
+                    cached = self.result_cache.get(key)
+                result_hit = cached is not None
+                if result_hit:
+                    self.metrics.increment("predict_result_hits")
+                    _logits, ids = cached
+                    model_hit = False  # the model tier was never consulted
+                else:
+                    model, model_hit = self._model_for(names)
+                    if features is None:
+                        features, trunk_hit = self._trunk_features(images, digest=digest)
+                    ids, logits = run_fused_prediction(model, features, self.metrics)
+                    if key is not None:
+                        result_cache_put_guarded(
+                            self.result_cache,
+                            self.pool,
+                            self._invalidate_lock,
+                            key,
+                            logits,
+                            ids,
+                        )
+            except BaseException:
+                self.metrics.increment("errors")
+                raise
+            span.tag("batch", int(images.shape[0]))
+            span.tag("tasks", len(names))
+            span.tag("result_cache_hit", result_hit)
+            span.tag("trunk_cache_hit", trunk_hit)
+            span.tag("model_cache_hit", model_hit)
         service_seconds = perf_counter() - start
         self.metrics.observe("predict_total", service_seconds)
         return PredictionResponse(

@@ -9,6 +9,26 @@ the gateway, the load drivers, and the CLI all share.
 
 Everything here is deterministic given the recorded values: the reservoir
 uses algorithm R with a seeded PRNG so benchmark output is reproducible.
+
+Snapshots follow one **unified versioned schema** (``SNAPSHOT_SCHEMA``)
+shared by :class:`ServingMetrics` and :class:`repro.cluster.metrics.ClusterMetrics`::
+
+    {
+      "schema": 1,                 # bumped on breaking shape changes
+      "kind": "serving"|"cluster", # which facade produced it
+      "stages": {name: {count, mean, p50, p95, p99, max}},
+      "counters": {name: int},
+      # cluster only:
+      "fanout": {width: int}, "shard_requests": {shard: int},
+      # with include_histograms=True:
+      "histograms": {name: LatencyHistogram.to_dict()},
+    }
+
+The Prometheus scrape exporter, the ``BENCH_*.json`` writers, and the
+``STATS`` wire frame all consume this one shape; :func:`merge_snapshots`
+combines snapshots from multiple shards/workers (counters sum,
+histograms merge when present, unknown keys are ignored so the merge is
+forward-compatible across schema additions).
 """
 
 from __future__ import annotations
@@ -20,7 +40,34 @@ from contextlib import contextmanager
 from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["percentile", "LatencyHistogram", "ServingMetrics"]
+from ..obs.trace import TRACER
+
+__all__ = [
+    "percentile",
+    "LatencyHistogram",
+    "ServingMetrics",
+    "merge_snapshots",
+    "SNAPSHOT_SCHEMA",
+    "DOCUMENTED_STAGES",
+]
+
+#: Version of the unified snapshot shape (see module docstring).
+SNAPSHOT_SCHEMA = 1
+
+#: Stage names the serving stack is documented to emit; the CI scrape
+#: smoke asserts every one of these appears in the exposition after a
+#: traced networked run (docs/observability.md lists them with meaning).
+DOCUMENTED_STAGES = (
+    "queue",
+    "total",
+    "predict_total",
+    "predict_trunk_fused",
+    "predict_heads",
+    "predict_argmax",
+    "fetch",
+    "assemble",
+    "serialize",
+)
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -122,6 +169,64 @@ class LatencyHistogram:
             "max": self._max,
         }
 
+    # ------------------------------------------------------------------
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram (shards/workers combine).
+
+        Buckets, counts, totals, and extrema add exactly; the reservoir
+        concatenates then downsamples evenly from the sorted union when it
+        would exceed ``max_samples``, so merged quantiles stay
+        representative of both sides.
+        """
+        if other._count == 0:
+            return
+        self._count += other._count
+        self._total += other._total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        for i, n in enumerate(other._buckets):
+            self._buckets[i] += n
+        combined = sorted(self._samples + other._samples)
+        if len(combined) > self.max_samples:
+            step = len(combined) / self.max_samples
+            combined = [combined[int(i * step)] for i in range(self.max_samples)]
+        self._samples = combined
+
+    _MAX_WIRE_SAMPLES = 512  # reservoir slice shipped in to_dict()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe state for the STATS wire frame / snapshot merging.
+
+        The reservoir is downsampled (evenly from the sorted samples) to
+        at most ``_MAX_WIRE_SAMPLES`` values so a 27-stage snapshot stays
+        a few KiB on the wire while merged quantiles remain faithful.
+        """
+        samples = sorted(self._samples)
+        if len(samples) > self._MAX_WIRE_SAMPLES:
+            step = len(samples) / self._MAX_WIRE_SAMPLES
+            samples = [samples[int(i * step)] for i in range(self._MAX_WIRE_SAMPLES)]
+        return {
+            "count": self._count,
+            "total": self._total,
+            "min": 0.0 if math.isinf(self._min) else self._min,
+            "max": self._max,
+            "buckets": list(self._buckets),
+            "samples": samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LatencyHistogram":
+        hist = cls()
+        hist._count = int(data["count"])
+        hist._total = float(data["total"])
+        hist._min = float(data["min"]) if hist._count else math.inf
+        hist._max = float(data["max"])
+        buckets = list(data.get("buckets") or [])
+        for i, n in enumerate(buckets[: cls._NUM_BUCKETS]):
+            hist._buckets[i] = int(n)
+        hist._samples = [float(s) for s in (data.get("samples") or [])]
+        return hist
+
 
 class ServingMetrics:
     """Thread-safe aggregate of stage histograms and event counters."""
@@ -143,12 +248,19 @@ class ServingMetrics:
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        """Context manager timing one stage of the pipeline."""
+        """Context manager timing one stage of the pipeline.
+
+        When the request is being traced, the same measurement also lands
+        as a child span — one clock read serves both sinks.
+        """
         start = perf_counter()
         try:
             yield
         finally:
-            self.observe(name, perf_counter() - start)
+            elapsed = perf_counter() - start
+            self.observe(name, elapsed)
+            if TRACER.enabled:
+                TRACER.record_stage(name, elapsed)
 
     def increment(self, counter: str, by: int = 1) -> None:
         with self._lock:
@@ -164,13 +276,25 @@ class ServingMetrics:
             return hist.summary() if hist is not None else None
 
     # ------------------------------------------------------------------
-    def snapshot(self) -> Dict[str, object]:
-        """Plain-dict view of every stage summary and counter."""
+    def snapshot(self, include_histograms: bool = False) -> Dict[str, object]:
+        """Unified-schema view of every stage summary and counter.
+
+        ``include_histograms`` adds full histogram state (buckets + a
+        downsampled reservoir) so snapshots from shards/workers can be
+        merged with :func:`merge_snapshots` without losing quantiles.
+        """
         with self._lock:
-            return {
+            snap: Dict[str, object] = {
+                "schema": SNAPSHOT_SCHEMA,
+                "kind": "serving",
                 "stages": {name: h.summary() for name, h in self._stages.items()},
                 "counters": dict(self._counters),
             }
+            if include_histograms:
+                snap["histograms"] = {
+                    name: h.to_dict() for name, h in self._stages.items()
+                }
+            return snap
 
     def render(self, cache_stats: Optional[Dict[str, object]] = None) -> str:
         """Human-readable metrics table (stages, counters, cache tiers)."""
@@ -201,6 +325,91 @@ class ServingMetrics:
                 f"evictions={stats.evictions} bytes={stats.current_bytes}/{stats.budget_bytes}"
             )
         return "\n".join(lines)
+
+
+def merge_snapshots(snapshots: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Combine unified snapshots from multiple shards/workers into one.
+
+    Counters sum; stage summaries are recomputed from merged histograms
+    when every contributor shipped them (``include_histograms=True``),
+    otherwise counts/means combine exactly and quantiles fall back to the
+    max across contributors (a conservative tail estimate, flagged by the
+    ``"approx"`` marker in the merged stage entry).  Fanout/shard-request
+    tallies re-key to ``int`` — a JSON round trip (the STATS frame)
+    stringifies dict keys.  Unknown keys are ignored.
+    """
+    merged: Dict[str, object] = {
+        "schema": SNAPSHOT_SCHEMA,
+        "kind": "cluster" if any(s.get("kind") == "cluster" for s in snapshots) else "serving",
+        "stages": {},
+        "counters": {},
+    }
+    counters: Dict[str, int] = merged["counters"]  # type: ignore[assignment]
+    for snap in snapshots:
+        for name, value in (snap.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+
+    # histogram-backed stage merge where possible
+    merged_hists: Dict[str, LatencyHistogram] = {}
+    summary_only: Dict[str, Dict[str, float]] = {}
+    for snap in snapshots:
+        hists = snap.get("histograms") or {}
+        for name, s in (snap.get("stages") or {}).items():
+            if name in hists:
+                hist = merged_hists.get(name)
+                if hist is None:
+                    merged_hists[name] = LatencyHistogram.from_dict(hists[name])
+                else:
+                    hist.merge(LatencyHistogram.from_dict(hists[name]))
+            else:
+                prev = summary_only.get(name)
+                if prev is None:
+                    summary_only[name] = dict(s)
+                else:
+                    total = prev["count"] + s["count"]
+                    if total:
+                        prev["mean"] = (
+                            prev["mean"] * prev["count"] + s["mean"] * s["count"]
+                        ) / total
+                    prev["count"] = total
+                    for key in ("p50", "p95", "p99", "max"):
+                        prev[key] = max(prev[key], s[key])
+    stages: Dict[str, object] = merged["stages"]  # type: ignore[assignment]
+    for name, hist in merged_hists.items():
+        if name in summary_only:
+            # mixed contributors: fold the exact histogram into the
+            # conservative summary rather than dropping either side
+            s = summary_only.pop(name)
+            h = hist.summary()
+            total = s["count"] + h["count"]
+            if total:
+                s["mean"] = (s["mean"] * s["count"] + h["mean"] * h["count"]) / total
+            s["count"] = total
+            for key in ("p50", "p95", "p99", "max"):
+                s[key] = max(s[key], h[key])
+            s["approx"] = True
+            stages[name] = s
+        else:
+            stages[name] = hist.summary()
+    for name, s in summary_only.items():
+        s["approx"] = True
+        stages[name] = s
+    if merged_hists:
+        merged["histograms"] = {n: h.to_dict() for n, h in merged_hists.items()}
+
+    for key in ("fanout", "shard_requests"):
+        combined: Dict[int, int] = {}
+        present = False
+        for snap in snapshots:
+            table = snap.get(key)
+            if not table:
+                continue
+            present = True
+            for k, v in table.items():
+                combined[int(k)] = combined.get(int(k), 0) + int(v)
+        if present:
+            merged[key] = combined
+    return merged
 
 
 def _fmt_size(value: float) -> str:

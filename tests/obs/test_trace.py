@@ -1,0 +1,155 @@
+"""Span lifecycle, the bounded collector, and cross-process stitching."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import TRACER, Span, SpanCollector, Tracer, new_id
+
+
+@pytest.fixture(autouse=True)
+def clean_global_tracer():
+    """Tests that touch the module-level TRACER must leave it pristine."""
+    TRACER.reset()
+    yield
+    TRACER.reset()
+
+
+class TestIds:
+    def test_ids_are_64_bit_hex(self):
+        a, b = new_id(), new_id()
+        assert len(a) == 16
+        int(a, 16)
+        assert a != b
+
+
+class TestSpanLifecycle:
+    def test_disabled_tracer_is_noop(self):
+        tracer = Tracer()
+        with tracer.span("anything") as span:
+            span.tag("ignored", 1)
+        assert len(tracer.collector) == 0
+        assert tracer.inject() is None
+
+    def test_root_span_records(self):
+        tracer = Tracer(service="t")
+        tracer.enable()
+        with tracer.span("root", {"k": "v"}) as span:
+            assert tracer.current() is span
+        assert tracer.current() is None
+        [record] = tracer.collector.spans()
+        assert record["name"] == "root"
+        assert record["parent_id"] is None
+        assert record["service"] == "t"
+        assert record["tags"] == {"k": "v"}
+        assert record["duration"] >= 0.0
+
+    def test_nested_spans_share_trace_and_link_parent(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+
+    def test_exception_tags_error_and_propagates(self):
+        tracer = Tracer()
+        tracer.enable()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        [record] = tracer.collector.spans()
+        assert record["tags"]["error"] == "RuntimeError"
+
+    def test_sibling_threads_get_separate_roots(self):
+        tracer = Tracer()
+        tracer.enable()
+        seen = []
+
+        def work():
+            with tracer.span("thread-root") as span:
+                seen.append(span.trace_id)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(seen)) == 4
+
+    def test_record_stage_needs_an_ambient_parent(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.record_stage("orphan", 0.001)
+        assert len(tracer.collector) == 0
+        with tracer.span("root") as root:
+            tracer.record_stage("leaf", 0.002)
+        leaf = [s for s in tracer.collector.spans() if s["name"] == "leaf"][0]
+        assert leaf["parent_id"] == root.span_id
+        assert leaf["duration"] == pytest.approx(0.002)
+
+
+class TestCollector:
+    def test_ring_drops_oldest_and_counts(self):
+        collector = SpanCollector(capacity=2)
+        for i in range(3):
+            collector.add({"span_id": f"s{i}", "trace_id": "t"})
+        assert len(collector) == 2
+        assert collector.dropped == 1
+        assert [s["span_id"] for s in collector.spans()] == ["s1", "s2"]
+
+    def test_add_dedups_by_span_id(self):
+        collector = SpanCollector()
+        assert collector.add({"span_id": "a", "trace_id": "t"}) is True
+        assert collector.add({"span_id": "a", "trace_id": "t"}) is False
+        assert len(collector) == 1
+
+    def test_take_trace_extracts_only_that_trace(self):
+        collector = SpanCollector()
+        collector.add({"span_id": "a", "trace_id": "t1"})
+        collector.add({"span_id": "b", "trace_id": "t2"})
+        collector.add({"span_id": "c", "trace_id": "t1"})
+        taken = collector.take_trace("t1")
+        assert [s["span_id"] for s in taken] == ["a", "c"]
+        assert [s["span_id"] for s in collector.spans()] == ["b"]
+        # a taken id may be re-added (it left the dedup set)
+        assert collector.add({"span_id": "a", "trace_id": "t1"}) is True
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SpanCollector(capacity=0)
+
+
+class TestStitching:
+    def test_inject_continue_attach_round_trip(self):
+        """Client tracer -> wire ctx -> server tracer -> spans -> client."""
+        client, server = Tracer(service="client"), Tracer(service="server")
+        client.enable()
+        with client.span("net.call") as net_span:
+            ctx = client.inject()
+            assert ctx == {
+                "trace_id": net_span.trace_id,
+                "parent_id": net_span.span_id,
+            }
+            # --- server side (separate tracer = separate process) ---
+            with server.continue_from(ctx, "shard.serve", {"shard_id": 1}) as remote:
+                assert remote.trace_id == net_span.trace_id
+                assert remote.parent_id == net_span.span_id
+            shipped = server.collector.take_trace(net_span.trace_id)
+            assert len(shipped) == 1
+            # --- back on the client ---
+            assert client.attach(shipped) == 1
+        trace = client.collector.trace(net_span.trace_id)
+        assert {s["name"] for s in trace} == {"net.call", "shard.serve"}
+        # re-attaching the same spans is a no-op (loopback dedup)
+        assert client.attach(shipped) == 0
+
+    def test_continue_from_lights_up_a_cold_tracer(self):
+        server = Tracer()
+        assert not server.enabled
+        with server.continue_from({"trace_id": "t" * 16, "parent_id": None}, "work"):
+            pass
+        assert server.enabled
+        assert len(server.collector) == 1

@@ -1,8 +1,17 @@
 """Latency histograms, percentile math, and the metrics facade."""
 
+import math
+
 import pytest
 
-from repro.serving import LatencyHistogram, ServingMetrics, percentile
+from repro.serving import (
+    DOCUMENTED_STAGES,
+    SNAPSHOT_SCHEMA,
+    LatencyHistogram,
+    ServingMetrics,
+    merge_snapshots,
+    percentile,
+)
 
 
 class TestPercentile:
@@ -64,6 +73,74 @@ class TestLatencyHistogram:
         with pytest.raises(ValueError):
             LatencyHistogram().record(-1.0)
 
+    def test_bucket_boundaries_are_powers_of_two(self):
+        """Values at/around the 1 µs cutoff and a bucket edge land predictably."""
+        hist = LatencyHistogram()
+        hist.record(0.0)  # below the 1 µs floor -> first bucket
+        hist.record(0.99e-6)
+        hist.record(1e-6)  # exactly the floor -> second bucket
+        hist.record(1e9)  # absurd value clamps to the last bucket
+        buckets = dict(hist.buckets())
+        assert buckets[1e-6] == 2
+        assert sum(buckets.values()) == 4
+        # the clamp bucket is the 2**26 µs one
+        assert max(buckets) == pytest.approx(1e-6 * 2 ** 26)
+
+    def test_reservoir_overflow_keeps_quantiles_representative(self):
+        hist = LatencyHistogram(max_samples=64)
+        for i in range(10_000):
+            hist.record(i / 1e6)
+        assert hist.count == 10_000
+        assert len(hist._samples) == 64
+        # p50 of uniform 0..10ms should land mid-range, not at an extreme
+        assert 2e-3 < hist.quantile(50) < 8e-3
+
+    def test_zero_sample_histogram_is_safe_everywhere(self):
+        hist = LatencyHistogram()
+        assert hist.quantile(99) == 0.0
+        assert hist.buckets() == []
+        assert hist.summary()["count"] == 0
+        wire = hist.to_dict()
+        assert wire["min"] == 0.0  # inf would not survive JSON
+        rebuilt = LatencyHistogram.from_dict(wire)
+        assert rebuilt.count == 0
+        assert math.isinf(rebuilt._min)
+
+    def test_merge_is_exact_for_buckets_and_counts(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for ms in (1, 2, 3):
+            a.record(ms / 1e3)
+        for ms in (4, 5):
+            b.record(ms / 1e3)
+        a.merge(b)
+        assert a.count == 5
+        assert a.mean == pytest.approx(3e-3)
+        assert a.summary()["max"] == pytest.approx(5e-3)
+        assert sum(n for _, n in a.buckets()) == 5
+        # merging an empty histogram is a no-op
+        before = a.summary()
+        a.merge(LatencyHistogram())
+        assert a.summary() == before
+
+    def test_merge_downsamples_oversized_reservoirs(self):
+        a, b = LatencyHistogram(max_samples=32), LatencyHistogram(max_samples=32)
+        for i in range(100):
+            a.record(i / 1e6)
+            b.record((100 + i) / 1e6)
+        a.merge(b)
+        assert len(a._samples) == 32
+        assert a.count == 200
+        # the merged reservoir spans both sides
+        assert min(a._samples) < 50e-6 < 150e-6 < max(a._samples)
+
+    def test_to_dict_round_trip(self):
+        hist = LatencyHistogram()
+        for ms in (1, 5, 9):
+            hist.record(ms / 1e3)
+        rebuilt = LatencyHistogram.from_dict(hist.to_dict())
+        assert rebuilt.summary() == hist.summary()
+        assert rebuilt.buckets() == hist.buckets()
+
 
 class TestServingMetrics:
     def test_observe_and_summary(self):
@@ -90,14 +167,29 @@ class TestServingMetrics:
         assert metrics.counter("requests") == 5
         assert metrics.counter("absent") == 0
 
-    def test_snapshot_shape(self):
+    def test_snapshot_follows_unified_schema(self):
         metrics = ServingMetrics()
         metrics.observe("total", 0.001)
         metrics.increment("requests")
         snap = metrics.snapshot()
-        assert set(snap) == {"stages", "counters"}
+        assert set(snap) == {"schema", "kind", "stages", "counters"}
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert snap["kind"] == "serving"
         assert "total" in snap["stages"]
         assert snap["counters"]["requests"] == 1
+
+    def test_snapshot_histograms_opt_in(self):
+        metrics = ServingMetrics()
+        metrics.observe("total", 0.001)
+        snap = metrics.snapshot(include_histograms=True)
+        assert snap["histograms"]["total"]["count"] == 1
+        assert "histograms" not in metrics.snapshot()
+
+    def test_documented_stages_is_the_ci_contract(self):
+        # the scrape smoke in CI asserts each of these appears; keep the
+        # tuple stable (additions fine, removals are a schema break)
+        for stage in ("queue", "total", "predict_total", "fetch", "serialize"):
+            assert stage in DOCUMENTED_STAGES
 
     def test_render_mentions_percentiles(self):
         metrics = ServingMetrics()
@@ -105,3 +197,48 @@ class TestServingMetrics:
         text = metrics.render()
         for token in ("p50", "p95", "p99", "total"):
             assert token in text
+
+
+class TestMergeSnapshots:
+    def _metrics(self, values):
+        metrics = ServingMetrics()
+        for v in values:
+            metrics.observe("total", v)
+            metrics.increment("requests")
+        return metrics
+
+    def test_histogram_backed_merge_is_exact(self):
+        a = self._metrics([0.001, 0.002])
+        b = self._metrics([0.003, 0.004])
+        merged = merge_snapshots(
+            [a.snapshot(include_histograms=True), b.snapshot(include_histograms=True)]
+        )
+        total = merged["stages"]["total"]
+        assert total["count"] == 4
+        assert total["mean"] == pytest.approx(2.5e-3)
+        assert "approx" not in total
+        assert merged["counters"]["requests"] == 4
+        assert merged["kind"] == "serving"
+
+    def test_summary_only_merge_is_marked_approximate(self):
+        a = self._metrics([0.001, 0.002])
+        b = self._metrics([0.003, 0.004])
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        total = merged["stages"]["total"]
+        assert total["count"] == 4
+        assert total["approx"] is True
+        assert total["max"] == pytest.approx(4e-3)
+
+    def test_merge_re_keys_json_stringified_fanout(self):
+        # a JSON round trip (the STATS wire frame) stringifies dict keys
+        a = {"kind": "cluster", "counters": {}, "stages": {}, "fanout": {"1": 3}}
+        b = {"kind": "cluster", "counters": {}, "stages": {}, "fanout": {1: 2, 2: 1}}
+        merged = merge_snapshots([a, b])
+        assert merged["fanout"] == {1: 5, 2: 1}
+        assert merged["kind"] == "cluster"
+
+    def test_merge_ignores_unknown_keys(self):
+        snap = self._metrics([0.001]).snapshot()
+        snap["future_field"] = {"x": 1}
+        merged = merge_snapshots([snap])
+        assert "future_field" not in merged
