@@ -11,6 +11,7 @@ Subcommands::
     python -m repro.cli shard-serve --port 7070           # host one shard over TCP
     python -m repro.cli predict-bench --heads 8           # fused-inference bench
     python -m repro.cli scrape  [--networked]             # Prometheus text scrape
+    python -m repro.cli top     [--networked]             # live telemetry dashboard
     python -m repro.cli trace-dump --file trace.jsonl     # render recorded span trees
     python -m repro.cli report  [--out EXPERIMENTS.md]    # paper-vs-measured
     python -m repro.cli info                              # registry overview
@@ -476,23 +477,18 @@ def cmd_predict_bench(args: argparse.Namespace) -> int:
 
 def cmd_trace_dump(args: argparse.Namespace) -> int:
     """Render the span trees recorded in a JSONL trace log."""
-    from .obs import build_trace_tree, format_trace, load_jsonl_spans
+    from .obs import build_trace_tree, format_trace, load_jsonl_spans, select_traces
 
     spans = load_jsonl_spans(args.file)
     if not spans:
         print(f"no spans in {args.file}")
         return 1
     trees = build_trace_tree(spans)
-    shown = 0
-    for trace_id, ordered in trees.items():
-        if args.trace_id and trace_id != args.trace_id:
-            continue
+    selected = select_traces(trees, trace_id=args.trace_id, limit=args.limit)
+    for _trace_id, ordered in selected:
         print(format_trace(ordered))
         print()
-        shown += 1
-        if args.limit and shown >= args.limit:
-            break
-    print(f"{shown} trace(s) shown ({len(spans)} spans in {args.file})")
+    print(f"{len(selected)} trace(s) shown ({len(spans)} spans in {args.file})")
     return 0
 
 
@@ -561,6 +557,122 @@ def cmd_scrape(args: argparse.Namespace) -> int:
         print(text, end="")
     _finish_tracing(args, writer)
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live telemetry dashboard against a demo cluster (``repro top``).
+
+    Builds the self-contained micro pool, deploys it as an in-process or
+    networked cluster, drives background closed-loop traffic, and renders
+    per-shard health, rolling rates, sparkline histories, and the recent
+    event tail once per poll interval.  ``--frames N`` renders N frames
+    then exits (headless CI uses ``--frames 1 --plain``); the default
+    runs until Ctrl-C.  Exits nonzero if a finite run collected no
+    telemetry — a frame of nothing is a failure, not a dashboard.
+    """
+    import threading
+
+    from .cluster import ClusterConfig, ClusterGateway
+    from .obs import (
+        CLEAR_SCREEN,
+        JOURNAL,
+        HealthPolicy,
+        HealthScorer,
+        RotatingJsonlWriter,
+        TelemetryPoller,
+        render_dashboard,
+    )
+    from .serving import build_demo_pool
+
+    journal_writer = RotatingJsonlWriter(args.journal) if args.journal else None
+    JOURNAL.reset()
+    JOURNAL.enable(writer=journal_writer, service="cli")
+
+    print("building self-contained micro pool (seconds)...", file=sys.stderr)
+    pool, data = build_demo_pool(num_tasks=args.micro_tasks, seed=args.seed)
+    names = sorted(pool.expert_names())
+    config = ClusterConfig(num_shards=args.shards, workers_per_shard=2)
+    networked = None
+    if args.networked:
+        from .net import NetworkedCluster
+
+        networked = NetworkedCluster(pool, config)
+        cluster = networked.gateway
+    else:
+        cluster = ClusterGateway(pool, config)
+    images = data.test.images[:4]
+    stop = threading.Event()
+
+    def drive(worker_id: int) -> None:
+        cross = _cross_shard_query(cluster, names)
+        i = worker_id
+        while not stop.is_set():
+            single = [names[i % len(names)]]
+            try:
+                cluster.serve(single)
+                cluster.predict(images, single)
+                if i % 5 == 0:
+                    cluster.serve(cross)
+            except Exception:
+                if stop.is_set():
+                    break  # shutdown races are not traffic errors
+            i += 1
+
+    poller = TelemetryPoller.for_gateway(cluster, interval_s=args.interval)
+    scorer = HealthScorer(
+        poller.store,
+        JOURNAL,
+        HealthPolicy(latency_slo_s=args.slo_ms / 1000.0),
+    )
+    threads = [
+        threading.Thread(target=drive, args=(i,), daemon=True)
+        for i in range(args.clients)
+    ]
+    rendered = 0
+    try:
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + args.duration if args.duration else None
+        while True:
+            time.sleep(args.interval)
+            poller.poll_once()
+            frame = render_dashboard(
+                poller.store,
+                scorer,
+                JOURNAL,
+                sources=sorted(poller.sources),
+                title="repro top" + (" (networked)" if args.networked else ""),
+            )
+            if args.plain:
+                print(frame)
+            else:
+                print(CLEAR_SCREEN + frame, end="", flush=True)
+            rendered += 1
+            if args.frames and rendered >= args.frames:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        if networked is not None:
+            networked.close()
+        else:
+            cluster.close()
+    series = len(poller.store)
+    events = len(JOURNAL)
+    summary = (
+        f"top: rendered {rendered} frame(s), {len(poller.sources)} source(s), "
+        f"{series} series, {events} journal event(s)"
+    )
+    if args.journal:
+        summary += f" -> {args.journal}"
+    print(summary, file=sys.stderr)
+    JOURNAL.disable()
+    return 0 if series else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -724,6 +836,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_scrape.add_argument("--out", default=None, help="write exposition here (default stdout)")
     _add_trace_flags(p_scrape)
     p_scrape.set_defaults(fn=cmd_scrape)
+
+    p_top = sub.add_parser(
+        "top", help="live telemetry dashboard over a demo cluster"
+    )
+    p_top.add_argument("--shards", type=int, default=2, help="number of pool shards")
+    p_top.add_argument("--micro-tasks", type=int, default=6, help="tasks in the micro pool")
+    p_top.add_argument("--seed", type=int, default=0)
+    p_top.add_argument(
+        "--networked",
+        action="store_true",
+        help="run each shard in a forked worker process behind repro.net sockets",
+    )
+    p_top.add_argument("--clients", type=int, default=2, help="background traffic threads")
+    p_top.add_argument("--interval", type=float, default=1.0, help="poll/render interval (s)")
+    p_top.add_argument(
+        "--frames", type=int, default=0,
+        help="render N frames then exit (0 = run until Ctrl-C / --duration)",
+    )
+    p_top.add_argument(
+        "--duration", type=float, default=0.0, help="stop after this many seconds"
+    )
+    p_top.add_argument(
+        "--plain",
+        action="store_true",
+        help="print frames sequentially without ANSI clear-screen (headless/CI)",
+    )
+    p_top.add_argument(
+        "--slo-ms", type=float, default=250.0,
+        help="latency objective (p95 of 'total') health scores burn against",
+    )
+    p_top.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="persist journal events to this JSONL file (size-rotated)",
+    )
+    p_top.set_defaults(fn=cmd_top)
 
     p_report = sub.add_parser("report", help="write EXPERIMENTS.md")
     p_report.add_argument("--root", default=None)

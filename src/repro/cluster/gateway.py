@@ -82,6 +82,7 @@ from ..core.server import (
     serialize_task_model,
 )
 from ..models import BranchedSpecialistNet, count_params
+from ..obs.journal import JOURNAL
 from ..obs.trace import TRACER
 from ..serving.cache import BYTES_PER_PARAM, ByteBudgetLRU, CacheStats, merge_cache_stats
 from ..serving.canonical import TaskQuery, canonical_tasks, payload_key
@@ -354,6 +355,7 @@ class ClusterGateway:
         names = canonical_tasks(tasks)
         start = perf_counter()
         self.metrics.increment("predictions")
+        self.metrics.record_tasks(names)
         with TRACER.span("cluster.predict") as span:
             span.tag("tasks", len(names))
             span.tag("batch", int(images.shape[0]))
@@ -425,6 +427,7 @@ class ClusterGateway:
                 self.metrics.record_fanout(1)
                 self.metrics.record_shard_requests((shard_id,))
                 self.metrics.increment("predictions")
+                self.metrics.record_tasks(names)
                 self.metrics.observe("predict_total", perf_counter() - start)
                 result.set_result(done.result())
                 return
@@ -621,6 +624,7 @@ class ClusterGateway:
             span.tag("transport", transport)
             try:
                 names = canonical_tasks(tasks)
+                self.metrics.record_tasks(names)
                 span.tag("tasks", len(names))
                 # One retry: a rebalance can drop an expert from the shard a
                 # concurrent plan chose between planning and serving; the task
@@ -898,6 +902,13 @@ class ClusterGateway:
         """Source pool re-extracted (or removed) an expert: resync shards."""
         from ..core.pool import LIBRARY_TASK
 
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "library_update" if name == LIBRARY_TASK else "expert_update",
+                task=name,
+                version=version,
+                remote=any(shard.is_remote() for shard in self.shards),
+            )
         if any(shard.is_remote() for shard in self.shards):
             # Networked backend: a pool mutation cannot propagate into
             # running workers (the ROADMAP autoscaling follow-on), so do
@@ -1059,6 +1070,14 @@ class ClusterGateway:
             composites_dropped += self._invalidate_composites(name)
         if moved:
             self.metrics.increment("rebalances")
+            if JOURNAL.enabled:
+                JOURNAL.emit(
+                    "rebalance",
+                    moved=len(moved),
+                    installs=installs,
+                    drops=drops,
+                    migrated_bytes=migrated_bytes,
+                )
         return RebalanceReport(
             moved=tuple(moved),
             installs=installs,

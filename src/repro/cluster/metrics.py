@@ -56,6 +56,14 @@ class ClusterMetrics:
     def counter(self, name: str) -> int:
         return self.serving.counter(name)
 
+    def record_tasks(self, names: Sequence[str]) -> None:
+        """Bump the front end's per-task popularity EWMA."""
+        self.serving.record_tasks(names)
+
+    @property
+    def popularity(self):
+        return self.serving.popularity
+
     def record_fanout(self, num_shards: int) -> None:
         with self._lock:
             self._fanout[num_shards] = self._fanout.get(num_shards, 0) + 1

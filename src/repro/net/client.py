@@ -396,9 +396,17 @@ class RemoteShardClient:
             for tier, fields in self.stats()["cache_stats"].items()
         }
 
-    def stats(self) -> Dict:
-        """The worker's raw stats payload (cache tiers, counters, pid)."""
-        _msg, _codec, payload = self._request(MsgType.STATS, json_payload({}))
+    def stats(self, journal_since: int = 0) -> Dict:
+        """The worker's raw stats payload (cache tiers, counters, pid).
+
+        ``journal_since`` is a cursor into the worker's event journal:
+        only events with a strictly greater ``seq`` ride back under the
+        payload's ``"journal"`` key (0 — the default — ships the whole
+        bounded ring).  Old servers simply omit the key.
+        """
+        _msg, _codec, payload = self._request(
+            MsgType.STATS, json_payload({"journal_since": int(journal_since)})
+        )
         info = parse_json(payload)
         with self._pool_lock:
             # negotiated features come from the handshake, not STATS —

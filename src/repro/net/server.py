@@ -48,6 +48,7 @@ from contextlib import contextmanager
 from ..cluster.gateway import ClusterConfig, ClusterGateway
 from ..cluster.metrics import ClusterMetrics
 from ..cluster.shard import PoolShard
+from ..obs.journal import JOURNAL
 from ..obs.trace import TRACER
 from ..serving.gateway import GatewayConfig
 from .client import RemoteShardClient
@@ -157,6 +158,10 @@ class ShardServer:
         if not initiator:
             self._drained.wait()
             return
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "worker_drain", shard_id=self.shard.shard_id, pid=os.getpid()
+            )
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -484,6 +489,11 @@ class ShardServer:
         self._send(conn, write_lock, MsgType.PREDICTED, request_id, body, CODEC_BINARY)
 
     def _handle_stats(self, conn, write_lock, request_id, payload, codec) -> None:
+        try:
+            request = parse_json(payload) if payload else {}
+        except Exception:  # legacy/foreign payloads: serve the full view
+            request = {}
+        journal_since = int(request.get("journal_since", 0) or 0)
         stats = {
             tier: dataclasses.asdict(s) for tier, s in self.shard.cache_stats().items()
         }
@@ -500,6 +510,11 @@ class ShardServer:
                 "cache_stats": stats,
             }
         )
+        # journal events ride in the response like trace_spans do: the
+        # worker's bounded ring, cursored by seq so a poller that passes
+        # ``journal_since`` ships each event across the wire once
+        if JOURNAL.enabled:
+            response["journal"] = JOURNAL.since(journal_since)
         self._send(conn, write_lock, MsgType.STATS_OK, request_id, json_payload(response))
 
     _HANDLERS = {
@@ -532,6 +547,14 @@ def _shard_worker_main(
     # and name this process's spans after the shard.
     TRACER.reset()
     TRACER.service = f"shard{shard_id}"
+    # Same story for the journal, except workers keep theirs *enabled*
+    # (memory ring only, no file): lifecycle/eviction events buffer here
+    # and ride back to the poller in STATS responses.
+    JOURNAL.reset()
+    JOURNAL.enable(service=f"shard{shard_id}")
+    JOURNAL.emit(
+        "worker_start", shard_id=shard_id, pid=os.getpid(), tasks=len(task_names)
+    )
 
     try:
         shard = PoolShard(shard_id, pool, task_names, gateway_config)
@@ -666,6 +689,14 @@ class ShardWorkerFleet:
         self._clients = []
         for handle in self.workers:
             if not handle.process.is_alive():
+                # a worker that died before we asked it to is news
+                if JOURNAL.enabled and handle.process.exitcode not in (0, None):
+                    JOURNAL.emit(
+                        "worker_death",
+                        shard_id=handle.shard_id,
+                        pid=handle.process.pid,
+                        exitcode=handle.process.exitcode,
+                    )
                 continue
             try:
                 RemoteShardClient.drain_address(handle.address, timeout=timeout)
@@ -675,6 +706,20 @@ class ShardWorkerFleet:
             if handle.process.is_alive():  # pragma: no cover - unresponsive worker
                 handle.process.terminate()
                 handle.process.join(timeout=5.0)
+                if JOURNAL.enabled:
+                    JOURNAL.emit(
+                        "worker_death",
+                        shard_id=handle.shard_id,
+                        pid=handle.process.pid,
+                        exitcode=handle.process.exitcode,
+                    )
+            elif JOURNAL.enabled:
+                JOURNAL.emit(
+                    "worker_exit",
+                    shard_id=handle.shard_id,
+                    pid=handle.process.pid,
+                    exitcode=handle.process.exitcode,
+                )
 
     def leaked_processes(self) -> List["multiprocessing.process.BaseProcess"]:
         """Workers still alive (should be empty after :meth:`shutdown`)."""

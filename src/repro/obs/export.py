@@ -29,6 +29,7 @@ import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
+    "RotatingJsonlWriter",
     "JsonlTraceWriter",
     "SlowQueryLog",
     "render_prometheus",
@@ -36,11 +37,20 @@ __all__ = [
     "build_trace_tree",
     "format_trace",
     "load_jsonl_spans",
+    "select_traces",
 ]
 
 
-class JsonlTraceWriter:
-    """Append-only JSONL span sink with single-file rotation."""
+class RotatingJsonlWriter:
+    """Append-only JSONL sink with single-file size rotation.
+
+    One JSON object per line; when the current file crosses ``max_bytes``
+    it is renamed to ``<path>.1`` (clobbering any previous rotation) and a
+    fresh file is opened, so disk usage is bounded at roughly
+    ``2 * max_bytes`` without an external log rotator.  Thread-safe; every
+    write is flushed so readers (tests, ``trace-dump``, the dashboard)
+    see complete lines.
+    """
 
     def __init__(self, path: str, max_bytes: int = 16 * 1024 * 1024) -> None:
         self.path = path
@@ -48,8 +58,8 @@ class JsonlTraceWriter:
         self._lock = threading.Lock()
         self._fh = open(path, "a", encoding="utf-8")
 
-    def write(self, span: Dict[str, object]) -> None:
-        line = json.dumps(span, sort_keys=True) + "\n"
+    def write(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
         with self._lock:
             self._fh.write(line)
             self._fh.flush()
@@ -66,7 +76,7 @@ class JsonlTraceWriter:
             if not self._fh.closed:
                 self._fh.close()
 
-    def __enter__(self) -> "JsonlTraceWriter":
+    def __enter__(self) -> "RotatingJsonlWriter":
         return self
 
     def __exit__(self, *exc_info) -> bool:
@@ -74,12 +84,24 @@ class JsonlTraceWriter:
         return False
 
 
-class SlowQueryLog:
-    """Capture full span trees for local roots slower than ``threshold_s``."""
+class JsonlTraceWriter(RotatingJsonlWriter):
+    """Append-only JSONL span sink with single-file rotation."""
 
-    def __init__(self, path: str, threshold_s: float) -> None:
+
+class SlowQueryLog:
+    """Capture full span trees for local roots slower than ``threshold_s``.
+
+    Entries append to a :class:`RotatingJsonlWriter`, so a long-running
+    service with a mis-set threshold cannot fill the disk: the log rolls
+    to ``<path>.1`` at ``max_bytes`` just like the trace writer.
+    """
+
+    def __init__(
+        self, path: str, threshold_s: float, max_bytes: int = 16 * 1024 * 1024
+    ) -> None:
         self.path = path
         self.threshold_s = threshold_s
+        self._writer = RotatingJsonlWriter(path, max_bytes=max_bytes)
         self._lock = threading.Lock()
         self._count = 0
 
@@ -102,12 +124,25 @@ class SlowQueryLog:
             "tags": root.get("tags", {}),
             "spans": spans,
         }
-        line = json.dumps(entry, sort_keys=True) + "\n"
+        self._writer.write(entry)
         with self._lock:
-            with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(line)
             self._count += 1
+        try:
+            from .journal import JOURNAL
+
+            JOURNAL.emit(
+                "slow_query",
+                trace_id=root.get("trace_id"),
+                root=root.get("name"),
+                duration=duration,
+                threshold=self.threshold_s,
+            )
+        except ImportError:  # pragma: no cover - circular-import guard
+            pass
         return True
+
+    def close(self) -> None:
+        self._writer.close()
 
 
 # ----------------------------------------------------------------------
@@ -266,6 +301,27 @@ def build_trace_tree(
         _walk(None, 0)
         ordered[trace_id] = flat
     return ordered
+
+
+def select_traces(
+    trees: Dict[str, List[Dict[str, object]]],
+    trace_id: Optional[str] = None,
+    limit: int = 0,
+) -> List[Tuple[str, List[Dict[str, object]]]]:
+    """Filter ordered traces for display (``trace-dump --trace-id/--limit``).
+
+    Keeps insertion order (load order of the JSONL file), restricts to one
+    trace when ``trace_id`` is given, and truncates to the first ``limit``
+    traces when ``limit`` is positive.
+    """
+    selected = [
+        (tid, spans)
+        for tid, spans in trees.items()
+        if trace_id is None or tid == trace_id
+    ]
+    if limit and limit > 0:
+        selected = selected[:limit]
+    return selected
 
 
 def format_trace(spans: List[Dict[str, object]]) -> str:

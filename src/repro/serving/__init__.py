@@ -36,6 +36,7 @@ from .metrics import (
     DOCUMENTED_STAGES,
     SNAPSHOT_SCHEMA,
     LatencyHistogram,
+    PopularityEWMA,
     ServingMetrics,
     merge_snapshots,
     percentile,
@@ -43,6 +44,7 @@ from .metrics import (
 from .predict_bench import (
     append_benchmark_record,
     predict_report_rows,
+    run_metadata,
     run_predict_benchmark,
 )
 
@@ -63,6 +65,7 @@ __all__ = [
     "run_closed_loop",
     "run_open_loop",
     "LatencyHistogram",
+    "PopularityEWMA",
     "ServingMetrics",
     "percentile",
     "merge_snapshots",
@@ -72,4 +75,5 @@ __all__ = [
     "run_predict_benchmark",
     "append_benchmark_record",
     "predict_report_rows",
+    "run_metadata",
 ]

@@ -21,6 +21,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, List, Optional, Tuple
 
+from ..obs.journal import JOURNAL
+
 __all__ = ["BYTES_PER_PARAM", "CacheStats", "ByteBudgetLRU", "merge_cache_stats"]
 
 #: Cache-sizing convention for in-memory models: float32 weights.
@@ -79,6 +81,10 @@ class ByteBudgetLRU:
         If set, entries older than this are treated as misses and dropped.
     clock:
         Monotonic time source; injectable for deterministic TTL tests.
+    name:
+        Optional tier label; when set, budget-pressure evictions emit a
+        ``cache_evict`` event into the process journal (one aggregated
+        event per inserting ``put``, not one per victim).
     """
 
     def __init__(
@@ -86,6 +92,7 @@ class ByteBudgetLRU:
         budget_bytes: int,
         ttl_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        name: Optional[str] = None,
     ) -> None:
         if budget_bytes < 0:
             raise ValueError("budget_bytes must be >= 0")
@@ -93,6 +100,7 @@ class ByteBudgetLRU:
             raise ValueError("ttl_seconds must be positive (or None)")
         self.budget_bytes = int(budget_bytes)
         self.ttl_seconds = ttl_seconds
+        self.name = name
         self._clock = clock
         self._lock = threading.Lock()
         # key -> (value, size_bytes, stored_at)
@@ -143,11 +151,23 @@ class ByteBudgetLRU:
             self._entries[key] = (value, size_bytes, self._clock())
             self._bytes += size_bytes
             self._insertions += 1
+            evicted = 0
+            evicted_bytes = 0
             while self._bytes > self.budget_bytes:
                 _, (_, evicted_size, _) = self._entries.popitem(last=False)
                 self._bytes -= evicted_size
                 self._evictions += 1
-            return True
+                evicted += 1
+                evicted_bytes += evicted_size
+        if evicted and self.name is not None and JOURNAL.enabled:
+            JOURNAL.emit(
+                "cache_evict",
+                tier=self.name,
+                evicted=evicted,
+                freed_bytes=evicted_bytes,
+                budget_bytes=self.budget_bytes,
+            )
+        return True
 
     def contains(self, key: Hashable) -> bool:
         """Whether a live (non-expired) entry exists for ``key``.

@@ -84,6 +84,7 @@ import numpy as np
 
 from ..core.features import TrunkFeatureCache, array_digest, fused_trunk_features
 from ..core.query import TaskSpecificModel
+from ..obs.journal import JOURNAL
 from ..obs.trace import TRACER
 from .canonical import TaskQuery, canonical_tasks, payload_key
 from .cache import ByteBudgetLRU, CacheStats
@@ -384,10 +385,14 @@ class ServingGateway:
         self.config = config or GatewayConfig()
         self.metrics = metrics or ServingMetrics()
         self.model_cache = ByteBudgetLRU(
-            self.config.model_cache_bytes, ttl_seconds=self.config.ttl_seconds
+            self.config.model_cache_bytes,
+            ttl_seconds=self.config.ttl_seconds,
+            name="model",
         )
         self.payload_cache = ByteBudgetLRU(
-            self.config.payload_cache_bytes, ttl_seconds=self.config.ttl_seconds
+            self.config.payload_cache_bytes,
+            ttl_seconds=self.config.ttl_seconds,
+            name="payload",
         )
         # trunk features depend only on the frozen library (never on expert
         # versions), so this tier survives expert re-extraction; pass a
@@ -403,7 +408,9 @@ class ServingGateway:
         )
         # fully-materialized answers: logits keyed (digest, tasks, versions)
         self.result_cache = ByteBudgetLRU(
-            self.config.result_cache_bytes, ttl_seconds=self.config.ttl_seconds
+            self.config.result_cache_bytes,
+            ttl_seconds=self.config.ttl_seconds,
+            name="result",
         )
         self._flights = SingleFlight()
         self._predict_lock = threading.Lock()
@@ -432,6 +439,11 @@ class ServingGateway:
     def _on_pool_update(self, name: str) -> None:
         from ..core.pool import LIBRARY_TASK
 
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "library_update" if name == LIBRARY_TASK else "expert_update",
+                task=name,
+            )
         if name == LIBRARY_TASK:
             # the trunk itself changed: every consolidated model, payload,
             # cached feature map and cached answer was computed against the
@@ -586,6 +598,7 @@ class ServingGateway:
         with TRACER.span("gateway.serve") as span:
             try:
                 names = canonical_tasks(tasks)
+                self.metrics.record_tasks(names)
                 key = payload_key(names, transport)
 
                 payload = self.payload_cache.get(key)
@@ -697,6 +710,7 @@ class ServingGateway:
             queue_seconds = start - enqueued_at
             self.metrics.observe("queue", queue_seconds)
         self.metrics.increment("predictions")
+        self.metrics.record_tasks(names)
         with TRACER.span("gateway.predict") as span:
             try:
                 # result lookup FIRST: the key snapshots expert versions before

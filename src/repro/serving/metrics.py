@@ -14,20 +14,31 @@ Snapshots follow one **unified versioned schema** (``SNAPSHOT_SCHEMA``)
 shared by :class:`ServingMetrics` and :class:`repro.cluster.metrics.ClusterMetrics`::
 
     {
-      "schema": 1,                 # bumped on breaking shape changes
+      "schema": 2,                 # bumped on shape additions (see below)
       "kind": "serving"|"cluster", # which facade produced it
       "stages": {name: {count, mean, p50, p95, p99, max}},
       "counters": {name: int},
+      # schema 2 additions (absent entries mean "none", so schema-1
+      # snapshots from old peers merge unchanged):
+      "popularity": {task: {"score": float, "count": int}},
+      "health": {source: {...}},   # stamped by the health scorer
       # cluster only:
       "fanout": {width: int}, "shard_requests": {shard: int},
       # with include_histograms=True:
       "histograms": {name: LatencyHistogram.to_dict()},
     }
 
+Schema 2 adds the per-task **popularity EWMA** (:class:`PopularityEWMA`:
+exponentially-decayed request counts, the online n(Q) frequency estimate
+the LAWS-style cache policies need) and an optional ``"health"`` table
+(per-source verdicts from :class:`repro.obs.health.HealthScorer`; the
+snapshot layer only transports it).
+
 The Prometheus scrape exporter, the ``BENCH_*.json`` writers, and the
 ``STATS`` wire frame all consume this one shape; :func:`merge_snapshots`
 combines snapshots from multiple shards/workers (counters sum,
-histograms merge when present, unknown keys are ignored so the merge is
+histograms merge when present, popularity scores/counts add, health
+tables union, unknown keys are ignored so the merge is
 forward-compatible across schema additions).
 """
 
@@ -45,6 +56,7 @@ from ..obs.trace import TRACER
 __all__ = [
     "percentile",
     "LatencyHistogram",
+    "PopularityEWMA",
     "ServingMetrics",
     "merge_snapshots",
     "SNAPSHOT_SCHEMA",
@@ -52,7 +64,9 @@ __all__ = [
 ]
 
 #: Version of the unified snapshot shape (see module docstring).
-SNAPSHOT_SCHEMA = 1
+#: 1 → 2 added ``popularity`` (per-task EWMA) and ``health`` — pure
+#: additions, so schema-1 and schema-2 snapshots merge freely.
+SNAPSHOT_SCHEMA = 2
 
 #: Stage names the serving stack is documented to emit; the CI scrape
 #: smoke asserts every one of these appears in the exposition after a
@@ -228,6 +242,62 @@ class LatencyHistogram:
         return hist
 
 
+class PopularityEWMA:
+    """Per-task exponentially-decayed request counts (online n(Q) frequency).
+
+    Each recorded task bumps its score by 1 after decaying it by
+    ``2 ** (-elapsed / halflife_s)``, so a task's score approximates its
+    request rate weighted toward the last ``halflife_s`` seconds — the
+    live popularity estimate adaptive cache/prefetch policies rank by.
+    Raw lifetime counts ride along for absolute volume.  Not thread-safe
+    on its own; :class:`ServingMetrics` records under its lock.
+    """
+
+    def __init__(self, halflife_s: float = 30.0, clock=perf_counter) -> None:
+        if halflife_s <= 0:
+            raise ValueError("halflife_s must be positive")
+        self.halflife_s = halflife_s
+        self._clock = clock
+        # task -> [score, lifetime_count, last_update_t]
+        self._tasks: Dict[str, List[float]] = {}
+
+    def record(self, names: Sequence[str], weight: float = 1.0) -> None:
+        now = self._clock()
+        for name in names:
+            entry = self._tasks.get(name)
+            if entry is None:
+                self._tasks[name] = [weight, 1, now]
+            else:
+                entry[0] = entry[0] * self._decay(now - entry[2]) + weight
+                entry[1] += 1
+                entry[2] = now
+
+    def _decay(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 1.0
+        return 2.0 ** (-elapsed / self.halflife_s)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-safe ``{task: {"score", "count"}}``, decayed to now."""
+        now = self._clock()
+        return {
+            name: {
+                "score": entry[0] * self._decay(now - entry[2]),
+                "count": int(entry[1]),
+            }
+            for name, entry in self._tasks.items()
+        }
+
+    def top(self, n: int = 10) -> List[Tuple[str, float]]:
+        """The ``n`` hottest tasks as ``(name, score)``, hottest first."""
+        snap = self.snapshot()
+        ranked = sorted(snap.items(), key=lambda kv: -kv[1]["score"])
+        return [(name, entry["score"]) for name, entry in ranked[:n]]
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+
 class ServingMetrics:
     """Thread-safe aggregate of stage histograms and event counters."""
 
@@ -236,6 +306,7 @@ class ServingMetrics:
         self._max_samples = max_samples_per_stage
         self._stages: Dict[str, LatencyHistogram] = {}
         self._counters: Dict[str, int] = {}
+        self.popularity = PopularityEWMA()
 
     # ------------------------------------------------------------------
     def observe(self, stage: str, seconds: float) -> None:
@@ -266,6 +337,11 @@ class ServingMetrics:
         with self._lock:
             self._counters[counter] = self._counters.get(counter, 0) + by
 
+    def record_tasks(self, names: Sequence[str]) -> None:
+        """Bump the popularity EWMA for one request's task set."""
+        with self._lock:
+            self.popularity.record(names)
+
     def counter(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
@@ -290,6 +366,8 @@ class ServingMetrics:
                 "stages": {name: h.summary() for name, h in self._stages.items()},
                 "counters": dict(self._counters),
             }
+            if len(self.popularity):
+                snap["popularity"] = self.popularity.snapshot()
             if include_histograms:
                 snap["histograms"] = {
                     name: h.to_dict() for name, h in self._stages.items()
@@ -336,7 +414,11 @@ def merge_snapshots(snapshots: Sequence[Dict[str, object]]) -> Dict[str, object]
     max across contributors (a conservative tail estimate, flagged by the
     ``"approx"`` marker in the merged stage entry).  Fanout/shard-request
     tallies re-key to ``int`` — a JSON round trip (the STATS frame)
-    stringifies dict keys.  Unknown keys are ignored.
+    stringifies dict keys.  Schema-2 popularity tables add score/count
+    per task; ``"health"`` tables union (later contributors win on a
+    source collision).  Both are pure additions, so schema-1 snapshots
+    from old peers contribute everything they have and nothing breaks.
+    Unknown keys are ignored.
     """
     merged: Dict[str, object] = {
         "schema": SNAPSHOT_SCHEMA,
@@ -375,10 +457,14 @@ def merge_snapshots(snapshots: Sequence[Dict[str, object]]) -> Dict[str, object]
                     for key in ("p50", "p95", "p99", "max"):
                         prev[key] = max(prev[key], s[key])
     stages: Dict[str, object] = merged["stages"]  # type: ignore[assignment]
+    exact_hists: Dict[str, LatencyHistogram] = {}
     for name, hist in merged_hists.items():
         if name in summary_only:
             # mixed contributors: fold the exact histogram into the
-            # conservative summary rather than dropping either side
+            # conservative summary rather than dropping either side.  The
+            # partial histogram must NOT ride along in ``histograms`` —
+            # a later re-merge would treat it as the exact record and
+            # silently drop the summary side's counts
             s = summary_only.pop(name)
             h = hist.summary()
             total = s["count"] + h["count"]
@@ -390,12 +476,13 @@ def merge_snapshots(snapshots: Sequence[Dict[str, object]]) -> Dict[str, object]
             s["approx"] = True
             stages[name] = s
         else:
+            exact_hists[name] = hist
             stages[name] = hist.summary()
     for name, s in summary_only.items():
         s["approx"] = True
         stages[name] = s
-    if merged_hists:
-        merged["histograms"] = {n: h.to_dict() for n, h in merged_hists.items()}
+    if exact_hists:
+        merged["histograms"] = {n: h.to_dict() for n, h in exact_hists.items()}
 
     for key in ("fanout", "shard_requests"):
         combined: Dict[int, int] = {}
@@ -409,6 +496,29 @@ def merge_snapshots(snapshots: Sequence[Dict[str, object]]) -> Dict[str, object]
                 combined[int(k)] = combined.get(int(k), 0) + int(v)
         if present:
             merged[key] = combined
+
+    popularity: Dict[str, Dict[str, float]] = {}
+    for snap in snapshots:
+        for task, entry in (snap.get("popularity") or {}).items():
+            prev = popularity.get(task)
+            if prev is None:
+                popularity[task] = {
+                    "score": float(entry.get("score", 0.0)),
+                    "count": int(entry.get("count", 0)),
+                }
+            else:
+                prev["score"] += float(entry.get("score", 0.0))
+                prev["count"] += int(entry.get("count", 0))
+    if popularity:
+        merged["popularity"] = popularity
+
+    health: Dict[str, object] = {}
+    for snap in snapshots:
+        table = snap.get("health")
+        if isinstance(table, dict):
+            health.update(table)
+    if health:
+        merged["health"] = health
     return merged
 
 

@@ -37,6 +37,7 @@ __all__ = [
     "run_predict_benchmark",
     "append_benchmark_record",
     "predict_report_rows",
+    "run_metadata",
 ]
 
 
@@ -190,6 +191,25 @@ def predict_report_rows(record: Dict[str, object]) -> Tuple[List[List[str]], str
     return rows, title
 
 
+def run_metadata() -> Dict[str, object]:
+    """Environment stamp for one benchmark run entry.
+
+    Makes a trajectory interpretable after the fact: *when* the run
+    happened, on how many cores, under which Python, and whether the
+    relaxed-gates escape hatch (``REPRO_BENCH_RELAX``, set on shared CI
+    runners) was active — a slow relaxed entry is noise, not a regression.
+    """
+    import platform
+    from datetime import datetime, timezone
+
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "relax": bool(os.environ.get("REPRO_BENCH_RELAX")),
+    }
+
+
 def append_benchmark_record(
     path: str, record: Dict[str, object], label: Optional[str] = None
 ) -> Dict[str, object]:
@@ -197,7 +217,10 @@ def append_benchmark_record(
 
     The file holds ``{"runs": [...]}`` so successive benchmark runs (one
     per PR in CI) accumulate into a perf trajectory instead of overwriting
-    each other.  Returns the full document written.
+    each other.  Every appended entry is stamped with :func:`run_metadata`
+    under ``"meta"`` (unless the record already carries one); entries
+    written before the stamp existed are left untouched — readers must
+    treat ``"meta"`` as optional.  Returns the full document written.
     """
     doc: Dict[str, object] = {"runs": []}
     if os.path.exists(path):
@@ -211,6 +234,7 @@ def append_benchmark_record(
     entry = dict(record)
     if label is not None:
         entry["label"] = label
+    entry.setdefault("meta", run_metadata())
     doc["runs"].append(entry)
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2)

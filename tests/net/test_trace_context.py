@@ -37,7 +37,7 @@ from repro.net.frame import (
     unpack_body,
 )
 from repro.obs import TRACER, JsonlTraceWriter, build_trace_tree, load_jsonl_spans
-from repro.serving import GatewayConfig
+from repro.serving import SNAPSHOT_SCHEMA, GatewayConfig
 
 CONFIG = ClusterConfig(num_shards=2, workers_per_shard=2)
 
@@ -186,7 +186,7 @@ class TestNetworkedTrace:
             task = sorted(gateway.available_tasks())[0]
             gateway.serve((task,))
             snap = gateway.unified_snapshot()
-        assert snap["schema"] == 1
+        assert snap["schema"] == SNAPSHOT_SCHEMA
         assert snap["kind"] == "cluster"
         # the worker's serve stages arrive through the STATS frame merge
         assert "serialize" in snap["stages"]

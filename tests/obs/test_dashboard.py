@@ -1,0 +1,90 @@
+"""Dashboard rendering: sparklines and the `repro top` frame."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    EventJournal,
+    HealthPolicy,
+    HealthScorer,
+    TimelineStore,
+    render_dashboard,
+    sparkline,
+)
+from repro.obs.dashboard import _BLOCKS
+
+
+class TestSparkline:
+    def test_fixed_width_right_aligned(self):
+        assert len(sparkline([1.0, 2.0], width=10)) == 10
+        assert sparkline([], width=6) == " " * 6
+        assert sparkline([1.0], width=0) == ""
+
+    def test_ramp_uses_full_block_range(self):
+        line = sparkline([float(i) for i in range(8)], width=8)
+        assert line[0] == _BLOCKS[0] and line[-1] == _BLOCKS[-1]
+
+    def test_flat_series_renders_visible_bar(self):
+        line = sparkline([5.0, 5.0, 5.0], width=3)
+        assert line == _BLOCKS[1] * 3  # flat-but-nonzero: low bar, not blank
+        assert sparkline([0.0, 0.0], width=2) == _BLOCKS[0] * 2
+
+    def test_window_shows_only_the_tail(self):
+        line = sparkline([100.0] + [1.0, 2.0, 3.0], width=3)
+        assert _BLOCKS[-1] in line  # 3.0 is the max of the visible slice
+
+
+def _populated():
+    store = TimelineStore()
+    for t in range(1, 6):
+        store.record("shard0.up", float(t), 1.0)
+        store.record("shard0.qps", float(t), 10.0 + t)
+        store.record("shard0.stage.total.p50", float(t), 0.001)
+        store.record("shard0.stage.total.p95", float(t), 0.002)
+        store.record("shard0.stage.total.p99", float(t), 0.003)
+        store.record("shard0.rate.errors", float(t), 0.0)
+        store.record("shard0.cache.model.hit_rate", float(t), 0.75)
+    store.record("shard1.up", 5.0, 0.0)
+    store.record("cluster.rate.net_bytes_rx", 5.0, 2048.0)
+    store.record("cluster.rate.net_bytes_tx", 5.0, 512.0)
+    store.record("cluster.fanout.mean", 5.0, 1.25)
+    journal = EventJournal()
+    journal.enable(service="cli")
+    journal.emit("rebalance", moved=2)
+    journal.ingest([{"seq": 1, "service": "shard0", "kind": "worker_start", "pid": 42}])
+    scorer = HealthScorer(store, journal, HealthPolicy(latency_slo_s=0.25))
+    return store, scorer, journal
+
+
+class TestRenderDashboard:
+    def test_frame_shows_health_rates_and_events(self):
+        store, scorer, journal = _populated()
+        frame = render_dashboard(store, scorer, journal)
+        assert "repro top" in frame and "SLO p95 total < 250ms" in frame
+        assert "shard0" in frame and "OK" in frame
+        assert "shard1" in frame and "DWN" in frame
+        assert "last poll failed" in frame  # reason line for the down shard
+        assert "75%" in frame  # cache hit rate column
+        assert "net rx 2.0KiB/s tx 512.0B/s" in frame
+        assert "fan-out 1.25" in frame
+        assert "rebalance" in frame and "worker_start" in frame
+        assert "[ shard0]" in frame  # event provenance
+        assert any(ch in frame for ch in _BLOCKS)  # sparklines rendered
+
+    def test_explicit_source_list_limits_rows(self):
+        store, scorer, journal = _populated()
+        frame = render_dashboard(store, scorer, journal, sources=["shard0"])
+        assert "shard0" in frame and "shard1" not in frame.split("events")[0]
+
+    def test_empty_state_renders_cleanly(self):
+        store = TimelineStore()
+        journal = EventJournal()
+        scorer = HealthScorer(store, journal)
+        frame = render_dashboard(store, scorer, journal)
+        assert "0 sources" in frame
+        assert "events: (none)" in frame
+
+    def test_event_lines_clip_to_width(self):
+        store, scorer, journal = _populated()
+        journal.emit("slow_query", detail="x" * 500)
+        frame = render_dashboard(store, scorer, journal, width=80)
+        assert all(len(line) <= 80 for line in frame.splitlines() if "slow_query" in line)

@@ -9,6 +9,7 @@ import pytest
 
 from repro.obs import (
     JsonlTraceWriter,
+    RotatingJsonlWriter,
     SlowQueryLog,
     Tracer,
     build_trace_tree,
@@ -16,6 +17,7 @@ from repro.obs import (
     load_jsonl_spans,
     parse_prometheus,
     render_prometheus,
+    select_traces,
 )
 
 
@@ -84,6 +86,83 @@ class TestSlowQueryLog:
         assert tracer._slow_log.count == 1
         [entry] = [json.loads(l) for l in open(path)]
         assert {s["name"] for s in entry["spans"]} == {"root", "child"}
+
+    def test_slow_query_emits_journal_event(self, tmp_path):
+        from repro.obs import JOURNAL
+
+        JOURNAL.reset()
+        JOURNAL.enable()
+        try:
+            log = SlowQueryLog(str(tmp_path / "slow.jsonl"), threshold_s=0.005)
+            log.maybe_record(_span("fast", duration=0.001), [])
+            assert len(JOURNAL) == 0  # fast queries stay quiet
+            slow = _span("slow", duration=0.010)
+            log.maybe_record(slow, [slow])
+            [event] = JOURNAL.events()
+            assert event["kind"] == "slow_query"
+            assert event["root"] == "slow"
+            assert event["trace_id"] == slow["trace_id"]
+            assert event["duration"] == pytest.approx(0.010)
+        finally:
+            JOURNAL.reset()
+
+
+# the trace writer, the slow-query log, and the journal file all rotate
+# through the same RotatingJsonlWriter base: one shared contract test
+def _rotating_writers(path):
+    return {
+        "base": (RotatingJsonlWriter(path, max_bytes=200), lambda w, i: w.write(_span(f"s{i}"))),
+        "trace": (JsonlTraceWriter(path, max_bytes=200), lambda w, i: w.write(_span(f"s{i}"))),
+        "slow": (
+            SlowQueryLog(path, threshold_s=0.0, max_bytes=200),
+            lambda w, i: w.maybe_record(_span(f"s{i}"), [_span(f"s{i}")]),
+        ),
+    }
+
+
+class TestSharedRotation:
+    @pytest.mark.parametrize("which", ["base", "trace", "slow"])
+    def test_every_jsonl_sink_rotates_on_size(self, tmp_path, which):
+        path = str(tmp_path / "sink.jsonl")
+        writer, write_one = _rotating_writers(path)[which]
+        for i in range(30):
+            write_one(writer, i)
+        writer.close()
+        assert os.path.exists(path + ".1"), "rotation must produce <path>.1"
+        assert os.path.getsize(path + ".1") <= 200 + 512  # one record of slack
+        # every line in both generations stays parseable; the rotated
+        # generation is never empty (the live file may be, right after a
+        # boundary rotation)
+        assert [json.loads(line) for line in open(path + ".1")]
+        for line in open(path):
+            json.loads(line)
+
+    def test_no_rotation_below_the_budget(self, tmp_path):
+        path = str(tmp_path / "sink.jsonl")
+        with RotatingJsonlWriter(path) as writer:  # default 16 MiB budget
+            writer.write(_span("only"))
+        assert not os.path.exists(path + ".1")
+
+
+class TestSelectTraces:
+    TREES = {
+        "t1": [_span("a", trace_id="t1")],
+        "t2": [_span("b", trace_id="t2")],
+        "t3": [_span("c", trace_id="t3")],
+    }
+
+    def test_default_keeps_everything_in_order(self):
+        selected = select_traces(self.TREES)
+        assert [tid for tid, _ in selected] == ["t1", "t2", "t3"]
+
+    def test_trace_id_filter(self):
+        [(tid, spans)] = select_traces(self.TREES, trace_id="t2")
+        assert tid == "t2" and spans[0]["name"] == "b"
+        assert select_traces(self.TREES, trace_id="nope") == []
+
+    def test_limit_truncates(self):
+        assert [t for t, _ in select_traces(self.TREES, limit=2)] == ["t1", "t2"]
+        assert len(select_traces(self.TREES, limit=0)) == 3  # 0 = unlimited
 
 
 class TestPrometheus:

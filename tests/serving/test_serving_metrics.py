@@ -8,6 +8,7 @@ from repro.serving import (
     DOCUMENTED_STAGES,
     SNAPSHOT_SCHEMA,
     LatencyHistogram,
+    PopularityEWMA,
     ServingMetrics,
     merge_snapshots,
     percentile,
@@ -242,3 +243,112 @@ class TestMergeSnapshots:
         snap["future_field"] = {"x": 1}
         merged = merge_snapshots([snap])
         assert "future_field" not in merged
+
+    def test_mixed_histogram_and_summary_contributors_fold_with_approx(self):
+        """One peer ships histograms, one only summaries: the merged stage
+        keeps exact counts/means but flags its quantiles approximate."""
+        a = self._metrics([0.001, 0.002])
+        b = self._metrics([0.003, 0.004])
+        merged = merge_snapshots([a.snapshot(include_histograms=True), b.snapshot()])
+        total = merged["stages"]["total"]
+        assert total["count"] == 4
+        assert total["mean"] == pytest.approx(2.5e-3)
+        assert total["max"] == pytest.approx(4e-3)
+        assert total["approx"] is True
+
+    def test_approx_flag_survives_a_refold(self):
+        """Merging a merged snapshot (frontend re-merging shard merges)
+        must not launder an approximate quantile back to exact."""
+        a = self._metrics([0.001, 0.002])
+        b = self._metrics([0.003, 0.004])
+        once = merge_snapshots([a.snapshot(include_histograms=True), b.snapshot()])
+        c = self._metrics([0.005]).snapshot(include_histograms=True)
+        twice = merge_snapshots([once, c])
+        total = twice["stages"]["total"]
+        assert total["count"] == 5
+        assert total["approx"] is True
+
+    def test_schema1_and_schema2_snapshots_merge(self):
+        """An old schema-1 peer (no popularity/health) merges cleanly with
+        a schema-2 snapshot; the additions survive untouched."""
+        old = {
+            "schema": 1,
+            "kind": "serving",
+            "stages": {"total": {"count": 2, "mean": 0.002, "p50": 0.002,
+                                 "p95": 0.003, "p99": 0.003, "max": 0.003}},
+            "counters": {"requests": 2},
+        }
+        new = self._metrics([0.001]).snapshot()
+        new["popularity"] = {"taskA": {"score": 1.5, "count": 3}}
+        new["health"] = {"shard0": {"state": "healthy"}}
+        merged = merge_snapshots([old, new])
+        assert merged["schema"] == SNAPSHOT_SCHEMA
+        assert merged["counters"]["requests"] == 3
+        assert merged["stages"]["total"]["approx"] is True  # neither had hists
+        assert merged["popularity"] == {"taskA": {"score": 1.5, "count": 3}}
+        assert merged["health"] == {"shard0": {"state": "healthy"}}
+
+    def test_popularity_tables_add_and_health_tables_union(self):
+        a = {"kind": "serving", "stages": {}, "counters": {},
+             "popularity": {"t1": {"score": 2.0, "count": 4}},
+             "health": {"shard0": {"state": "healthy"}}}
+        b = {"kind": "serving", "stages": {}, "counters": {},
+             "popularity": {"t1": {"score": 1.0, "count": 1},
+                            "t2": {"score": 0.5, "count": 2}},
+             "health": {"shard1": {"state": "degraded"}}}
+        merged = merge_snapshots([a, b])
+        assert merged["popularity"]["t1"] == {"score": 3.0, "count": 5}
+        assert merged["popularity"]["t2"] == {"score": 0.5, "count": 2}
+        assert merged["health"] == {
+            "shard0": {"state": "healthy"},
+            "shard1": {"state": "degraded"},
+        }
+
+
+class TestPopularityEWMA:
+    def _ewma(self, halflife=30.0):
+        clock = [0.0]
+        ewma = PopularityEWMA(halflife_s=halflife, clock=lambda: clock[0])
+        return ewma, clock
+
+    def test_scores_accumulate_per_task(self):
+        ewma, _clock = self._ewma()
+        ewma.record(["a", "b"])
+        ewma.record(["a"])
+        snap = ewma.snapshot()
+        assert snap["a"] == {"score": pytest.approx(2.0), "count": 2}
+        assert snap["b"] == {"score": pytest.approx(1.0), "count": 1}
+        assert len(ewma) == 2
+
+    def test_score_halves_per_halflife_but_count_is_lifetime(self):
+        ewma, clock = self._ewma(halflife=10.0)
+        ewma.record(["a"])
+        clock[0] = 10.0
+        snap = ewma.snapshot()
+        assert snap["a"]["score"] == pytest.approx(0.5)
+        assert snap["a"]["count"] == 1  # raw volume never decays
+
+    def test_recency_beats_stale_volume(self):
+        ewma, clock = self._ewma(halflife=10.0)
+        for _ in range(8):
+            ewma.record(["stale"])
+        clock[0] = 100.0  # ten halflives later
+        ewma.record(["fresh"])
+        assert ewma.top(1)[0][0] == "fresh"
+        [(first, _), (second, _)] = ewma.top(2)
+        assert (first, second) == ("fresh", "stale")
+
+    def test_invalid_halflife_rejected(self):
+        with pytest.raises(ValueError):
+            PopularityEWMA(halflife_s=0.0)
+
+    def test_metrics_facade_snapshot_carries_popularity(self):
+        metrics = ServingMetrics()
+        snap = metrics.snapshot()
+        assert "popularity" not in snap  # empty table stays off the wire
+        metrics.record_tasks(["t1", "t2"])
+        metrics.record_tasks(["t1"])
+        snap = metrics.snapshot()
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert snap["popularity"]["t1"]["count"] == 2
+        assert snap["popularity"]["t2"]["count"] == 1
