@@ -40,6 +40,7 @@ from repro.serving import (
     append_benchmark_record,
     build_demo_pool,
     run_closed_loop,
+    run_metadata,
 )
 
 NUM_SHARDS = 4
@@ -151,6 +152,11 @@ def test_networked_beats_in_process_on_multicore(net_bench_pool, workload, emit)
             "speedup": speedup,
             "async_speedup": async_speedup,
             "net_requests": net_requests,
+            "meta": run_metadata(
+                replicas_per_shard=_config().replicas_per_shard,
+                hedge_enabled=_config().replicas_per_shard > 1,
+                chaos=False,
+            ),
         },
         label="bench",
     )

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro.cli serve-bench [--mode closed|open]  # gateway load test
     python -m repro.cli cluster-bench --shards 4          # sharded-pool load test
     python -m repro.cli cluster-bench --networked         # shards in worker processes
+    python -m repro.cli cluster-bench --networked --replicas 2 --chaos  # failover drill
     python -m repro.cli shard-serve --port 7070           # host one shard over TCP
     python -m repro.cli predict-bench --heads 8           # fused-inference bench
     python -m repro.cli scrape  [--networked]             # Prometheus text scrape
@@ -266,6 +267,23 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
     if args.async_transport and not args.networked:
         print("error: --async-transport requires --networked")
         return 2
+    if args.replicas > 1 and not args.networked:
+        print("error: --replicas > 1 requires --networked (in-process shards have no replicas)")
+        return 2
+    if args.chaos and not args.networked:
+        print("error: --chaos requires --networked")
+        return 2
+    if args.chaos and args.replicas < 2:
+        print("error: --chaos needs --replicas >= 2 so siblings absorb the kill")
+        return 2
+
+    journal_writer = None
+    if args.journal:
+        from .obs import JOURNAL, RotatingJsonlWriter
+
+        journal_writer = RotatingJsonlWriter(args.journal)
+        JOURNAL.reset()
+        JOURNAL.enable(writer=journal_writer, service="cli")
 
     writer = _enable_tracing(args)
     print("building self-contained micro pool (seconds)...")
@@ -274,6 +292,7 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         num_shards=args.shards,
         replication=args.replication,
         workers_per_shard=args.workers_per_shard,
+        replicas_per_shard=args.replicas,
         shard_model_cache_bytes=0 if args.no_cache else args.model_cache_mb << 20,
         shard_payload_cache_bytes=0 if args.no_cache else args.payload_cache_mb << 20,
         composite_model_cache_bytes=0 if args.no_cache else args.model_cache_mb << 20,
@@ -297,7 +316,36 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         cluster = networked.gateway
     else:
         cluster = ClusterGateway(pool, config)
+    chaos = None
+    chaos_thread = None
+    chaos_outcome: dict = {}
     try:
+        if args.chaos:
+            import random as random_mod
+            import threading
+
+            from .net import ChaosMonkey
+
+            chaos = ChaosMonkey(networked.fleet, random_mod.Random(args.seed))
+
+            def _unleash() -> None:
+                time.sleep(args.chaos_delay)
+                handle = chaos.kill_one()
+                if handle is not None:
+                    chaos_outcome["killed"] = [
+                        handle.shard_id,
+                        handle.replica_id,
+                    ]
+                    # generous deadline: on a small saturated runner the
+                    # respawned fork competes with the bench for CPU
+                    chaos_outcome["respawned"] = chaos.wait_respawned(
+                        handle, timeout=60.0
+                    )
+
+            chaos_thread = threading.Thread(
+                target=_unleash, name="chaos-monkey", daemon=True
+            )
+            chaos_thread.start()
         if args.mode == "closed":
             report = run_closed_loop(
                 cluster,
@@ -315,6 +363,9 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
                 duration_seconds=args.duration,
                 seed=args.seed,
             )
+        if chaos_thread is not None:
+            # cover chaos_delay + the kill + the full respawn deadline
+            chaos_thread.join(timeout=args.chaos_delay + 90.0)
         print()
         print(report.render())
         print()
@@ -338,8 +389,27 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"\nworkers exited cleanly (exit codes {exit_codes}, no leaks)")
 
+    if args.journal:
+        from .obs import JOURNAL
+
+        print(f"journal: {len(JOURNAL)} event(s) -> {args.journal}")
+        JOURNAL.disable()
+
+    if chaos is not None:
+        if not chaos.kills:
+            print("error: chaos monkey found no live worker to kill")
+            return 1
+        if not chaos_outcome.get("respawned"):
+            print(f"error: killed worker {chaos_outcome.get('killed')} never respawned")
+            return 1
+        shard_id, replica_id = chaos_outcome["killed"]
+        print(
+            f"chaos: killed shard {shard_id} replica {replica_id} mid-bench; "
+            f"supervisor respawned it ({report.errors} client-visible errors)"
+        )
+
     if args.out:
-        from .serving import append_benchmark_record
+        from .serving import append_benchmark_record, run_metadata
 
         append_benchmark_record(
             args.out,
@@ -356,6 +426,12 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
                 "payload_hit_rate": report.payload_hit_rate,
                 "fanout": {str(k): v for k, v in fanout.items()},
                 "snapshot": snapshot,
+                "meta": run_metadata(
+                    replicas_per_shard=args.replicas,
+                    hedge_enabled=bool(args.networked) and args.replicas > 1,
+                    chaos=bool(args.chaos),
+                    chaos_kills=[list(k) for k in chaos.kills] if chaos else [],
+                ),
             },
             label=args.label,
         )
@@ -591,7 +667,10 @@ def cmd_top(args: argparse.Namespace) -> int:
     print("building self-contained micro pool (seconds)...", file=sys.stderr)
     pool, data = build_demo_pool(num_tasks=args.micro_tasks, seed=args.seed)
     names = sorted(pool.expert_names())
-    config = ClusterConfig(num_shards=args.shards, workers_per_shard=2)
+    replicas = args.replicas if args.networked else 1
+    config = ClusterConfig(
+        num_shards=args.shards, workers_per_shard=2, replicas_per_shard=replicas
+    )
     networked = None
     if args.networked:
         from .net import NetworkedCluster
@@ -747,6 +826,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_cluster.add_argument("--shards", type=int, default=4, help="number of pool shards")
     p_cluster.add_argument("--replication", type=int, default=1, help="copies per expert")
+    p_cluster.add_argument(
+        "--replicas", type=int, default=1,
+        help="worker replicas per shard slot (needs --networked for >1; "
+        "enables failover + hedged reads)",
+    )
     p_cluster.add_argument("--workers-per-shard", type=int, default=2)
     p_cluster.add_argument("--mode", choices=("closed", "open"), default="closed")
     p_cluster.add_argument("--clients", type=int, default=8, help="closed-loop client threads")
@@ -771,6 +855,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--async-transport",
         action="store_true",
         help="dispatch submit() through the asyncio event loop (needs --networked)",
+    )
+    p_cluster.add_argument(
+        "--chaos",
+        action="store_true",
+        help="SIGKILL a random worker mid-bench and require a clean respawn "
+        "(needs --networked and --replicas >= 2)",
+    )
+    p_cluster.add_argument(
+        "--chaos-delay", type=float, default=0.5,
+        help="seconds into the bench before the chaos kill fires",
+    )
+    p_cluster.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="persist journal events (worker_death/worker_respawn/...) to "
+        "this JSONL file",
     )
     p_cluster.add_argument(
         "--out", default=None, help="append a JSON summary record to this path"
@@ -847,6 +946,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--networked",
         action="store_true",
         help="run each shard in a forked worker process behind repro.net sockets",
+    )
+    p_top.add_argument(
+        "--replicas", type=int, default=1,
+        help="worker replicas per shard slot (ignored without --networked)",
     )
     p_top.add_argument("--clients", type=int, default=2, help="background traffic threads")
     p_top.add_argument("--interval", type=float, default=1.0, help="poll/render interval (s)")

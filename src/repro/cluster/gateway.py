@@ -135,6 +135,10 @@ class ClusterConfig:
     num_shards: int = 4
     replication: int = 1
     workers_per_shard: int = 2
+    #: Process-level worker replicas per shard slot (networked fleets):
+    #: >1 enables failover and hedged reads.  In-process clusters ignore
+    #: it — a thread crash takes the whole process with it anyway.
+    replicas_per_shard: int = 1
     shard_model_cache_bytes: int = 64 << 20
     shard_payload_cache_bytes: int = 64 << 20
     composite_model_cache_bytes: int = 64 << 20
@@ -163,6 +167,8 @@ class ClusterConfig:
             raise ValueError("num_shards must be >= 1")
         if self.workers_per_shard < 1:
             raise ValueError("workers_per_shard must be >= 1")
+        if self.replicas_per_shard < 1:
+            raise ValueError("replicas_per_shard must be >= 1")
         if self.fetch_transport not in _EXACT_TRANSPORTS:
             raise ValueError(
                 f"fetch_transport must be float-exact, one of {_EXACT_TRANSPORTS}"
@@ -212,6 +218,7 @@ class ClusterGateway:
             self.config.num_shards,
             replication=self.config.replication,
             seed=self.config.router_seed,
+            replicas_per_shard=self.config.replicas_per_shard,
         )
         if self.router.num_shards != self.config.num_shards:
             raise ValueError(
@@ -574,7 +581,20 @@ class ClusterGateway:
                 parts.append(shard.stats())
             else:
                 parts.append(shard.gateway.metrics.snapshot(include_histograms=True))
-        return merge_snapshots(parts)
+        merged = merge_snapshots(parts)
+        # circuit-breaker states are front-end client state, not worker
+        # state, so they attach *after* the merge (merge_snapshots drops
+        # keys it doesn't know — deliberately, for forward compat)
+        breakers: Dict[str, Dict[str, str]] = {}
+        for shard in self.shards:
+            states = getattr(shard, "breaker_states", None)
+            if callable(states):
+                breakers[str(shard.shard_id)] = {
+                    str(replica): state for replica, state in states().items()
+                }
+        if breakers:
+            merged["breakers"] = breakers
+        return merged
 
     def render_stats(self) -> str:
         # collect each shard's tiers ONCE (a STATS round trip per remote

@@ -77,18 +77,42 @@ class ShardRouter:
     seed:
         Salts the rendezvous digest so distinct clusters shuffle placement
         independently; the same seed always yields the same routing.
+    replicas_per_shard:
+        Process-level redundancy *within* each shard slot: how many
+        identical worker replicas serve it.  Orthogonal to ``replication``
+        (which spreads a task across *different* shards for locality);
+        this exists for failover/hedging, and :meth:`replica_set` exposes
+        it to the transports.
     """
 
-    def __init__(self, num_shards: int, replication: int = 1, seed: int = 0) -> None:
+    def __init__(
+        self,
+        num_shards: int,
+        replication: int = 1,
+        seed: int = 0,
+        replicas_per_shard: int = 1,
+    ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if not 1 <= replication <= num_shards:
             raise ValueError("replication must be within [1, num_shards]")
+        if replicas_per_shard < 1:
+            raise ValueError("replicas_per_shard must be >= 1")
         self.num_shards = num_shards
         self.replication = replication
         self.seed = seed
+        self.replicas_per_shard = replicas_per_shard
         self._pins: Dict[str, int] = {}
         self._hot: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Process-level replica sets
+    # ------------------------------------------------------------------
+    def replica_set(self, shard_id: int) -> Tuple[int, ...]:
+        """Replica ids serving ``shard_id`` (0 is the primary replica)."""
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(f"shard_id must be within [0, {self.num_shards})")
+        return tuple(range(self.replicas_per_shard))
 
     # ------------------------------------------------------------------
     # Placement control

@@ -23,6 +23,7 @@ under that boundary so shard fan-out escapes the GIL:
   executor alternative.
 """
 
+from .chaos import ChaosMonkey
 from .client import (
     RemoteOperationUnsupported,
     RemoteShardClient,
@@ -36,6 +37,7 @@ from .frame import (
     FrameDecoder,
     FrameError,
     HEADER_BYTES,
+    IDEMPOTENT_MSG_TYPES,
     MAX_PAYLOAD_BYTES,
     MsgType,
     PROTOCOL_VERSION,
@@ -47,6 +49,14 @@ from .frame import (
     negotiate_features,
     transport_for_codec,
 )
+from .retry import (
+    BreakerOpenError,
+    CircuitBreaker,
+    HedgePolicy,
+    LatencyTracker,
+    RetryPolicy,
+    ShardDrainingError,
+)
 from .server import NetworkedCluster, ShardServer, ShardWorkerFleet
 
 __all__ = [
@@ -57,6 +67,7 @@ __all__ = [
     "FrameDecoder",
     "FrameError",
     "HEADER_BYTES",
+    "IDEMPOTENT_MSG_TYPES",
     "MAX_PAYLOAD_BYTES",
     "MsgType",
     "PROTOCOL_VERSION",
@@ -67,6 +78,13 @@ __all__ = [
     "encode_message",
     "negotiate_features",
     "transport_for_codec",
+    "BreakerOpenError",
+    "ChaosMonkey",
+    "CircuitBreaker",
+    "HedgePolicy",
+    "LatencyTracker",
+    "RetryPolicy",
+    "ShardDrainingError",
     "RemoteOperationUnsupported",
     "RemoteShardClient",
     "RemoteShardError",

@@ -51,6 +51,7 @@ from .frame import (
     FEATURE_TRACE,
     FrameDecoder,
     FrameError,
+    IDEMPOTENT_MSG_TYPES,
     MessageAssembler,
     MsgType,
     PROTOCOL_VERSION,
@@ -60,8 +61,21 @@ from .frame import (
     parse_json,
     unpack_body,
 )
+from .retry import (
+    BreakerOpenError,
+    CircuitBreaker,
+    HedgePolicy,
+    LatencyTracker,
+    RETRYABLE_EXCEPTIONS,
+    RetryPolicy,
+)
 
-__all__ = ["AsyncShardChannel", "AsyncShardPool", "AsyncClusterTransport"]
+__all__ = [
+    "AsyncShardChannel",
+    "AsyncShardPool",
+    "AsyncReplicaGroup",
+    "AsyncClusterTransport",
+]
 
 
 class AsyncShardChannel:
@@ -98,11 +112,20 @@ class AsyncShardChannel:
         self.info = parse_json(payload)
 
     async def request(
-        self, msg_type: int, payload: bytes, codec: int = CODEC_JSON
+        self,
+        msg_type: int,
+        payload: bytes,
+        codec: int = CODEC_JSON,
+        timeout: Optional[float] = None,
     ) -> Tuple[int, int, bytes]:
-        """Send one message; await its (reassembled) response message."""
+        """Send one message; await its (reassembled) response message.
+
+        ``timeout`` overrides the channel default for this one request
+        (the per-op deadline from a :class:`~repro.net.retry.RetryPolicy`).
+        """
         if self._writer is None or self.closed:
             raise ConnectionError("channel is not open")
+        bound = self.timeout if timeout is None else timeout
         request_id = next(self._ids)
         future: "asyncio.Future" = asyncio.get_event_loop().create_future()
         self._pending[request_id] = future
@@ -112,15 +135,15 @@ class AsyncShardChannel:
         for frame_bytes in encode_message(msg_type, request_id, payload, codec):
             self._writer.write(frame_bytes)
         try:
-            await asyncio.wait_for(self._writer.drain(), self.timeout)
+            await asyncio.wait_for(self._writer.drain(), bound)
             response_type, response_codec, body = await asyncio.wait_for(
-                future, self.timeout
+                future, bound
             )
         except asyncio.TimeoutError:
             self._pending.pop(request_id, None)
             raise ConnectionError(
                 f"shard at {self.address} did not answer within "
-                f"{self.timeout:.0f}s"
+                f"{bound:.0f}s"
             ) from None
         if response_type == MsgType.ERROR:
             raise_remote_error(parse_json(body))
@@ -177,17 +200,25 @@ class AsyncShardChannel:
 
 
 class AsyncShardPool:
-    """Round-robin over up to ``size`` channels to one shard."""
+    """Round-robin over up to ``size`` channels to one shard replica.
 
-    def __init__(
-        self, address: Tuple[str, int], size: int = 2, timeout: float = 120.0
-    ) -> None:
-        self.address = address
+    ``address`` may be a static ``(host, port)`` pair or a zero-argument
+    callable returning one — the callable form re-resolves on every dial,
+    so a replica respawned at a new port is picked up as soon as its dead
+    channels are evicted from the rotation.
+    """
+
+    def __init__(self, address, size: int = 2, timeout: float = 120.0) -> None:
+        self._address = address
         self.size = max(1, size)
         self.timeout = timeout
         self._channels: List[AsyncShardChannel] = []
         self._cursor = 0
         self._lock = asyncio.Lock()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._address() if callable(self._address) else self._address
 
     async def channel(self) -> AsyncShardChannel:
         async with self._lock:
@@ -206,10 +237,14 @@ class AsyncShardPool:
             return self._channels[self._cursor]
 
     async def request(
-        self, msg_type: int, payload: bytes, codec: int = CODEC_JSON
+        self,
+        msg_type: int,
+        payload: bytes,
+        codec: int = CODEC_JSON,
+        timeout: Optional[float] = None,
     ) -> Tuple[int, int, bytes]:
         channel = await self.channel()
-        return await channel.request(msg_type, payload, codec)
+        return await channel.request(msg_type, payload, codec, timeout=timeout)
 
     async def close(self) -> None:
         channels, self._channels = self._channels, []
@@ -217,31 +252,221 @@ class AsyncShardPool:
             await channel.close()
 
 
+class AsyncReplicaGroup:
+    """Failover + hedging across one shard's replica pools (loop-thread).
+
+    The asyncio mirror of the sync client's replica layer: idempotent
+    requests (:data:`~repro.net.frame.IDEMPOTENT_MSG_TYPES`) fail over to
+    a sibling replica on transport errors, each replica has its own
+    :class:`~repro.net.retry.CircuitBreaker`, and slow reads are hedged —
+    a second attempt fires on a sibling after the trailing-quantile delay
+    and the first answer wins (the loser task is cancelled).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        pools: List[AsyncShardPool],
+        retry: RetryPolicy,
+        hedge: HedgePolicy,
+        metrics=None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.pools = pools
+        self.retry = retry
+        self.hedge = hedge
+        self.metrics = metrics
+        self.breakers = [CircuitBreaker() for _ in pools]
+        self.latency = LatencyTracker()
+        self._features: Optional[Tuple[str, ...]] = None
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.increment(name)
+
+    async def features(self) -> Tuple[str, ...]:
+        """Negotiated features of this shard (from the primary handshake)."""
+        if self._features is None:
+            channel = await self.pools[0].channel()
+            self._features = tuple(channel.info.get("features") or ())
+        return self._features
+
+    def _pick(self, offset: int = 0, exclude: Optional[int] = None) -> Optional[int]:
+        count = len(self.pools)
+        for step in range(count):
+            index = (offset + step) % count
+            if index == exclude:
+                continue
+            if self.breakers[index].allow():
+                return index
+        return None
+
+    async def _once(
+        self, index: int, msg_type: int, payload: bytes, codec: int, timeout: float
+    ) -> Tuple[int, int, bytes]:
+        start = perf_counter()
+        try:
+            result = await self.pools[index].request(
+                msg_type, payload, codec, timeout=timeout
+            )
+        except asyncio.CancelledError:
+            raise  # a cancelled hedge loser says nothing about the replica
+        except BaseException as error:
+            if isinstance(error, RETRYABLE_EXCEPTIONS):
+                self.breakers[index].record_failure()
+            else:
+                self.breakers[index].record_success()
+            raise
+        self.breakers[index].record_success()
+        self.latency.observe(perf_counter() - start)
+        return result
+
+    async def request(
+        self, msg_type: int, payload: bytes, codec: int = CODEC_JSON
+    ) -> Tuple[int, int, bytes]:
+        timeout = self.retry.timeout_for(msg_type)
+        if (
+            self.hedge.enabled
+            and len(self.pools) > 1
+            and msg_type in IDEMPOTENT_MSG_TYPES
+        ):
+            return await self._hedged(msg_type, payload, codec, timeout)
+        attempts = self.retry.attempts_for(msg_type)
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            index = self._pick(attempt)
+            if index is None:
+                if last_error is not None:
+                    raise last_error
+                raise BreakerOpenError(
+                    f"all {len(self.pools)} replica breakers are open "
+                    f"for shard {self.shard_id}"
+                )
+            try:
+                return await self._once(index, msg_type, payload, codec, timeout)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as error:
+                last_error = error
+                if attempt + 1 >= attempts or not self.retry.retryable(
+                    msg_type, error
+                ):
+                    raise
+                self._count("net_retries")
+                await asyncio.sleep(self.retry.backoff(attempt + 1))
+        raise last_error  # pragma: no cover - loop always returns or raises
+
+    async def _hedged(
+        self, msg_type: int, payload: bytes, codec: int, timeout: float
+    ) -> Tuple[int, int, bytes]:
+        primary = self._pick(0)
+        if primary is None:
+            raise BreakerOpenError(
+                f"all {len(self.pools)} replica breakers are open "
+                f"for shard {self.shard_id}"
+            )
+        first = asyncio.ensure_future(
+            self._once(primary, msg_type, payload, codec, timeout)
+        )
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(first), self.latency.hedge_delay(self.hedge)
+            )
+        except asyncio.TimeoutError:
+            pass  # primary is slow: hedge below
+        except BaseException as error:
+            # primary failed fast — failover, not hedging
+            if not self.retry.retryable(msg_type, error):
+                raise
+            sibling = self._pick(1, exclude=primary)
+            if sibling is None:
+                raise
+            self._count("net_failovers")
+            return await self._once(sibling, msg_type, payload, codec, timeout)
+        self._count("hedge_fired")
+        sibling = self._pick(1, exclude=primary)
+        if sibling is None:
+            return await first
+        second = asyncio.ensure_future(
+            self._once(sibling, msg_type, payload, codec, timeout)
+        )
+        pending = {first, second}
+        last_error: Optional[BaseException] = None
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                try:
+                    result = task.result()
+                except BaseException as error:
+                    last_error = error
+                    continue
+                if task is second:
+                    self._count("hedge_won")
+                for loser in pending:
+                    loser.cancel()
+                return result
+        assert last_error is not None  # both attempts failed
+        raise last_error
+
+    async def close(self) -> None:
+        for pool in self.pools:
+            await pool.close()
+
+
 class AsyncClusterTransport:
     """Event-loop request dispatch for a networked :class:`ClusterGateway`."""
 
     def __init__(
-        self, cluster, connections_per_shard: int = 2, timeout: float = 120.0
+        self,
+        cluster,
+        connections_per_shard: int = 2,
+        timeout: float = 120.0,
+        retry: Optional[RetryPolicy] = None,
+        hedge: Optional[HedgePolicy] = None,
     ) -> None:
         self.cluster = cluster
-        addresses = []
-        for shard in cluster.shards:
-            address = getattr(shard, "address", None)
-            if address is None:
+        retry = retry or RetryPolicy()
+        hedge = hedge or HedgePolicy()
+        self._groups: List[AsyncReplicaGroup] = []
+        for shard_index, shard in enumerate(cluster.shards):
+            if getattr(shard, "address", None) is None:
                 raise ValueError(
                     "the async transport needs networked shards "
                     "(RemoteShardClient); in-process shards dispatch through "
                     "the cluster executor"
                 )
-            addresses.append(address)
-        self._pools = [
-            AsyncShardPool(address, connections_per_shard, timeout)
-            for address in addresses
-        ]
+            replica_count = getattr(shard, "replica_count", 1)
+            # address *providers*, not snapshots: a respawned replica's new
+            # port is re-resolved from the shard client on the next dial
+            pools = [
+                AsyncShardPool(
+                    self._address_provider(shard, replica),
+                    connections_per_shard,
+                    timeout,
+                )
+                for replica in range(replica_count)
+            ]
+            self._groups.append(
+                AsyncReplicaGroup(
+                    shard_index, pools, retry, hedge, metrics=cluster.metrics
+                )
+            )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         # payload key -> in-flight build (the loop-native single flight)
         self._inflight: Dict[object, "asyncio.Future"] = {}
+
+    @staticmethod
+    def _address_provider(shard, replica: int):
+        def resolve() -> Tuple[str, int]:
+            addresses = getattr(shard, "addresses", None)
+            if addresses is None:
+                return shard.address
+            return addresses[min(replica, len(addresses) - 1)]
+
+        return resolve
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -279,8 +504,8 @@ class AsyncClusterTransport:
         loop.close()
 
     async def _close_pools(self) -> None:
-        for pool in self._pools:
-            await pool.close()
+        for group in self._groups:
+            await group.close()
 
     # ------------------------------------------------------------------
     async def _serve(
@@ -343,14 +568,12 @@ class AsyncClusterTransport:
                     "tasks": list(names),
                     "transport": transport,
                 }
+                group = self._groups[shard_id]
                 try:
-                    channel = await self._pools[shard_id].channel()
                     ctx = TRACER.inject()
-                    if ctx is not None and FEATURE_TRACE in (
-                        channel.info.get("features") or ()
-                    ):
+                    if ctx is not None and FEATURE_TRACE in await group.features():
                         request["trace"] = ctx
-                    _msg, _codec, payload = await channel.request(
+                    _msg, _codec, payload = await group.request(
                         MsgType.SERVE, json_payload(request)
                     )
                 except BaseException as error:
@@ -439,7 +662,7 @@ class AsyncClusterTransport:
                 if not missing:
                     return
                 try:
-                    _msg, _codec, raw = await self._pools[shard_id].request(
+                    _msg, _codec, raw = await self._groups[shard_id].request(
                         MsgType.FETCH_HEADS,
                         json_payload(
                             {
@@ -486,4 +709,4 @@ class AsyncClusterTransport:
         return payload, model_hit
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"AsyncClusterTransport(shards={len(self._pools)})"
+        return f"AsyncClusterTransport(shards={len(self._groups)})"

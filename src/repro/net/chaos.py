@@ -1,0 +1,75 @@
+"""Chaos testing helpers: kill workers on purpose, prove nobody notices.
+
+:class:`ChaosMonkey` SIGKILLs a random live worker of a
+:class:`~repro.net.server.ShardWorkerFleet` — no drain, no warning, the
+process is simply gone mid-request.  The fleet's supervisor is expected
+to notice the death, journal it, and respawn the replica while sibling
+replicas absorb the traffic.  The chaos CI job and
+``tests/net/test_fault_tolerance.py`` drive query load across the kill
+window and assert zero client-visible errors with bit-identical
+results.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from typing import Optional
+
+__all__ = ["ChaosMonkey"]
+
+
+class ChaosMonkey:
+    """SIGKILL random fleet workers; deterministic under a seeded rng."""
+
+    def __init__(self, fleet, rng: Optional[random.Random] = None) -> None:
+        self.fleet = fleet
+        self.rng = rng or random.Random()
+        self.kills: list = []
+
+    def live_workers(self):
+        return [h for h in self.fleet.workers if h.process.is_alive()]
+
+    def kill_one(self):
+        """SIGKILL one random live worker; returns its handle (or None).
+
+        Uses SIGKILL specifically — SIGTERM would trigger the worker's
+        graceful-drain handler, which is not chaos, it's a deploy.
+        """
+        victims = self.live_workers()
+        if not victims:
+            return None
+        handle = self.rng.choice(victims)
+        pid = handle.process.pid
+        os.kill(pid, signal.SIGKILL)
+        self.kills.append((handle.shard_id, handle.replica_id, pid))
+        return handle
+
+    def wait_respawned(self, handle, timeout: float = 15.0) -> bool:
+        """Block until the fleet replaced ``handle``'s slot with a live pid.
+
+        The dead pid comes from :attr:`kills`, not from ``handle`` — the
+        supervisor refills the slot by mutating the handle in place, so by
+        the time anyone polls, ``handle.process`` may already *be* the
+        replacement.
+        """
+        killed = [
+            pid
+            for shard_id, replica_id, pid in self.kills
+            if shard_id == handle.shard_id and replica_id == handle.replica_id
+        ]
+        dead_pid = killed[-1] if killed else handle.process.pid
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for current in self.fleet.workers:
+                if (
+                    current.shard_id == handle.shard_id
+                    and current.replica_id == handle.replica_id
+                    and current.process.pid != dead_pid
+                    and current.process.is_alive()
+                ):
+                    return True
+            time.sleep(0.05)
+        return False

@@ -31,9 +31,16 @@ from __future__ import annotations
 import itertools
 import socket
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+    wait as futures_wait,
+)
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,6 +54,7 @@ from .frame import (
     FEATURE_TRACE,
     FrameDecoder,
     FrameError,
+    IDEMPOTENT_MSG_TYPES,
     MessageAssembler,
     MsgType,
     PROTOCOL_VERSION,
@@ -56,6 +64,15 @@ from .frame import (
     pack_body,
     parse_json,
     unpack_body,
+)
+from .retry import (
+    BreakerOpenError,
+    CircuitBreaker,
+    HedgePolicy,
+    LatencyTracker,
+    RETRYABLE_EXCEPTIONS,
+    RetryPolicy,
+    ShardDrainingError,
 )
 
 __all__ = [
@@ -68,12 +85,14 @@ __all__ = [
 ]
 
 #: Exception types that keep their identity across the wire (the cluster's
-#: replan-and-retry contract dispatches on KeyError specifically).
+#: replan-and-retry contract dispatches on KeyError specifically, and the
+#: failover path on ShardDrainingError).
 _WIRE_EXCEPTIONS = {
     "KeyError": KeyError,
     "ValueError": ValueError,
     "RuntimeError": RuntimeError,
     "FrameError": FrameError,
+    "ShardDrainingError": ShardDrainingError,
 }
 
 
@@ -147,6 +166,9 @@ class _SyncChannel:
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._decoder = FrameDecoder()
         self.dirty = False
+        # stamped by the pooling client: channels dialed before a replica
+        # was replaced (respawn) must not be re-pooled afterwards
+        self.generation = 0
         try:
             msg_type, _codec, payload = self.request(
                 MsgType.HELLO,
@@ -164,7 +186,11 @@ class _SyncChannel:
             raise
 
     def request(
-        self, msg_type: int, payload: bytes, codec: int = CODEC_JSON
+        self,
+        msg_type: int,
+        payload: bytes,
+        codec: int = CODEC_JSON,
+        timeout: Optional[float] = None,
     ) -> Tuple[int, int, bytes]:
         """Send one message, block for its response message.
 
@@ -174,7 +200,11 @@ class _SyncChannel:
         ``self.dirty`` stays True until a complete response message was
         consumed off the stream — a channel that raised while dirty has
         undefined buffered state and must be closed, never re-pooled.
+        ``timeout`` (when given) bounds this one request — the per-op
+        deadline from the client's :class:`~repro.net.retry.RetryPolicy`.
         """
+        if timeout is not None:
+            self.sock.settimeout(timeout)
         self.dirty = True
         request_id = next(self._ids)
         for frame_bytes in encode_message(msg_type, request_id, payload, codec):
@@ -211,73 +241,331 @@ class _SyncChannel:
             pass
 
 
+class _ReplicaEndpoint:
+    """One replica's address, idle-channel pool, and circuit breaker."""
+
+    def __init__(
+        self, replica_id: int, address: Tuple[str, int], breaker: CircuitBreaker
+    ) -> None:
+        self.replica_id = replica_id
+        self.address = (address[0], int(address[1]))
+        self.breaker = breaker
+        self.idle: List[_SyncChannel] = []
+        # bumped on replace(): channels from older generations are corpses
+        self.generation = 0
+
+
+def _swallow_future(future: "Future") -> None:
+    """Done-callback for hedge losers: consume the exception, if any."""
+    if not future.cancelled():
+        future.exception()
+
+
 class RemoteShardClient:
-    """A :class:`~repro.cluster.shard.PoolShard` look-alike over TCP."""
+    """A :class:`~repro.cluster.shard.PoolShard` look-alike over TCP.
+
+    ``address`` is either one ``(host, port)`` pair (a lone worker — the
+    pre-replica construction, unchanged) or a list of pairs, one per
+    replica of the same shard.  With multiple replicas the client fails
+    idempotent requests over on connection errors/timeouts, keeps a
+    :class:`~repro.net.retry.CircuitBreaker` per replica, and — when the
+    :class:`~repro.net.retry.HedgePolicy` allows — hedges slow reads
+    against a sibling, taking the first answer.
+    """
 
     def __init__(
         self,
-        address: Tuple[str, int],
+        address: Union[Tuple[str, int], Sequence[Tuple[str, int]]],
         connections: int = 2,
         timeout: float = 120.0,
         metrics=None,
+        retry: Optional[RetryPolicy] = None,
+        hedge: Optional[HedgePolicy] = None,
     ) -> None:
-        self.address = (address[0], int(address[1]))
+        if address and isinstance(address[0], str):
+            addresses = [address]  # single (host, port) pair
+        else:
+            addresses = list(address)
+        if not addresses:
+            raise ValueError("RemoteShardClient needs at least one address")
         self.timeout = timeout
         self.metrics = metrics
+        self.retry = retry or RetryPolicy()
+        self.hedge = hedge or HedgePolicy()
+        self._latency = LatencyTracker()
+        self._replicas = [
+            _ReplicaEndpoint(i, addr, CircuitBreaker())
+            for i, addr in enumerate(addresses)
+        ]
         self._max_idle = max(1, connections)
-        self._idle: List[_SyncChannel] = []
         self._pool_lock = threading.Lock()
         self._info: Optional[Dict] = None
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._hedge_executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
         self._closed = False
 
-    # ------------------------------------------------------------------
-    # Connection pool
-    # ------------------------------------------------------------------
-    def _acquire(self) -> _SyncChannel:
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The primary replica's address (pre-replica callers use this)."""
+        return self._replicas[0].address
+
+    @property
+    def addresses(self) -> List[Tuple[str, int]]:
+        """Every replica's current address, primary first."""
+        return [endpoint.address for endpoint in self._replicas]
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    def breaker_states(self) -> Dict[int, str]:
+        """Circuit-breaker state per replica (for the unified snapshot)."""
+        return {ep.replica_id: ep.breaker.state for ep in self._replicas}
+
+    def replace_replica(self, replica_id: int, address: Tuple[str, int]) -> None:
+        """Repoint one replica slot after a respawn: new address, clean pool.
+
+        Idle channels of the old generation are corpses (their worker is
+        gone) and are closed; in-flight requests on them fail and follow
+        the normal failover path.  The breaker resets so the fresh worker
+        gets traffic immediately.
+        """
+        endpoint = self._replicas[replica_id]
         with self._pool_lock:
-            if self._closed:
-                raise RuntimeError("remote shard client is closed")
-            if self._idle:
-                return self._idle.pop()
-        channel = _SyncChannel(self.address, self.timeout)
+            endpoint.address = (address[0], int(address[1]))
+            endpoint.generation += 1
+            idle, endpoint.idle = endpoint.idle, []
+            if replica_id == 0:
+                self._info = None  # primary identity (pid) changed
+        for channel in idle:
+            channel.close()
+        endpoint.breaker.reset()
+
+    # ------------------------------------------------------------------
+    # Connection pool (per replica endpoint)
+    # ------------------------------------------------------------------
+    def _channel_alive(self, channel: _SyncChannel) -> bool:
+        """Cheap liveness probe before reusing a pooled channel.
+
+        A healthy idle channel has nothing to read — a non-blocking peek
+        raises ``BlockingIOError``.  EOF (``b""``), unsolicited bytes, or
+        any other socket error mean the worker died or the stream is
+        corrupt: evict instead of poisoning the next request.  Mirrors
+        the corpse-eviction in ``aio.AsyncShardPool``.
+        """
+        sock = channel.sock
+        try:
+            sock.setblocking(False)
+            try:
+                sock.recv(1, socket.MSG_PEEK)
+            except (BlockingIOError, InterruptedError):
+                return True
+            return False
+        except OSError:
+            return False
+        finally:
+            try:
+                sock.settimeout(self.timeout)
+            except OSError:
+                pass
+
+    def _acquire(self, endpoint: _ReplicaEndpoint) -> _SyncChannel:
+        while True:
+            with self._pool_lock:
+                if self._closed:
+                    raise RuntimeError("remote shard client is closed")
+                channel = endpoint.idle.pop() if endpoint.idle else None
+            if channel is None:
+                break
+            if channel.generation == endpoint.generation and self._channel_alive(
+                channel
+            ):
+                return channel
+            channel.close()  # corpse (dead worker or stale generation)
         with self._pool_lock:
-            if self._info is None:
+            address, generation = endpoint.address, endpoint.generation
+        channel = _SyncChannel(address, self.timeout)
+        channel.generation = generation
+        with self._pool_lock:
+            if self._info is None and endpoint.replica_id == 0:
                 self._info = channel.info
         return channel
 
-    def _release(self, channel: _SyncChannel) -> None:
+    def _release(self, endpoint: _ReplicaEndpoint, channel: _SyncChannel) -> None:
         with self._pool_lock:
-            if not self._closed and len(self._idle) < self._max_idle:
-                self._idle.append(channel)
+            if (
+                not self._closed
+                and channel.generation == endpoint.generation
+                and len(endpoint.idle) < self._max_idle
+            ):
+                endpoint.idle.append(channel)
                 return
         channel.close()
 
-    def _request(
-        self, msg_type: int, payload: bytes, codec: int = CODEC_JSON
+    # ------------------------------------------------------------------
+    # Requests: one attempt, then the retry/failover/hedge layers
+    # ------------------------------------------------------------------
+    def _request_on(
+        self,
+        endpoint: _ReplicaEndpoint,
+        msg_type: int,
+        payload: bytes,
+        codec: int,
+        timeout: float,
     ) -> Tuple[int, int, bytes]:
-        channel = self._acquire()
+        """One delivery attempt against one replica; feeds its breaker."""
+        channel = self._acquire(endpoint)
         start = perf_counter()
         try:
-            response = channel.request(msg_type, payload, codec)
-        except BaseException:
+            response = channel.request(msg_type, payload, codec, timeout=timeout)
+        except BaseException as error:
             if channel.dirty:
                 # mid-stream failure (socket error, corrupt frame, local
                 # interrupt): buffered state is undefined, drop the channel
                 channel.close()
             else:
                 # a complete (typed ERROR) response was consumed: clean
-                self._release(channel)
+                self._release(endpoint, channel)
+            # transport-level failures (and drain rejections) count
+            # against the replica; typed application errors prove the
+            # replica is healthy
+            if isinstance(error, RETRYABLE_EXCEPTIONS):
+                endpoint.breaker.record_failure()
+            else:
+                endpoint.breaker.record_success()
             raise
         else:
-            self._release(channel)
+            self._release(endpoint, channel)
+        endpoint.breaker.record_success()
+        elapsed = perf_counter() - start
+        self._latency.observe(elapsed)
         if self.metrics is not None:
-            self.metrics.observe("net_roundtrip", perf_counter() - start)
+            self.metrics.observe("net_roundtrip", elapsed)
             self.metrics.increment("net_requests")
             self.metrics.increment("net_bytes_tx", len(payload))
             self.metrics.increment("net_bytes_rx", len(response[2]))
         return response
+
+    def _pick_endpoint(
+        self, offset: int = 0, exclude: Optional[_ReplicaEndpoint] = None
+    ) -> Optional[_ReplicaEndpoint]:
+        """First replica (rotated by ``offset``) whose breaker admits us."""
+        count = len(self._replicas)
+        for step in range(count):
+            endpoint = self._replicas[(offset + step) % count]
+            if endpoint is exclude:
+                continue
+            if endpoint.breaker.allow():
+                return endpoint
+        return None
+
+    def _request(
+        self, msg_type: int, payload: bytes, codec: int = CODEC_JSON
+    ) -> Tuple[int, int, bytes]:
+        timeout = self.retry.timeout_for(msg_type)
+        if (
+            self.hedge.enabled
+            and len(self._replicas) > 1
+            and msg_type in IDEMPOTENT_MSG_TYPES
+        ):
+            return self._hedged_request(msg_type, payload, codec, timeout)
+        attempts = self.retry.attempts_for(msg_type)
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            endpoint = self._pick_endpoint(attempt)
+            if endpoint is None:
+                if last_error is not None:
+                    raise last_error
+                raise BreakerOpenError(
+                    f"all {len(self._replicas)} replica breakers are open"
+                )
+            try:
+                return self._request_on(endpoint, msg_type, payload, codec, timeout)
+            except BaseException as error:
+                last_error = error
+                if attempt + 1 >= attempts or not self.retry.retryable(
+                    msg_type, error
+                ):
+                    raise
+                if self.metrics is not None:
+                    self.metrics.increment("net_retries")
+                time.sleep(self.retry.backoff(attempt + 1))
+        raise last_error  # pragma: no cover - loop always returns or raises
+
+    def _hedged_request(
+        self, msg_type: int, payload: bytes, codec: int, timeout: float
+    ) -> Tuple[int, int, bytes]:
+        """First answer wins: primary attempt, sibling hedge after a delay.
+
+        The hedge fires once the primary has been in flight longer than
+        the policy's trailing-quantile delay.  The loser keeps running on
+        its own thread and releases its channel normally — there is no
+        wire-level cancel — but its result (or error) is discarded.
+        """
+        primary = self._pick_endpoint(0)
+        if primary is None:
+            raise BreakerOpenError(
+                f"all {len(self._replicas)} replica breakers are open"
+            )
+        executor = self._ensure_hedge_executor()
+        first = executor.submit(
+            self._request_on, primary, msg_type, payload, codec, timeout
+        )
+        try:
+            return first.result(timeout=self._latency.hedge_delay(self.hedge))
+        except FutureTimeoutError:
+            pass  # primary is slow: hedge below
+        except BaseException as error:
+            # primary failed fast — this is failover, not hedging
+            if not self.retry.retryable(msg_type, error):
+                raise
+            sibling = self._pick_endpoint(1, exclude=primary)
+            if sibling is None:
+                raise
+            if self.metrics is not None:
+                self.metrics.increment("net_failovers")
+            return self._request_on(sibling, msg_type, payload, codec, timeout)
+        if self.metrics is not None:
+            self.metrics.increment("hedge_fired")
+        sibling = self._pick_endpoint(1, exclude=primary)
+        if sibling is None:
+            return first.result(timeout=timeout)
+        second = executor.submit(
+            self._request_on, sibling, msg_type, payload, codec, timeout
+        )
+        hedges = {second}
+        pending = {first, second}
+        deadline = time.monotonic() + timeout
+        last_error: Optional[BaseException] = None
+        while pending:
+            done, pending = futures_wait(
+                pending,
+                timeout=max(0.0, deadline - time.monotonic()),
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                for future in pending:
+                    future.cancel()
+                    future.add_done_callback(_swallow_future)
+                raise TimeoutError(
+                    f"hedged request (msg type {msg_type}) missed its "
+                    f"{timeout:.0f}s deadline on both replicas"
+                )
+            for future in done:
+                try:
+                    result = future.result()
+                except BaseException as error:
+                    last_error = error
+                    continue
+                if future in hedges and self.metrics is not None:
+                    self.metrics.increment("hedge_won")
+                for loser in pending:
+                    loser.cancel()
+                    loser.add_done_callback(_swallow_future)
+                return result
+        assert last_error is not None  # both attempts failed
+        raise last_error
 
     # ------------------------------------------------------------------
     # PoolShard surface
@@ -285,7 +573,9 @@ class RemoteShardClient:
     @property
     def info(self) -> Dict:
         if self._info is None:
-            self._release(self._acquire())  # dial once for the handshake info
+            primary = self._replicas[0]
+            # dial once for the handshake info
+            self._release(primary, self._acquire(primary))
         assert self._info is not None
         return self._info
 
@@ -409,15 +699,17 @@ class RemoteShardClient:
         )
         info = parse_json(payload)
         with self._pool_lock:
-            # negotiated features come from the handshake, not STATS —
-            # carry them over so tracing keeps working after a stats sweep
-            features = (self._info or {}).get("features", [])
+            # negotiated features (and the replica id) come from the
+            # handshake, not STATS — carry them over so tracing keeps
+            # working after a stats sweep
+            previous = self._info or {}
             self._info = {
                 "shard_id": info["shard_id"],
                 "tasks": info["tasks"],
                 "pid": info["pid"],
                 "protocol": PROTOCOL_VERSION,
-                "features": features,
+                "features": previous.get("features", []),
+                "replica": previous.get("replica", 0),
             }
         return info
 
@@ -444,15 +736,20 @@ class RemoteShardClient:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        orphans: List[_SyncChannel] = []
         with self._pool_lock:
             self._closed = True
-            idle, self._idle = self._idle, []
-        for channel in idle:
+            for endpoint in self._replicas:
+                orphans.extend(endpoint.idle)
+                endpoint.idle = []
+        for channel in orphans:
             channel.close()
         with self._executor_lock:
-            executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=True)
+            executors = (self._executor, self._hedge_executor)
+            self._executor = self._hedge_executor = None
+        for executor in executors:
+            if executor is not None:
+                executor.shutdown(wait=True)
 
     def __enter__(self) -> "RemoteShardClient":
         return self
@@ -481,5 +778,22 @@ class RemoteShardClient:
                 )
             return self._executor
 
+    def _ensure_hedge_executor(self) -> ThreadPoolExecutor:
+        # deliberately separate from the submit_predict pool: a hedged
+        # request issued *from* that pool would deadlock waiting for a
+        # worker slot its own caller occupies
+        with self._executor_lock:
+            if self._closed:
+                raise RuntimeError("remote shard client is closed")
+            if self._hedge_executor is None:
+                self._hedge_executor = ThreadPoolExecutor(
+                    max_workers=max(4, 2 * len(self._replicas)),
+                    thread_name_prefix="poe-net-hedge",
+                )
+            return self._hedge_executor
+
     def __repr__(self) -> str:  # pragma: no cover
-        return f"RemoteShardClient(address={self.address})"
+        return (
+            f"RemoteShardClient(address={self.address}, "
+            f"replicas={len(self._replicas)})"
+        )

@@ -71,6 +71,7 @@ __all__ = [
     "DEFAULT_CHUNK_BYTES",
     "FLAG_END",
     "MsgType",
+    "IDEMPOTENT_MSG_TYPES",
     "CODEC_JSON",
     "CODEC_BINARY",
     "CODEC_NAMES",
@@ -138,6 +139,16 @@ class MsgType:
     STATS_OK = 13
     DRAIN = 14
     DRAINED = 15
+
+
+#: Request types safe to retry / fail over / hedge: re-executing them on
+#: another replica cannot change shard state, so a client may re-issue
+#: them after a connection error or alongside a slow first attempt.
+#: Everything else (DRAIN today; placement mutations when they gain wire
+#: frames) must be delivered at-most-once and fails fast instead.
+IDEMPOTENT_MSG_TYPES = frozenset(
+    {MsgType.PING, MsgType.FETCH_HEADS, MsgType.SERVE, MsgType.PREDICT, MsgType.STATS}
+)
 
 
 #: Codec tags 1..4 mirror ``repro.core.server.TRANSPORTS`` order.

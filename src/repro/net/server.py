@@ -52,6 +52,7 @@ from ..obs.journal import JOURNAL
 from ..obs.trace import TRACER
 from ..serving.gateway import GatewayConfig
 from .client import RemoteShardClient
+from .retry import HedgePolicy, RetryPolicy, ShardDrainingError
 from .frame import (
     CODEC_BINARY,
     CODEC_JSON,
@@ -91,11 +92,13 @@ class ShardServer:
         port: int = 0,
         request_workers: int = 2,
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        replica_id: int = 0,
     ) -> None:
         self.shard = shard
         self.host = host
         self.port = port
         self.chunk_bytes = chunk_bytes
+        self.replica_id = replica_id
         self._executor = ThreadPoolExecutor(
             max_workers=max(1, request_workers), thread_name_prefix="poe-net-req"
         )
@@ -160,7 +163,10 @@ class ShardServer:
             return
         if JOURNAL.enabled:
             JOURNAL.emit(
-                "worker_drain", shard_id=self.shard.shard_id, pid=os.getpid()
+                "worker_drain",
+                shard_id=self.shard.shard_id,
+                replica=self.replica_id,
+                pid=os.getpid(),
             )
         if self._listener is not None:
             try:
@@ -275,9 +281,12 @@ class ShardServer:
             return
         with self._inflight_cond:
             if self._draining.is_set():
+                # typed so replica-aware clients fail over instead of
+                # surfacing an error; subclasses RuntimeError, so old
+                # clients see exactly what they used to
                 self._send_error(
                     conn, write_lock, request_id,
-                    RuntimeError("shard server is draining"),
+                    ShardDrainingError("shard server is draining"),
                 )
                 return
             self._inflight += 1
@@ -383,6 +392,9 @@ class ShardServer:
                 {
                     "protocol": PROTOCOL_VERSION,
                     "shard_id": self.shard.shard_id,
+                    # replica index within the shard slot (0 for a lone
+                    # worker); a plain JSON addition — old clients ignore it
+                    "replica": self.replica_id,
                     "tasks": list(self.shard.task_names()),
                     "pid": os.getpid(),
                     # optional-capability intersection (empty for a client
@@ -537,6 +549,7 @@ def _shard_worker_main(
     gateway_config: Optional[GatewayConfig],
     host: str,
     request_workers: int,
+    replica_id: int = 0,
 ) -> None:
     """Entry point of one forked shard worker (readiness → serve → drain)."""
     import signal
@@ -553,13 +566,21 @@ def _shard_worker_main(
     JOURNAL.reset()
     JOURNAL.enable(service=f"shard{shard_id}")
     JOURNAL.emit(
-        "worker_start", shard_id=shard_id, pid=os.getpid(), tasks=len(task_names)
+        "worker_start",
+        shard_id=shard_id,
+        replica=replica_id,
+        pid=os.getpid(),
+        tasks=len(task_names),
     )
 
     try:
         shard = PoolShard(shard_id, pool, task_names, gateway_config)
         server = ShardServer(
-            shard, host=host, port=0, request_workers=request_workers
+            shard,
+            host=host,
+            port=0,
+            request_workers=request_workers,
+            replica_id=replica_id,
         )
         _host, port = server.start()
     except BaseException as error:  # report startup failure, don't hang the parent
@@ -578,21 +599,34 @@ def _shard_worker_main(
 
 @dataclasses.dataclass
 class _WorkerHandle:
+    """One worker process plus the spawn spec needed to respawn it."""
+
     shard_id: int
     process: "multiprocessing.process.BaseProcess"
     address: Tuple[str, int]
+    replica_id: int = 0
+    task_names: Tuple[str, ...] = ()
+    gateway_config: Optional[GatewayConfig] = None
 
 
 class ShardWorkerFleet:
-    """Spawn and retire one shard worker process per shard.
+    """Spawn, supervise, and retire shard worker processes.
 
     Workers are spawned lazily as :meth:`shard_factory` is called (the
     :class:`~repro.cluster.gateway.ClusterGateway` constructor drives it,
     handing over each shard's task assignment), so the fleet needs no
-    routing knowledge of its own.  ``shutdown()`` drains every worker over
-    the wire, joins it, and only terminates on timeout;
-    :meth:`leaked_processes` is the post-shutdown leak check the CI smoke
-    asserts on.
+    routing knowledge of its own.  With ``replicas_per_shard > 1`` each
+    shard slot gets N identical worker processes and the returned client
+    holds one connection pool per replica, failing over and hedging
+    between them.  A supervisor thread (started on first spawn) watches
+    child processes: a worker that dies without being asked is journaled
+    as ``worker_death`` and respawned from its stored spawn spec (fork of
+    the same pool + task assignment — the pool *is* the serialized shard
+    state), then the owning client is repointed at the new address
+    (``worker_respawn``).  ``shutdown()`` stops supervision first, then
+    drains every worker over the wire, joins it, and only terminates on
+    timeout; :meth:`leaked_processes` is the post-shutdown leak check the
+    CI smoke asserts on.
     """
 
     def __init__(
@@ -602,6 +636,11 @@ class ShardWorkerFleet:
         connections_per_shard: int = 2,
         startup_timeout: float = 60.0,
         metrics: Optional[ClusterMetrics] = None,
+        replicas_per_shard: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        hedge: Optional[HedgePolicy] = None,
+        supervise: bool = True,
+        supervision_interval: float = 0.1,
     ) -> None:
         try:
             self._context = multiprocessing.get_context("fork")
@@ -610,22 +649,34 @@ class ShardWorkerFleet:
                 "networked shards need the 'fork' start method to inherit "
                 "the preprocessed pool; this platform does not support it"
             ) from None
+        if replicas_per_shard < 1:
+            raise ValueError("replicas_per_shard must be >= 1")
         self.pool = pool
         self.host = host
         self.connections_per_shard = connections_per_shard
         self.startup_timeout = startup_timeout
         self.metrics = metrics
+        self.replicas_per_shard = replicas_per_shard
+        self.retry = retry
+        self.hedge = hedge
+        self.supervise = supervise
+        self.supervision_interval = supervision_interval
         self.workers: List[_WorkerHandle] = []
         self._clients: List[RemoteShardClient] = []
+        self._clients_by_shard: Dict[int, RemoteShardClient] = {}
+        self._supervisor: Optional[threading.Thread] = None
+        self._stop_supervision = threading.Event()
+        self._fleet_lock = threading.Lock()
 
     # ------------------------------------------------------------------
-    def spawn(
+    def _spawn_process(
         self,
         shard_id: int,
-        task_names: Sequence[str],
-        gateway_config: Optional[GatewayConfig] = None,
-    ) -> Tuple[str, int]:
-        """Fork one worker for ``task_names``; block until it is ready."""
+        replica_id: int,
+        task_names: Tuple[str, ...],
+        gateway_config: Optional[GatewayConfig],
+    ) -> Tuple["multiprocessing.process.BaseProcess", Tuple[str, int]]:
+        """Fork one worker process; block until it reports readiness."""
         parent_conn, child_conn = self._context.Pipe(duplex=False)
         request_workers = gateway_config.max_workers if gateway_config else 2
         process = self._context.Process(
@@ -633,13 +684,14 @@ class ShardWorkerFleet:
             args=(
                 child_conn,
                 shard_id,
-                tuple(task_names),
+                task_names,
                 self.pool,
                 gateway_config,
                 self.host,
                 request_workers,
+                replica_id,
             ),
-            name=f"poe-shard-{shard_id}",
+            name=f"poe-shard-{shard_id}r{replica_id}",
             daemon=True,
         )
         process.start()
@@ -647,16 +699,37 @@ class ShardWorkerFleet:
         if not parent_conn.poll(self.startup_timeout):
             process.terminate()
             raise RuntimeError(
-                f"shard worker {shard_id} did not report readiness within "
-                f"{self.startup_timeout:.0f}s"
+                f"shard worker {shard_id}/r{replica_id} did not report "
+                f"readiness within {self.startup_timeout:.0f}s"
             )
         status, value = parent_conn.recv()
         parent_conn.close()
         if status != "ready":
             process.join(timeout=5.0)
-            raise RuntimeError(f"shard worker {shard_id} failed to start: {value}")
-        address = (self.host, int(value))
-        self.workers.append(_WorkerHandle(shard_id, process, address))
+            raise RuntimeError(
+                f"shard worker {shard_id}/r{replica_id} failed to start: {value}"
+            )
+        return process, (self.host, int(value))
+
+    def spawn(
+        self,
+        shard_id: int,
+        task_names: Sequence[str],
+        gateway_config: Optional[GatewayConfig] = None,
+        replica_id: int = 0,
+    ) -> Tuple[str, int]:
+        """Fork one worker for ``task_names``; block until it is ready."""
+        names = tuple(task_names)
+        process, address = self._spawn_process(
+            shard_id, replica_id, names, gateway_config
+        )
+        with self._fleet_lock:
+            self.workers.append(
+                _WorkerHandle(
+                    shard_id, process, address, replica_id, names, gateway_config
+                )
+            )
+        self._ensure_supervisor()
         return address
 
     def shard_factory(
@@ -666,27 +739,112 @@ class ShardWorkerFleet:
         gateway_config: Optional[GatewayConfig] = None,
         trunk_cache=None,
     ) -> RemoteShardClient:
-        """The ``ClusterGateway`` shard-factory hook: one worker per shard.
+        """The ``ClusterGateway`` shard-factory hook: one replica *group*
+        of worker processes per shard.
 
         ``trunk_cache`` is accepted for signature compatibility and
         ignored — a worker process owns its own trunk-feature cache (the
         cluster front end keeps a separate one for cross-shard predicts).
         """
-        address = self.spawn(shard_id, task_names, gateway_config)
+        addresses = [
+            self.spawn(shard_id, task_names, gateway_config, replica_id=replica)
+            for replica in range(self.replicas_per_shard)
+        ]
         client = RemoteShardClient(
-            address,
+            addresses,
             connections=self.connections_per_shard,
             metrics=self.metrics,
+            retry=self.retry,
+            hedge=self.hedge,
         )
         self._clients.append(client)
+        self._clients_by_shard[shard_id] = client
         return client
+
+    # ------------------------------------------------------------------
+    # Supervision: death detection + respawn
+    # ------------------------------------------------------------------
+    def _ensure_supervisor(self) -> None:
+        if not self.supervise or self._supervisor is not None:
+            return
+        self._stop_supervision.clear()
+        self._supervisor = threading.Thread(
+            target=self._supervision_loop, name="poe-fleet-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    def _supervision_loop(self) -> None:
+        while not self._stop_supervision.wait(self.supervision_interval):
+            with self._fleet_lock:
+                handles = list(self.workers)
+            for handle in handles:
+                if self._stop_supervision.is_set():
+                    return
+                if handle.process.is_alive():
+                    continue
+                self._respawn(handle)
+
+    def _respawn(self, handle: _WorkerHandle) -> None:
+        """Replace a dead worker in place; the handle keeps its slot."""
+        dead_pid = handle.process.pid
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "worker_death",
+                shard_id=handle.shard_id,
+                replica=handle.replica_id,
+                pid=dead_pid,
+                exitcode=handle.process.exitcode,
+            )
+        if self.metrics is not None:
+            self.metrics.increment("worker_deaths")
+        try:
+            process, address = self._spawn_process(
+                handle.shard_id,
+                handle.replica_id,
+                handle.task_names,
+                handle.gateway_config,
+            )
+        except Exception as error:
+            if JOURNAL.enabled:
+                JOURNAL.emit(
+                    "worker_respawn_failed",
+                    shard_id=handle.shard_id,
+                    replica=handle.replica_id,
+                    error=f"{type(error).__name__}: {error}",
+                )
+            return
+        handle.process = process
+        handle.address = address
+        client = self._clients_by_shard.get(handle.shard_id)
+        if client is not None:
+            client.replace_replica(handle.replica_id, address)
+        if self.metrics is not None:
+            self.metrics.increment("worker_respawns")
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "worker_respawn",
+                shard_id=handle.shard_id,
+                replica=handle.replica_id,
+                pid=process.pid,
+                old_pid=dead_pid,
+            )
+
+    def stop_supervision(self) -> None:
+        self._stop_supervision.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5.0)
+            self._supervisor = None
 
     # ------------------------------------------------------------------
     def shutdown(self, timeout: float = 20.0) -> None:
         """Drain + join every worker; terminate only the unresponsive."""
+        # stop the supervisor first or it would dutifully respawn every
+        # worker this very loop is about to retire
+        self.stop_supervision()
         for client in self._clients:
             client.close()
         self._clients = []
+        self._clients_by_shard = {}
         for handle in self.workers:
             if not handle.process.is_alive():
                 # a worker that died before we asked it to is news
@@ -694,6 +852,7 @@ class ShardWorkerFleet:
                     JOURNAL.emit(
                         "worker_death",
                         shard_id=handle.shard_id,
+                        replica=handle.replica_id,
                         pid=handle.process.pid,
                         exitcode=handle.process.exitcode,
                     )
@@ -710,6 +869,7 @@ class ShardWorkerFleet:
                     JOURNAL.emit(
                         "worker_death",
                         shard_id=handle.shard_id,
+                        replica=handle.replica_id,
                         pid=handle.process.pid,
                         exitcode=handle.process.exitcode,
                     )
@@ -717,6 +877,7 @@ class ShardWorkerFleet:
                 JOURNAL.emit(
                     "worker_exit",
                     shard_id=handle.shard_id,
+                    replica=handle.replica_id,
                     pid=handle.process.pid,
                     exitcode=handle.process.exitcode,
                 )
@@ -758,14 +919,20 @@ class NetworkedCluster:
         connections_per_shard: int = 2,
         async_transport: bool = False,
         startup_timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
+        hedge: Optional[HedgePolicy] = None,
     ) -> None:
         self.metrics = ClusterMetrics()
+        replicas = getattr(config, "replicas_per_shard", 1) if config else 1
         self.fleet = ShardWorkerFleet(
             pool,
             host=host,
             connections_per_shard=connections_per_shard,
             startup_timeout=startup_timeout,
             metrics=self.metrics,
+            replicas_per_shard=replicas,
+            retry=retry,
+            hedge=hedge,
         )
         try:
             self.gateway = ClusterGateway(

@@ -179,6 +179,12 @@ class HealthScorer:
             if err >= self.policy.max_error_rate:
                 state = "degraded"
                 reasons.append(f"error rate {err:.1%}")
+            open_breakers = self.store.last(f"{source}.breakers.open")
+            if open_breakers:
+                state = "degraded"
+                reasons.append(
+                    f"{open_breakers:.0f} replica breaker(s) not closed"
+                )
         return {
             "state": state,
             "burn_rate": round(burn, 4),

@@ -43,6 +43,8 @@ EVENT_KINDS = (
     "worker_drain",
     "worker_exit",
     "worker_death",
+    "worker_respawn",
+    "worker_respawn_failed",
     "poll_error",
 )
 

@@ -47,6 +47,10 @@ KEY_COUNTERS = (
     "cross_shard",
     "net_bytes_tx",
     "net_bytes_rx",
+    "hedge_fired",
+    "hedge_won",
+    "net_retries",
+    "net_failovers",
 )
 
 #: Stages whose quantile gauges are tracked per poll.
@@ -178,6 +182,14 @@ def snapshot_rates(
         lookups = hits + misses
         if lookups > 0:
             out[f"cache.{tier}.hit_rate"] = hits / lookups
+
+    open_breakers = 0.0
+    for states in (curr.get("breakers") or {}).values():
+        for state in (states or {}).values():
+            if state != "closed":
+                open_breakers += 1.0
+    if curr.get("breakers") is not None:
+        out["breakers.open"] = open_breakers
 
     prev_fanout = prev.get("fanout") or {}
     curr_fanout = curr.get("fanout") or {}

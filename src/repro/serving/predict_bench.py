@@ -191,23 +191,27 @@ def predict_report_rows(record: Dict[str, object]) -> Tuple[List[List[str]], str
     return rows, title
 
 
-def run_metadata() -> Dict[str, object]:
+def run_metadata(**extra: object) -> Dict[str, object]:
     """Environment stamp for one benchmark run entry.
 
     Makes a trajectory interpretable after the fact: *when* the run
     happened, on how many cores, under which Python, and whether the
     relaxed-gates escape hatch (``REPRO_BENCH_RELAX``, set on shared CI
     runners) was active — a slow relaxed entry is noise, not a regression.
+    ``extra`` keys (e.g. replica/hedge/chaos config for networked runs)
+    are folded into the stamp; they must be JSON-safe.
     """
     import platform
     from datetime import datetime, timezone
 
-    return {
+    meta: Dict[str, object] = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "relax": bool(os.environ.get("REPRO_BENCH_RELAX")),
     }
+    meta.update(extra)
+    return meta
 
 
 def append_benchmark_record(

@@ -1,0 +1,337 @@
+"""Fault tolerance: replica failover, hedged reads, chaos kills, drain.
+
+The robustness contract of ``repro.net``: with ``replicas_per_shard > 1``
+a SIGKILLed worker is invisible to clients — queries across the kill
+window complete with **bit-identical** payloads, the supervisor journals
+``worker_death``/``worker_respawn`` and refills the slot, hedged reads
+absorb a slow replica's tail latency, and a draining replica sheds new
+requests onto its sibling while in-flight work completes.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterGateway, PoolShard
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.router import ShardRouter
+from repro.net import (
+    BreakerOpenError,
+    ChaosMonkey,
+    HedgePolicy,
+    NetworkedCluster,
+    RemoteShardClient,
+    ShardDrainingError,
+    ShardServer,
+)
+from repro.obs import JOURNAL
+from repro.serving import GatewayConfig
+
+#: Hedging off + no delays: tests that target a specific replica must not
+#: have a hedge race them to the sibling.
+NO_HEDGE = HedgePolicy(enabled=False)
+
+
+class SlowShardServer(ShardServer):
+    """A replica with injected service latency (tail-latency stand-in)."""
+
+    def __init__(self, *args, delay: float = 0.15, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.delay = delay
+
+    def _run_request(self, *args, **kwargs) -> None:
+        time.sleep(self.delay)
+        super()._run_request(*args, **kwargs)
+
+
+@pytest.fixture()
+def shard_setup(net_pool):
+    """One PoolShard plus a factory that starts replica servers over it."""
+    pool, _data = net_pool
+    names = sorted(pool.expert_names())
+    shard = PoolShard(0, pool, names, GatewayConfig(max_workers=2))
+    servers = []
+
+    def start(server_cls=ShardServer, replica_id: int = 0, **kwargs):
+        server = server_cls(shard, replica_id=replica_id, **kwargs)
+        server.start()
+        servers.append(server)
+        return server
+
+    yield shard, names, start
+    for server in servers:
+        server.close()
+    shard.close()
+
+
+# ----------------------------------------------------------------------
+# Replica identity + routing surface
+# ----------------------------------------------------------------------
+def test_hello_carries_replica_id(shard_setup):
+    _shard, _names, start = shard_setup
+    server = start(replica_id=3)
+    with RemoteShardClient(server.address) as client:
+        assert client.info["replica"] == 3
+        assert client.replica_count == 1
+
+
+def test_router_replica_sets():
+    router = ShardRouter(2, replicas_per_shard=3)
+    assert router.replica_set(0) == (0, 1, 2)
+    assert router.replica_set(1) == (0, 1, 2)
+    with pytest.raises(ValueError):
+        router.replica_set(2)
+    with pytest.raises(ValueError):
+        ShardRouter(2, replicas_per_shard=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(num_shards=2, replicas_per_shard=0)
+
+
+# ----------------------------------------------------------------------
+# Retry + failover (sync client)
+# ----------------------------------------------------------------------
+def test_failover_to_sibling_when_primary_dies(shard_setup):
+    shard, names, start = shard_setup
+    primary = start(replica_id=0)
+    sibling = start(replica_id=1)
+    metrics = ClusterMetrics()
+    with RemoteShardClient(
+        [primary.address, sibling.address], metrics=metrics, hedge=NO_HEDGE
+    ) as client:
+        expected = shard.fetch_heads((names[0],), "raw+zlib")
+        assert client.fetch_heads((names[0],), "raw+zlib") == expected
+        primary.close()  # hard kill: dialing it now gets connection refused
+        assert client.fetch_heads((names[0],), "raw+zlib") == expected
+        assert metrics.counter("net_retries") >= 1
+
+
+def test_sync_pool_evicts_corpse_channels(shard_setup):
+    shard, names, start = shard_setup
+    server = start()
+    metrics = ClusterMetrics()
+    with RemoteShardClient(server.address, metrics=metrics) as client:
+        expected = shard.fetch_heads((names[0],), "raw+zlib")
+        assert client.fetch_heads((names[0],), "raw+zlib") == expected
+        # the worker side tears down every established connection (as a
+        # SIGKILLed process would); the listener stays up
+        with server._conn_lock:
+            conns = list(server._connections)
+        for conn in conns:
+            conn.shutdown(2)
+        time.sleep(0.05)  # let the FIN arrive so the peek sees EOF
+        # the pooled channel is a corpse: the MSG_PEEK probe must evict it
+        # and dial fresh — no error, no retry spent
+        assert client.fetch_heads((names[0],), "raw+zlib") == expected
+        assert metrics.counter("net_retries") == 0
+
+
+def test_all_breakers_open_raises_typed_error(shard_setup):
+    _shard, _names, start = shard_setup
+    server = start()
+    with RemoteShardClient(server.address) as client:
+        for endpoint in client._replicas:
+            for _ in range(endpoint.breaker.failure_threshold):
+                endpoint.breaker.record_failure()
+        assert client.breaker_states() == {0: "open"}
+        with pytest.raises(BreakerOpenError):
+            client.ping()
+
+
+# ----------------------------------------------------------------------
+# Hedged reads
+# ----------------------------------------------------------------------
+def test_hedged_read_beats_slow_primary(shard_setup):
+    shard, names, start = shard_setup
+    slow = start(SlowShardServer, replica_id=0, delay=0.15)
+    fast = start(replica_id=1)
+    metrics = ClusterMetrics()
+    hedge = HedgePolicy(min_delay=0.02, max_delay=0.05)
+    with RemoteShardClient(
+        [slow.address, fast.address], metrics=metrics, hedge=hedge
+    ) as client:
+        expected = shard.fetch_heads((names[0],), "raw+zlib")
+        elapsed = []
+        for _ in range(3):
+            t0 = time.perf_counter()
+            assert client.fetch_heads((names[0],), "raw+zlib") == expected
+            elapsed.append(time.perf_counter() - t0)
+            time.sleep(0.2)  # let the losing slow attempt drain
+        # every read finished well under the slow replica's 150 ms floor:
+        # the hedge fired and the sibling's answer won
+        assert min(elapsed) < 0.12
+        assert metrics.counter("hedge_fired") >= 1
+        assert metrics.counter("hedge_won") >= 1
+
+
+# ----------------------------------------------------------------------
+# Drain: in-flight completes, new requests fail over
+# ----------------------------------------------------------------------
+def test_drain_waits_for_inflight_and_sheds_new_requests(shard_setup):
+    shard, names, start = shard_setup
+    primary = start(SlowShardServer, replica_id=0, delay=0.3)
+    sibling = start(replica_id=1)
+    metrics = ClusterMetrics()
+    with RemoteShardClient(
+        [primary.address, sibling.address], metrics=metrics, hedge=NO_HEDGE
+    ) as client:
+        expected = shard.fetch_heads((names[0],), "raw+zlib")
+        inflight_result = []
+
+        def inflight() -> None:
+            inflight_result.append(client.fetch_heads((names[0],), "raw+zlib"))
+
+        worker = threading.Thread(target=inflight)
+        worker.start()
+        time.sleep(0.1)  # request is in flight on the slow primary
+        primary.drain()  # returns only after in-flight work completed
+        worker.join(timeout=10.0)
+        assert inflight_result == [expected]
+        # new requests: the draining primary answers with the typed
+        # rejection, the retry layer fails them over to the sibling
+        assert client.fetch_heads((names[0],), "raw+zlib") == expected
+        assert metrics.counter("net_retries") >= 1
+
+
+def test_draining_single_replica_surfaces_typed_error(shard_setup):
+    _shard, names, start = shard_setup
+    server = start()
+    with RemoteShardClient(server.address) as client:
+        client.ping()  # establish the pool before the drain
+        server.drain()
+        with pytest.raises(ShardDrainingError):
+            client.fetch_heads((names[0],), "raw+zlib")
+
+
+# ----------------------------------------------------------------------
+# Chaos: SIGKILL under load, bit-identical results, journaled respawn
+# ----------------------------------------------------------------------
+CHAOS_CONFIG = ClusterConfig(
+    num_shards=2,
+    workers_per_shard=2,
+    replicas_per_shard=2,
+    # front-end caches off so queries keep crossing the wire through the
+    # kill window instead of being absorbed by the composite cache
+    composite_model_cache_bytes=0,
+    composite_payload_cache_bytes=0,
+    remote_head_cache_bytes=0,
+    result_cache_bytes=0,
+)
+
+
+def _queries(cluster):
+    names = sorted(cluster.available_tasks())
+    first = names[0]
+    partner = next(
+        n for n in names[1:] if cluster.shards_of(n)[0] != cluster.shards_of(first)[0]
+    )
+    return [(n,) for n in names] + [(first, partner)]
+
+
+def test_chaos_kill_is_invisible_to_clients(net_pool):
+    pool, _data = net_pool
+    with ClusterGateway(
+        pool, ClusterConfig(num_shards=2, workers_per_shard=2)
+    ) as local:
+        queries = _queries(local)
+        expected = {q: local.serve(q).payload for q in queries}
+    JOURNAL.reset()
+    JOURNAL.enable(service="test")
+    try:
+        with NetworkedCluster(pool, CHAOS_CONFIG) as deployment:
+            gateway = deployment.gateway
+            # 2 shards x 2 replicas = 4 worker processes, distinct pids
+            assert len(deployment.fleet.workers) == 4
+            assert len({h.process.pid for h in deployment.fleet.workers}) == 4
+            assert {
+                (h.shard_id, h.replica_id) for h in deployment.fleet.workers
+            } == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+            monkey = ChaosMonkey(deployment.fleet, random.Random(3))
+            stop = threading.Event()
+            errors: list = []
+            results: list = []
+
+            def drive() -> None:
+                i = 0
+                while not stop.is_set():
+                    query = queries[i % len(queries)]
+                    try:
+                        results.append((query, gateway.serve(query).payload))
+                    except Exception as exc:  # noqa: BLE001 - the assertion
+                        errors.append(exc)
+                    i += 1
+                    # think time: keep traffic flowing across the kill window
+                    # without saturating the box — on a small runner a
+                    # closed loop would starve the respawned worker of the
+                    # CPU it needs to finish starting up
+                    time.sleep(0.02)
+
+            threads = [threading.Thread(target=drive) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            try:
+                time.sleep(0.3)
+                handle = monkey.kill_one()
+                assert handle is not None
+                assert monkey.wait_respawned(handle, timeout=60.0)
+                time.sleep(0.3)  # keep load on the refilled fleet
+            finally:
+                # stop the load even when an assertion above fails — live
+                # drive threads would otherwise outlast the test
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=60.0)
+
+            assert errors == []
+            assert len(results) > len(queries)
+            for query, payload in results:
+                assert payload == expected[query], query
+
+            # the killed slot holds a fresh, live process
+            killed_shard, killed_replica, killed_pid = monkey.kills[0]
+            slot = next(
+                h
+                for h in deployment.fleet.workers
+                if h.shard_id == killed_shard and h.replica_id == killed_replica
+            )
+            assert slot.process.pid != killed_pid
+            assert slot.process.is_alive()
+
+            kinds = [e["kind"] for e in JOURNAL.events()]
+            assert "worker_death" in kinds
+            assert "worker_respawn" in kinds
+
+            # breaker states ride in the unified snapshot, per shard/replica
+            snapshot = gateway.unified_snapshot()
+            assert set(snapshot["breakers"]) == {"0", "1"}
+            for states in snapshot["breakers"].values():
+                assert set(states) == {"0", "1"}
+        assert deployment.fleet.leaked_processes() == []
+    finally:
+        JOURNAL.reset()
+
+
+def test_chaos_kill_with_async_transport(net_pool):
+    pool, _data = net_pool
+    with ClusterGateway(
+        pool, ClusterConfig(num_shards=2, workers_per_shard=2)
+    ) as local:
+        queries = _queries(local)
+        expected = {q: local.serve(q).payload for q in queries}
+    with NetworkedCluster(pool, CHAOS_CONFIG, async_transport=True) as deployment:
+        gateway = deployment.gateway
+        monkey = ChaosMonkey(deployment.fleet, random.Random(11))
+        for query in queries:
+            assert gateway.submit(query).result().payload == expected[query]
+        handle = monkey.kill_one()
+        assert handle is not None
+        assert monkey.wait_respawned(handle, timeout=60.0)
+        for _round in range(3):
+            futures = [gateway.submit(query) for query in queries]
+            for query, future in zip(queries, futures):
+                assert future.result().payload == expected[query]
+    assert deployment.fleet.leaked_processes() == []
