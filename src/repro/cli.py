@@ -319,7 +319,26 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
     chaos = None
     chaos_thread = None
     chaos_outcome: dict = {}
+    reshard_thread = None
+    reshard_outcome: dict = {}
     try:
+        if getattr(args, "reshard_to", None):
+            import threading
+
+            def _reshard_mid_bench() -> None:
+                time.sleep(args.reshard_delay)
+                try:
+                    report = cluster.reshard(args.reshard_to)
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    reshard_outcome["error"] = f"{type(exc).__name__}: {exc}"
+                else:
+                    reshard_outcome["epoch"] = report.epoch
+                    reshard_outcome["moved"] = len(report.moved)
+
+            reshard_thread = threading.Thread(
+                target=_reshard_mid_bench, name="bench-reshard", daemon=True
+            )
+            reshard_thread.start()
         if args.chaos:
             import random as random_mod
             import threading
@@ -366,6 +385,8 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         if chaos_thread is not None:
             # cover chaos_delay + the kill + the full respawn deadline
             chaos_thread.join(timeout=args.chaos_delay + 90.0)
+        if reshard_thread is not None:
+            reshard_thread.join(timeout=args.reshard_delay + 120.0)
         print()
         print(report.render())
         print()
@@ -394,6 +415,20 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
 
         print(f"journal: {len(JOURNAL)} event(s) -> {args.journal}")
         JOURNAL.disable()
+
+    if getattr(args, "reshard_to", None):
+        if "error" in reshard_outcome:
+            print(f"error: mid-bench reshard failed: {reshard_outcome['error']}")
+            return 1
+        if "epoch" not in reshard_outcome:
+            print("error: mid-bench reshard never completed")
+            return 1
+        print(
+            f"reshard: {args.shards} -> {args.reshard_to} shards mid-bench "
+            f"(epoch {reshard_outcome['epoch']}, "
+            f"{reshard_outcome['moved']} expert(s) moved, "
+            f"{report.errors} client-visible errors)"
+        )
 
     if chaos is not None:
         if not chaos.kills:
@@ -431,6 +466,16 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
                     hedge_enabled=bool(args.networked) and args.replicas > 1,
                     chaos=bool(args.chaos),
                     chaos_kills=[list(k) for k in chaos.kills] if chaos else [],
+                    reshard_to=getattr(args, "reshard_to", None),
+                    # 1-core runners serialize the worker processes, so
+                    # throughput comparisons against multi-core entries are
+                    # noise — flag the entry instead of suppressing it
+                    **(
+                        {"skip_reason": "single-core runner: parallel shard "
+                         "throughput not meaningful"}
+                        if (os.cpu_count() or 1) < 2
+                        else {}
+                    ),
                 ),
             },
             label=args.label,
@@ -438,6 +483,104 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         print(f"appended run to {args.out}")
     _finish_tracing(args, writer)
     return 0 if report.errors == 0 else 1
+
+
+def cmd_reshard(args: argparse.Namespace) -> int:
+    """Grow/shrink a live cluster online and prove answers never change.
+
+    Builds the self-contained micro pool, deploys it (in-process by
+    default, forked worker processes with ``--networked``), snapshots
+    every task's served payload, then reshards to ``--to`` shards while
+    closed-loop driver threads keep querying.  Exits nonzero if any
+    request failed during the move or any post-reshard payload differs
+    from its pre-reshard bytes.
+    """
+    import threading
+
+    from .cluster import ClusterConfig, ClusterGateway
+    from .serving import build_demo_pool
+
+    if args.journal:
+        from .obs import JOURNAL, RotatingJsonlWriter
+
+        JOURNAL.reset()
+        JOURNAL.enable(writer=RotatingJsonlWriter(args.journal), service="cli")
+
+    print("building self-contained micro pool (seconds)...", file=sys.stderr)
+    pool, _data = build_demo_pool(num_tasks=args.micro_tasks, seed=args.seed)
+    replicas = args.replicas if args.networked else 1
+    config = ClusterConfig(
+        num_shards=args.shards, workers_per_shard=2, replicas_per_shard=replicas
+    )
+    networked = None
+    if args.networked:
+        from .net import NetworkedCluster
+
+        networked = NetworkedCluster(pool, config)
+        cluster = networked.gateway
+    else:
+        cluster = ClusterGateway(pool, config)
+
+    names = sorted(pool.expert_names())
+    errors: List[str] = []
+    stop = threading.Event()
+
+    def drive(worker_id: int) -> None:
+        i = worker_id
+        while not stop.is_set():
+            try:
+                cluster.serve((names[i % len(names)],))
+            except Exception as exc:  # noqa: BLE001 - tallied below
+                if not stop.is_set():
+                    errors.append(f"{type(exc).__name__}: {exc}")
+            i += 1
+
+    try:
+        baseline = {name: cluster.serve((name,)).payload for name in names}
+        threads = [
+            threading.Thread(target=drive, args=(i,), daemon=True)
+            for i in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        start = time.perf_counter()
+        report = cluster.reshard(args.to)
+        elapsed = time.perf_counter() - start
+        time.sleep(0.2)  # let in-flight retries settle before stopping
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        mismatched = [
+            name
+            for name in names
+            if cluster.serve((name,)).payload != baseline[name]
+        ]
+    finally:
+        stop.set()
+        if networked is not None:
+            networked.close()
+        else:
+            cluster.close()
+
+    print(
+        f"reshard {args.shards} -> {args.to}: epoch {report.epoch}, "
+        f"{len(report.moved)} expert(s) moved, {report.installs} install(s), "
+        f"{report.drops} drop(s), {report.migrated_bytes} payload byte(s) "
+        f"in {elapsed:.2f}s"
+    )
+    if errors:
+        print(f"error: {len(errors)} request(s) failed mid-reshard: {errors[:3]}")
+        return 1
+    if mismatched:
+        print(f"error: payload mismatch after reshard for {mismatched}")
+        return 1
+    print(f"all {len(names)} task payloads bit-identical; zero client-visible errors")
+    if args.journal:
+        from .obs import JOURNAL
+
+        print(f"journal: {len(JOURNAL)} event(s) -> {args.journal}")
+        JOURNAL.disable()
+    return 0
 
 
 def cmd_shard_serve(args: argparse.Namespace) -> int:
@@ -867,6 +1010,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="seconds into the bench before the chaos kill fires",
     )
     p_cluster.add_argument(
+        "--reshard-to", type=int, default=None, metavar="N",
+        help="grow/shrink the cluster to N shards ONLINE mid-bench "
+        "(two-phase epoch-fenced migration; requests must keep succeeding)",
+    )
+    p_cluster.add_argument(
+        "--reshard-delay", type=float, default=1.0,
+        help="seconds into the bench before the online reshard fires",
+    )
+    p_cluster.add_argument(
         "--journal", default=None, metavar="FILE",
         help="persist journal events (worker_death/worker_respawn/...) to "
         "this JSONL file",
@@ -877,6 +1029,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_cluster.add_argument("--label", default="cli", help="label stored with --out records")
     _add_trace_flags(p_cluster)
     p_cluster.set_defaults(fn=cmd_cluster_bench)
+
+    p_reshard = sub.add_parser(
+        "reshard",
+        help="grow/shrink a live demo cluster online (two-phase epoch-fenced "
+        "migration) and verify bit-identical answers",
+    )
+    p_reshard.add_argument("--shards", type=int, default=2, help="initial shard count")
+    p_reshard.add_argument("--to", type=int, required=True, help="target shard count")
+    p_reshard.add_argument(
+        "--networked",
+        action="store_true",
+        help="run shards as forked worker processes (spawn/drain slots online)",
+    )
+    p_reshard.add_argument(
+        "--replicas", type=int, default=1,
+        help="worker replicas per shard slot (networked only)",
+    )
+    p_reshard.add_argument("--clients", type=int, default=4, help="driver threads during the move")
+    p_reshard.add_argument("--micro-tasks", type=int, default=8, help="tasks in the micro pool")
+    p_reshard.add_argument("--seed", type=int, default=0)
+    p_reshard.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="persist journal events (reshard/mutation_applied/...) to this JSONL file",
+    )
+    p_reshard.set_defaults(fn=cmd_reshard)
 
     p_shard = sub.add_parser(
         "shard-serve", help="host one pool shard over TCP (repro.net protocol)"

@@ -55,20 +55,29 @@ of threads: cache tiers are individually locked
 take ``_placement_lock``, duplicate concurrent builds coalesce through
 :class:`~repro.serving.gateway.SingleFlight`, and version-guarded cache
 puts serialize against the pool's invalidation listener via
-``_invalidate_lock``.  Mutating entry points (:meth:`rebalance`, a pool
-re-extraction firing ``_on_expert_update``) may run concurrently with
-serving: readers see the old or the new placement, never a torn one —
-but only with in-process shards (remote placement mutation is the
-shard-autoscaling follow-on tracked in ROADMAP.md).
+``_invalidate_lock``.  Mutating entry points (:meth:`rebalance`,
+:meth:`reshard`, a pool re-extraction firing ``_on_expert_update``) may
+run concurrently with serving: readers see the old or the new placement,
+never a torn one.  Networked backends mutate through the fenced wire
+frames (``INSTALL_HEADS`` / ``DROP_HEADS`` / ``REFRESH_LIBRARY``) as a
+**two-phase plan** — prepare installs on every destination, then a
+commit that bumps the topology epoch and drops from the sources — so a
+crash between phases leaves only duplicated heads, never missing ones
+(see ``docs/resharding.md``).  Remote workers that did not negotiate the
+``"mutations"`` feature degrade to the old behavior: mutation attempts
+raise :class:`~repro.net.client.RemoteOperationUnsupported` and pool
+updates poison the gateway until the fleet restarts.
 """
 
 from __future__ import annotations
 
+import itertools
+import secrets
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -79,6 +88,7 @@ from ..core.server import (
     TRANSPORTS,
     deserialize_expert_heads,
     serialize_expert_heads,
+    serialize_library_state,
     serialize_task_model,
 )
 from ..models import BranchedSpecialistNet, count_params
@@ -199,6 +209,9 @@ class RebalanceReport:
     #: Serialized payload bytes shipped shard-to-shard for the migrations
     #: (the ``fetch_transport`` codec — raw+zlib by default, not npz).
     migrated_bytes: int = 0
+    #: Topology epoch the commit phase installed (0 when nothing moved —
+    #: a no-op plan never bumps the fence).
+    epoch: int = 0
 
 
 class ClusterGateway:
@@ -258,6 +271,9 @@ class ClusterGateway:
                     shard_id, pool, task_names, gateway_config, trunk_cache=trunk_cache
                 )
 
+        # kept so reshard() can spawn shards for grown slots through the
+        # same backend (in-process or a fleet's networked factory)
+        self._shard_factory = shard_factory
         self.shards: List[PoolShard] = [
             shard_factory(
                 shard_id,
@@ -272,9 +288,17 @@ class ClusterGateway:
         #: thread-pool executor.
         self.async_transport = None
         #: Set to the mutated task name when the pool changed under a
-        #: networked backend (workers cannot be updated in place); every
-        #: serving entry point refuses until the fleet is restarted.
+        #: networked backend whose workers cannot accept mutation frames;
+        #: every serving entry point refuses until the fleet is restarted.
         self._remote_stale: Optional[str] = None
+        #: Topology epoch: bumped by every committed rebalance/reshard and
+        #: carried on every mutation frame so a worker can fence out frames
+        #: from superseded plans.
+        self._epoch = 0
+        #: Attached ShardWorkerFleet (networked deployments) — lets
+        #: reshard() spawn and retire worker slots; see attach_fleet().
+        self._fleet = None
+        self._mutation_seq = itertools.count(1)
         self.model_cache = ByteBudgetLRU(
             self.config.composite_model_cache_bytes, ttl_seconds=self.config.ttl_seconds
         )
@@ -313,6 +337,51 @@ class ClusterGateway:
         """Which shards currently hold ``task`` (primary first)."""
         with self._placement_lock:
             return self._placement[task]
+
+    @property
+    def epoch(self) -> int:
+        """The committed topology epoch (0 until the first rebalance)."""
+        return self._epoch
+
+    def attach_fleet(self, fleet) -> None:
+        """Wire the worker fleet so :meth:`reshard` can grow/shrink slots.
+
+        Called by :class:`~repro.net.server.NetworkedCluster`; optional —
+        without it, rebalance still works over remote shards, but reshard
+        of a networked cluster has no way to spawn or retire processes.
+        """
+        self._fleet = fleet
+
+    def _mutation_id(self, kind: str) -> str:
+        """A unique id for one mutation frame (dedup key on the workers)."""
+        return f"{kind}-{next(self._mutation_seq)}-{secrets.token_hex(4)}"
+
+    def _require_mutation_capable(self, operation: str) -> None:
+        """Raise the typed capability error if any remote shard lacks the
+        mutation frames (feature negotiation said no, or the worker
+        predates the protocol)."""
+        lagging = [
+            shard.shard_id
+            for shard in self.shards
+            if shard.is_remote() and not getattr(shard, "supports_mutations", False)
+        ]
+        if lagging:
+            from ..net.client import RemoteOperationUnsupported
+
+            raise RemoteOperationUnsupported(
+                f"{operation} needs the mutation frames (INSTALL_HEADS/"
+                f"DROP_HEADS) on every remote shard, but shard(s) "
+                f"{lagging} did not negotiate the 'mutations' feature — "
+                "upgrade the workers or authenticate with the fleet's "
+                "shared token in HELLO"
+            )
+
+    def _all_remote_mutation_capable(self) -> bool:
+        return all(
+            getattr(shard, "supports_mutations", False)
+            for shard in self.shards
+            if shard.is_remote()
+        )
 
     def serve(self, tasks: TaskQuery, transport: str = "float32") -> GatewayResponse:
         """Serve one query on the calling thread (blocking)."""
@@ -367,15 +436,21 @@ class ClusterGateway:
             span.tag("tasks", len(names))
             span.tag("batch", int(images.shape[0]))
             try:
-                # same one-retry contract as _serve: a concurrent rebalance can
-                # invalidate a plan between planning and serving
+                # same one-retry contract as _serve: a concurrent rebalance
+                # (or a reshard retiring the planned shard) can invalidate a
+                # plan between planning and serving
                 for attempt in (0, 1):
+                    epoch_before = self._epoch
                     try:
                         return self._predict_planned(images, names, start)
                     except KeyError:
                         with self._placement_lock:
                             still_placed = all(n in self._placement for n in names)
                         if attempt == 1 or not still_placed:
+                            raise
+                        self.metrics.increment("plan_retries")
+                    except (ConnectionError, OSError, RuntimeError, IndexError):
+                        if attempt == 1 or self._epoch == epoch_before:
                             raise
                         self.metrics.increment("plan_retries")
             except BaseException:
@@ -594,6 +669,23 @@ class ClusterGateway:
                 }
         if breakers:
             merged["breakers"] = breakers
+        # same post-merge treatment for the topology epoch: the committed
+        # epoch is front-end state, per-replica epochs are client-observed
+        # acks (skew across replicas of one shard = a mutation only
+        # partially landed — the health scorer flags it)
+        merged["epoch"] = self._epoch
+        epochs: Dict[str, Dict[str, int]] = {}
+        for shard in self.shards:
+            replica_epochs = getattr(shard, "replica_epochs", None)
+            if callable(replica_epochs):
+                observed = replica_epochs()
+                if observed:
+                    epochs[str(shard.shard_id)] = {
+                        str(replica): int(value)
+                        for replica, value in observed.items()
+                    }
+        if epochs:
+            merged["epochs"] = epochs
         return merged
 
     def render_stats(self) -> str:
@@ -649,7 +741,12 @@ class ClusterGateway:
                 # One retry: a rebalance can drop an expert from the shard a
                 # concurrent plan chose between planning and serving; the task
                 # is still in the cluster, so a fresh plan finds its new home.
+                # A reshard can also *retire* the planned shard outright —
+                # transport-level failures replan once iff the topology epoch
+                # moved since this attempt planned (otherwise the failure is
+                # a real outage and retrying the same plan can't help).
                 for attempt in (0, 1):
+                    epoch_before = self._epoch
                     try:
                         return self._serve_planned(names, transport, start, queue_seconds)
                     except KeyError:
@@ -657,6 +754,10 @@ class ClusterGateway:
                             still_placed = all(n in self._placement for n in names)
                         if attempt == 1 or not still_placed:
                             raise  # genuinely unknown task, or still failing
+                        self.metrics.increment("plan_retries")
+                    except (ConnectionError, OSError, RuntimeError, IndexError):
+                        if attempt == 1 or self._epoch == epoch_before:
+                            raise
                         self.metrics.increment("plan_retries")
             except BaseException:
                 self.metrics.increment("errors")
@@ -922,18 +1023,19 @@ class ClusterGateway:
         """Source pool re-extracted (or removed) an expert: resync shards."""
         from ..core.pool import LIBRARY_TASK
 
+        has_remote = any(shard.is_remote() for shard in self.shards)
         if JOURNAL.enabled:
             JOURNAL.emit(
                 "library_update" if name == LIBRARY_TASK else "expert_update",
                 task=name,
                 version=version,
-                remote=any(shard.is_remote() for shard in self.shards),
+                remote=has_remote,
             )
-        if any(shard.is_remote() for shard in self.shards):
-            # Networked backend: a pool mutation cannot propagate into
-            # running workers (the ROADMAP autoscaling follow-on), so do
-            # the only safe things — drop the front-end composite tiers
-            # (this gateway must not keep serving cached artifacts of the
+        if has_remote and not self._all_remote_mutation_capable():
+            # Legacy networked backend: a pool mutation cannot propagate
+            # into workers that lack the mutation frames, so do the only
+            # safe things — drop the front-end composite tiers (this
+            # gateway must not keep serving cached artifacts of the
             # superseded state) and POISON the gateway, WITHOUT touching
             # the placement map or the workers and without raising here:
             # an exception from inside the pool's listener loop would skip
@@ -953,58 +1055,120 @@ class ClusterGateway:
             self.metrics.increment("remote_updates_unapplied")
             self._remote_stale = name
             return
-        if name == LIBRARY_TASK:
-            # the trunk changed: repoint every shard view at the new
-            # library and drop everything computed against the old one
-            # (propagating the sentinel fires each shard gateway's own
-            # listener, which clears its caches and bumps its version guard)
-            for shard in self.shards:
-                shard.refresh_library(
-                    self.pool.library, self.pool.library_student, version
-                )
+        # Unified path: in-process shards mutate directly; mutation-capable
+        # remote workers receive the same change through the fenced wire
+        # frames at the *current* epoch (the placement didn't move, so no
+        # bump — the worker fence admits epoch >= its own).
+        try:
+            if name == LIBRARY_TASK:
+                # the trunk changed: repoint every shard view at the new
+                # library and drop everything computed against the old one
+                # (propagating the sentinel fires each shard gateway's own
+                # listener, which clears caches and bumps its version guard)
+                payload = None
+                for shard in self.shards:
+                    if shard.is_remote():
+                        if payload is None:
+                            payload = serialize_library_state(
+                                self.pool, self.config.fetch_transport
+                            )
+                        shard.push_library(
+                            payload,
+                            epoch=self._epoch,
+                            mutation_id=self._mutation_id("library"),
+                        )
+                        self.metrics.increment("remote_updates_pushed")
+                    else:
+                        shard.refresh_library(
+                            self.pool.library, self.pool.library_student, version
+                        )
+                with self._invalidate_lock:
+                    self.model_cache.clear()
+                    self.payload_cache.clear()
+                    self.result_cache.clear()
+                self.remote_head_cache.clear()
+                self.trunk_cache.clear()  # shared with every local shard gateway
+                self.metrics.increment("invalidations")
+                return
+            head = self.pool.experts.get(name)
+            with self._placement_lock:
+                placed = self._placement.get(name)
+                if head is not None and placed is None:
+                    # brand-new expert: place it per the router
+                    placed = self.router.shards_for(name)
+                    self._placement[name] = placed
+                elif head is None and placed is not None:
+                    del self._placement[name]
+            if head is not None:
+                payload = None
+                for shard_id in placed:
+                    shard = self.shards[shard_id]
+                    if shard.is_remote():
+                        if payload is None:
+                            payload = serialize_expert_heads(
+                                self.pool, (name,), self.config.fetch_transport
+                            )
+                        shard.install_heads(
+                            payload,
+                            epoch=self._epoch,
+                            mutation_id=self._mutation_id("install"),
+                        )
+                        self.metrics.increment("remote_updates_pushed")
+                    else:
+                        shard.install_expert(name, head, version)
+            elif placed is not None:
+                for shard_id in placed:
+                    shard = self.shards[shard_id]
+                    if shard.is_remote():
+                        shard.drop_heads(
+                            [name],
+                            epoch=self._epoch,
+                            mutation_id=self._mutation_id("drop"),
+                        )
+                        self.metrics.increment("remote_updates_pushed")
+                    else:
+                        shard.drop_expert(name)
+            self.metrics.increment("invalidations")
+            self._invalidate_composites(name)
+        except Exception:
+            if not has_remote:
+                raise
+            # a wire push failed after retries: fall back to the poison
+            # contract — drop every front-end tier and refuse to serve
+            # (raising from the listener loop would skip later listeners)
             with self._invalidate_lock:
                 self.model_cache.clear()
                 self.payload_cache.clear()
                 self.result_cache.clear()
             self.remote_head_cache.clear()
-            self.trunk_cache.clear()  # shared with every shard gateway
+            self.trunk_cache.clear()
             self.metrics.increment("invalidations")
-            return
-        head = self.pool.experts.get(name)
-        with self._placement_lock:
-            placed = self._placement.get(name)
-            if head is not None and placed is None:
-                # brand-new expert: place it per the router
-                placed = self.router.shards_for(name)
-                self._placement[name] = placed
-            elif head is None and placed is not None:
-                del self._placement[name]
-        if head is not None:
-            for shard_id in placed:
-                self.shards[shard_id].install_expert(name, head, version)
-        elif placed is not None:
-            for shard_id in placed:
-                self.shards[shard_id].drop_expert(name)
-        self.metrics.increment("invalidations")
-        self._invalidate_composites(name)
+            self.metrics.increment("remote_updates_unapplied")
+            self._remote_stale = name
 
-    def _fetch_migration_heads(
+    def _serialize_migration_heads(
         self, source_id: Optional[int], names: Tuple[str, ...]
-    ) -> Tuple[Dict[str, Tuple[object, int]], int]:
+    ) -> bytes:
         """Bulk-serialize ``names`` off their source for a migration.
 
         This is the shard-to-shard wire boundary: one flat ``raw+zlib``
         payload (``config.fetch_transport`` — never the npz container) per
-        (source, destination) pair, rebuilt on the receiving side.  The
-        codec is float-exact, so a migrated expert answers bit-identically
-        to the original.  Migrated payload bytes are counted in
-        :class:`ClusterMetrics` (``migrated_bytes``/``expert_migrations``).
-        Falls back to the parent pool when the source shard no longer
-        holds a task (a re-extraction raced the rebalance).
+        (source, destination) pair.  A remote destination receives the
+        bytes verbatim inside an ``INSTALL_HEADS`` frame; a local one
+        rebuilds head *copies* from them.  The codec is float-exact, so a
+        migrated expert answers bit-identically to the original.  Migrated
+        payload bytes are counted in :class:`ClusterMetrics`
+        (``migrated_bytes``/``expert_migrations``).  Falls back to the
+        parent pool when the source shard is remote (no in-process pool to
+        read) or no longer holds a task (a re-extraction raced the move).
         """
-        source_pool = self.shards[source_id].pool if source_id is not None else self.pool
-        if any(name not in source_pool.experts for name in names):
-            source_pool = self.pool
+        source_pool = self.pool
+        if source_id is not None:
+            shard_pool = getattr(self.shards[source_id], "pool", None)
+            if shard_pool is not None and all(
+                name in shard_pool.experts for name in names
+            ):
+                source_pool = shard_pool
         payload = serialize_expert_heads(
             source_pool, names, self.config.fetch_transport
         )
@@ -1012,11 +1176,151 @@ class ClusterGateway:
         self.metrics.increment("expert_migrations", len(names))
         # one payload per (source, destination) route — the bulk property
         self.metrics.increment("migration_payloads")
-        heads = {
-            name: (remote.head, remote.version)
-            for name, remote in deserialize_expert_heads(payload).items()
+        return payload
+
+    def _plan_moves(
+        self,
+        target: Dict[str, Tuple[int, ...]],
+        born: Set[int],
+    ) -> Tuple[
+        List[Tuple[str, Tuple[int, ...], Tuple[int, ...], Optional[int]]],
+        Dict[Tuple[Optional[int], int], List[str]],
+    ]:
+        """Diff the live placement against ``target`` into per-expert move
+        plans and bulk (source, destination) transfer routes.
+
+        Destinations in ``born`` (shards spawned this reshard already
+        holding their full task set — construction is an implicit install)
+        are excluded from the transfer routes but still appear in the
+        plans, so the report and the placement repoint stay complete.
+        """
+        with self._placement_lock:
+            old_placement = dict(self._placement)
+        plans: List[Tuple[str, Tuple[int, ...], Tuple[int, ...], Optional[int]]] = []
+        transfers: Dict[Tuple[Optional[int], int], List[str]] = {}
+        for name in sorted(target):
+            old = old_placement.get(name, ())
+            new = target[name]
+            if set(old) == set(new):
+                with self._placement_lock:
+                    self._placement[name] = new
+                continue
+            source = old[0] if old else None
+            plans.append((name, old, new, source))
+            for shard_id in new:
+                if shard_id not in old and shard_id not in born:
+                    transfers.setdefault((source, shard_id), []).append(name)
+        return plans, transfers
+
+    def _apply_two_phase(
+        self,
+        plans: List[Tuple[str, Tuple[int, ...], Tuple[int, ...], Optional[int]]],
+        transfers: Dict[Tuple[Optional[int], int], List[str]],
+        retiring: Set[int] = frozenset(),
+        force_epoch: bool = False,
+    ) -> Tuple[
+        List[Tuple[str, Tuple[int, ...], Tuple[int, ...]]], int, int, int, int, int
+    ]:
+        """Execute a migration plan as prepare → commit.
+
+        **Prepare** serializes each route once and installs on every
+        destination at ``epoch + 1``.  A crash here leaves extra head
+        copies on destinations — harmless duplicates; the placement map
+        still points at the sources, and a retry re-installs idempotently.
+
+        **Commit** bumps the gateway epoch, repoints the placement, drops
+        from the sources in per-shard batches, and fences every untouched
+        remote shard forward with an empty ``DROP_HEADS`` so a frame from
+        a superseded plan can never land anywhere in the fleet.  Shards in
+        ``retiring`` are skipped for drops and fences — they close right
+        after commit.
+
+        Returns ``(moved, installs, drops, composites_dropped,
+        migrated_bytes, epoch)`` with ``epoch`` 0 when nothing committed.
+        """
+        moved: List[Tuple[str, Tuple[int, ...], Tuple[int, ...]]] = []
+        installs = drops = composites_dropped = migrated_bytes = 0
+        if not plans and not force_epoch:
+            return moved, installs, drops, composites_dropped, migrated_bytes, 0
+        next_epoch = self._epoch + 1
+        # ---- prepare -------------------------------------------------
+        for route, names in transfers.items():
+            payload = self._serialize_migration_heads(route[0], tuple(names))
+            migrated_bytes += len(payload)
+            dest = self.shards[route[1]]
+            if dest.is_remote():
+                dest.install_heads(
+                    payload,
+                    epoch=next_epoch,
+                    mutation_id=self._mutation_id("install"),
+                )
+                installs += len(names)
+            else:
+                # local installs are rebuilt copies, never references into
+                # the parent pool: the wire boundary holds on every backend
+                rebuilt = deserialize_expert_heads(payload)
+                for name in names:
+                    remote = rebuilt[name]
+                    dest.install_expert(name, remote.head, remote.version)
+                    installs += 1
+        # ---- commit --------------------------------------------------
+        self._epoch = next_epoch
+        drop_batches: Dict[int, List[str]] = {}
+        for name, old, new, _source in plans:
+            moved.append((name, old, new))
+            # destinations were installed above, so repointing before the
+            # drops means a concurrent plan sees either the old home
+            # (still serving) or the new one (already installed), never a
+            # shard that no longer holds the expert
+            with self._placement_lock:
+                self._placement[name] = new
+            for shard_id in old:
+                if shard_id not in new and shard_id not in retiring:
+                    drop_batches.setdefault(shard_id, []).append(name)
+        for shard_id in sorted(drop_batches):
+            names = drop_batches[shard_id]
+            shard = self.shards[shard_id]
+            if shard.is_remote():
+                shard.drop_heads(
+                    names, epoch=next_epoch, mutation_id=self._mutation_id("drop")
+                )
+            else:
+                for name in names:
+                    shard.drop_expert(name)
+            drops += len(names)
+        touched = {route[1] for route in transfers} | set(drop_batches)
+        for shard in self.shards:
+            if (
+                shard.is_remote()
+                and shard.shard_id not in touched
+                and shard.shard_id not in retiring
+            ):
+                shard.drop_heads(
+                    [], epoch=next_epoch, mutation_id=self._mutation_id("fence")
+                )
+        for name, _old, _new, _source in plans:
+            composites_dropped += self._invalidate_composites(name)
+        return moved, installs, drops, composites_dropped, migrated_bytes, next_epoch
+
+    def _sync_fleet_assignment(self) -> None:
+        """Push the committed placement into the fleet's respawn specs.
+
+        A worker that dies after a rebalance/reshard must fork with its
+        *current* task set, or the supervisor would resurrect the pre-move
+        placement.
+        """
+        if self._fleet is None:
+            return
+        assignment: Dict[int, List[str]] = {
+            shard.shard_id: [] for shard in self.shards
         }
-        return heads, len(payload)
+        with self._placement_lock:
+            for name in sorted(self._placement):
+                for shard_id in self._placement[name]:
+                    if shard_id in assignment:
+                        assignment[shard_id].append(name)
+        for shard_id, names in assignment.items():
+            self._fleet.update_assignment(shard_id, tuple(names))
 
     def rebalance(self, router: Optional[ShardRouter] = None) -> RebalanceReport:
         """Migrate experts to the router's current placement.
@@ -1029,16 +1333,14 @@ class ClusterGateway:
         expert — on the old shard, the new shard, or the cluster composite
         tiers — is dropped explicitly.
 
-        In-process shards only: installing experts into a *running* remote
-        worker is the shard-autoscaling follow-on (ROADMAP) — restart the
-        worker fleet to apply a new placement there.
+        Works over in-process shards and networked workers alike: remote
+        destinations receive ``INSTALL_HEADS``/``DROP_HEADS`` frames under
+        the two-phase epoch fence (see :meth:`_apply_two_phase` and
+        ``docs/resharding.md``).  Remote workers that did not negotiate the
+        mutation frames raise
+        :class:`~repro.net.client.RemoteOperationUnsupported`.
         """
-        if any(shard.is_remote() for shard in self.shards):
-            raise RuntimeError(
-                "rebalance() requires in-process shards; expert migration "
-                "over the socket boundary is not wired yet (see ROADMAP: "
-                "shard autoscaling over the socket boundary)"
-            )
+        self._require_mutation_capable("rebalance()")
         if router is not None:
             if router.num_shards != len(self.shards):
                 raise ValueError(
@@ -1046,48 +1348,15 @@ class ClusterGateway:
                     f"cluster has {len(self.shards)}"
                 )
             self.router = router
-        moved: List[Tuple[str, Tuple[int, ...], Tuple[int, ...]]] = []
-        installs = drops = composites_dropped = migrated_bytes = 0
-        with self._placement_lock:
-            old_placement = dict(self._placement)
-        # Plan first, then ship in bulk: group every (source, destination)
-        # pair's tasks into one payload instead of serializing per expert.
-        plans: List[Tuple[str, Tuple[int, ...], Tuple[int, ...], Optional[int]]] = []
-        transfers: Dict[Tuple[Optional[int], int], List[str]] = {}
-        for name in sorted(self.pool.expert_names()):
-            old = old_placement.get(name, ())
-            new = self.router.shards_for(name)
-            if set(old) == set(new):
-                with self._placement_lock:
-                    self._placement[name] = new
-                continue
-            source = old[0] if old else None
-            plans.append((name, old, new, source))
-            for shard_id in new:
-                if shard_id not in old:
-                    transfers.setdefault((source, shard_id), []).append(name)
-        shipped: Dict[Tuple[Optional[int], int], Dict[str, Tuple[object, int]]] = {}
-        for route, names in transfers.items():
-            shipped[route], nbytes = self._fetch_migration_heads(route[0], tuple(names))
-            migrated_bytes += nbytes
-        for name, old, new, source in plans:
-            moved.append((name, old, new))
-            # install on the new shards and repoint the placement *before*
-            # dropping from the old ones: a concurrent plan sees either the
-            # old home (still serving) or the new one (already installed),
-            # never a shard that no longer holds the expert
-            for shard_id in new:
-                if shard_id not in old:
-                    head, version = shipped[(source, shard_id)][name]
-                    self.shards[shard_id].install_expert(name, head, version)
-                    installs += 1
-            with self._placement_lock:
-                self._placement[name] = new
-            for shard_id in old:
-                if shard_id not in new:
-                    self.shards[shard_id].drop_expert(name)
-                    drops += 1
-            composites_dropped += self._invalidate_composites(name)
+        target = {
+            name: self.router.shards_for(name)
+            for name in self.pool.expert_names()
+        }
+        plans, transfers = self._plan_moves(target, born=set())
+        moved, installs, drops, composites_dropped, migrated_bytes, epoch = (
+            self._apply_two_phase(plans, transfers)
+        )
+        self._sync_fleet_assignment()
         if moved:
             self.metrics.increment("rebalances")
             if JOURNAL.enabled:
@@ -1097,6 +1366,7 @@ class ClusterGateway:
                     installs=installs,
                     drops=drops,
                     migrated_bytes=migrated_bytes,
+                    epoch=epoch,
                 )
         return RebalanceReport(
             moved=tuple(moved),
@@ -1104,6 +1374,123 @@ class ClusterGateway:
             drops=drops,
             composite_entries_dropped=composites_dropped,
             migrated_bytes=migrated_bytes,
+            epoch=epoch,
+        )
+
+    def reshard(self, new_num_shards: int) -> RebalanceReport:
+        """Grow or shrink the cluster to ``new_num_shards`` shards online.
+
+        Rendezvous routing keeps movement minimal: only experts whose
+        hash ranking changes between shard counts move.  Growth spawns the
+        new slots through the stored ``shard_factory`` *already holding*
+        their full target task set (construction is an implicit bulk
+        install), then runs the same two-phase plan as :meth:`rebalance`
+        among the pre-existing shards.  Shrink migrates every expert off
+        the retiring tail slots first, commits, then drains and retires
+        them — in-flight requests planned on a retiring shard complete
+        (the server drains before exit) or replan via the epoch-gated
+        retry in :meth:`_serve`.
+
+        Networked clusters need the worker fleet attached
+        (:meth:`attach_fleet` — :class:`~repro.net.server.NetworkedCluster`
+        does this) so slots can be spawned and retired as processes.
+        """
+        if new_num_shards < 1:
+            raise ValueError("new_num_shards must be >= 1")
+        old_n = len(self.shards)
+        if new_num_shards == old_n:
+            return RebalanceReport(
+                moved=(), installs=0, drops=0, composite_entries_dropped=0
+            )
+        has_remote = any(shard.is_remote() for shard in self.shards)
+        if has_remote:
+            self._require_mutation_capable("reshard()")
+            if self._fleet is None:
+                raise RuntimeError(
+                    "reshard() over networked shards needs the worker fleet "
+                    "attached (ClusterGateway.attach_fleet) to spawn and "
+                    "retire worker processes"
+                )
+        new_replication = min(self.router.replication, new_num_shards)
+        new_router = ShardRouter(
+            new_num_shards,
+            replication=new_replication,
+            seed=self.config.router_seed,
+            replicas_per_shard=self.config.replicas_per_shard,
+        )
+        for task, shard_id in self.router.pins.items():
+            if shard_id < new_num_shards:
+                new_router.pin(task, shard_id)
+        for task in self.pool.expert_names():
+            per_task = self.router.replication_for(task)
+            if per_task != self.router.replication:
+                new_router.replicate(task, min(per_task, new_num_shards))
+        target = {
+            name: new_router.shards_for(name) for name in self.pool.expert_names()
+        }
+        born: Set[int] = set(range(old_n, new_num_shards))
+        retiring: Set[int] = set(range(new_num_shards, old_n))
+        if born:
+            assignment: Dict[int, List[str]] = {sid: [] for sid in sorted(born)}
+            for name in sorted(target):
+                for shard_id in target[name]:
+                    if shard_id in assignment:
+                        assignment[shard_id].append(name)
+            for shard_id in sorted(born):
+                self.shards.append(
+                    self._shard_factory(
+                        shard_id,
+                        tuple(assignment[shard_id]),
+                        self.config.shard_gateway_config(),
+                        self.trunk_cache,
+                    )
+                )
+        plans, transfers = self._plan_moves(target, born=born)
+        # a reshard always commits an epoch, even when no expert moved —
+        # the *shape* of the cluster changed, and stale frames addressed
+        # at the old shape must fence out
+        moved, installs, drops, composites_dropped, migrated_bytes, epoch = (
+            self._apply_two_phase(
+                plans, transfers, retiring=retiring, force_epoch=True
+            )
+        )
+        self.router = new_router
+        self.config = replace(
+            self.config,
+            num_shards=new_num_shards,
+            replication=new_replication,
+        )
+        # retiring slots are the tail, so popping from the end keeps
+        # self.shards index-aligned with shard ids throughout
+        for shard_id in sorted(retiring, reverse=True):
+            shard = self.shards.pop(shard_id)
+            if shard.is_remote() and self._fleet is not None:
+                self._fleet.retire_shard(shard_id)
+            else:
+                shard.close()
+        self._sync_fleet_assignment()
+        transport_layer = self.async_transport
+        if transport_layer is not None:
+            transport_layer.refresh_topology()
+        self.metrics.increment("reshards")
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "reshard",
+                old_shards=old_n,
+                new_shards=new_num_shards,
+                moved=len(moved),
+                installs=installs,
+                drops=drops,
+                migrated_bytes=migrated_bytes,
+                epoch=epoch,
+            )
+        return RebalanceReport(
+            moved=tuple(moved),
+            installs=installs,
+            drops=drops,
+            composite_entries_dropped=composites_dropped,
+            migrated_bytes=migrated_bytes,
+            epoch=epoch,
         )
 
     # ------------------------------------------------------------------

@@ -61,6 +61,8 @@ __all__ = [
     "deserialize_task_model",
     "serialize_expert_heads",
     "deserialize_expert_heads",
+    "serialize_library_state",
+    "deserialize_library_state",
     "RemoteExpert",
 ]
 
@@ -375,6 +377,50 @@ def deserialize_expert_heads(payload: bytes) -> Dict[str, RemoteExpert]:
             task=prim, head=head, version=int(manifest["versions"][prim.name])
         )
     return out
+
+
+def serialize_library_state(pool, transport: str = "raw+zlib") -> bytes:
+    """Pack the shared library trunk (no heads) for a REFRESH_LIBRARY push.
+
+    The wire complement of :func:`serialize_expert_heads`: when the pool
+    re-extracts its library, networked workers need the new trunk weights
+    plus the library sentinel version so their view pools invalidate
+    exactly like an in-process shard's would.  Only the trunk travels —
+    serving never touches ``library_student``, so the distillation-side
+    student stays behind.
+    """
+    from .pool import LIBRARY_TASK
+
+    if transport not in TRANSPORTS:
+        raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
+    if pool.library is None:
+        raise ValueError("pool has no library trunk to serialize")
+    arrays, quant_meta = _collect_arrays(
+        [("library", pool.library.state_dict())], transport
+    )
+    manifest = {
+        "kind": "library_state",
+        "transport": transport,
+        "version": int(pool.expert_version(LIBRARY_TASK)),
+        "arch": _arch_manifest(pool.config),
+        "quant": {k: list(v) for k, v in quant_meta.items()},
+    }
+    return _encode_payload(manifest, arrays, transport)
+
+
+def deserialize_library_state(payload: bytes) -> Tuple[WRNTrunk, int]:
+    """Rebuild a pushed library trunk; returns ``(trunk, version)``."""
+    manifest, arrays = _decode_payload(payload)
+    if manifest.get("kind") != "library_state":
+        raise ValueError("payload is not a library-state payload")
+    state_for = _state_reader(manifest, arrays)
+    arch = manifest["arch"]
+    trunk = WRNTrunk(
+        int(arch["depth"]), float(arch["k_c"]), float(arch["k_s"]), int(arch["library_level"])
+    )
+    trunk.load_state_dict(state_for("library"))
+    trunk.requires_grad_(False)
+    return trunk, int(manifest["version"])
 
 
 class PoEServer:

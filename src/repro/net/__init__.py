@@ -31,6 +31,7 @@ from .client import (
 )
 from .frame import (
     DEFAULT_CHUNK_BYTES,
+    FEATURE_MUTATIONS,
     FEATURE_TRACE,
     FLAG_END,
     Frame,
@@ -39,6 +40,7 @@ from .frame import (
     HEADER_BYTES,
     IDEMPOTENT_MSG_TYPES,
     MAX_PAYLOAD_BYTES,
+    MUTATION_MSG_TYPES,
     MsgType,
     PROTOCOL_VERSION,
     ProtocolMismatch,
@@ -47,6 +49,7 @@ from .frame import (
     encode_frame,
     encode_message,
     negotiate_features,
+    payload_digest,
     transport_for_codec,
 )
 from .retry import (
@@ -56,11 +59,13 @@ from .retry import (
     LatencyTracker,
     RetryPolicy,
     ShardDrainingError,
+    StaleEpochError,
 )
 from .server import NetworkedCluster, ShardServer, ShardWorkerFleet
 
 __all__ = [
     "DEFAULT_CHUNK_BYTES",
+    "FEATURE_MUTATIONS",
     "FEATURE_TRACE",
     "FLAG_END",
     "Frame",
@@ -69,6 +74,7 @@ __all__ = [
     "HEADER_BYTES",
     "IDEMPOTENT_MSG_TYPES",
     "MAX_PAYLOAD_BYTES",
+    "MUTATION_MSG_TYPES",
     "MsgType",
     "PROTOCOL_VERSION",
     "ProtocolMismatch",
@@ -77,6 +83,7 @@ __all__ = [
     "encode_frame",
     "encode_message",
     "negotiate_features",
+    "payload_digest",
     "transport_for_codec",
     "BreakerOpenError",
     "ChaosMonkey",
@@ -85,6 +92,7 @@ __all__ = [
     "LatencyTracker",
     "RetryPolicy",
     "ShardDrainingError",
+    "StaleEpochError",
     "RemoteOperationUnsupported",
     "RemoteShardClient",
     "RemoteShardError",

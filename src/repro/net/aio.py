@@ -55,6 +55,7 @@ from .frame import (
     MessageAssembler,
     MsgType,
     PROTOCOL_VERSION,
+    SUPPORTED_FEATURES,
     codec_for_transport,
     encode_message,
     json_payload,
@@ -83,9 +84,15 @@ class AsyncShardChannel:
 
     _ids = itertools.count(1)
 
-    def __init__(self, address: Tuple[str, int], timeout: float = 120.0) -> None:
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        timeout: float = 120.0,
+        auth_token: Optional[str] = None,
+    ) -> None:
         self.address = address
         self.timeout = timeout
+        self.auth_token = auth_token
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._pending: Dict[int, "asyncio.Future"] = {}
@@ -103,9 +110,14 @@ class AsyncShardChannel:
             asyncio.open_connection(*self.address), self.timeout
         )
         self._reader_task = asyncio.ensure_future(self._read_loop())
+        hello: Dict[str, object] = {
+            "protocol": PROTOCOL_VERSION,
+            "features": list(SUPPORTED_FEATURES),
+        }
+        if self.auth_token is not None:
+            hello["auth"] = self.auth_token
         msg_type, _codec, payload = await self.request(
-            MsgType.HELLO,
-            json_payload({"protocol": PROTOCOL_VERSION, "features": [FEATURE_TRACE]}),
+            MsgType.HELLO, json_payload(hello)
         )
         if msg_type != MsgType.HELLO_OK:
             raise FrameError(f"handshake got unexpected message type {msg_type}")
@@ -208,10 +220,17 @@ class AsyncShardPool:
     channels are evicted from the rotation.
     """
 
-    def __init__(self, address, size: int = 2, timeout: float = 120.0) -> None:
+    def __init__(
+        self,
+        address,
+        size: int = 2,
+        timeout: float = 120.0,
+        auth_token: Optional[str] = None,
+    ) -> None:
         self._address = address
         self.size = max(1, size)
         self.timeout = timeout
+        self.auth_token = auth_token
         self._channels: List[AsyncShardChannel] = []
         self._cursor = 0
         self._lock = asyncio.Lock()
@@ -229,7 +248,9 @@ class AsyncShardPool:
                 # dialing under the lock serializes ramp-up, but open() is
                 # timeout-bounded, so a dead worker delays — never wedges —
                 # traffic to this shard
-                channel = AsyncShardChannel(self.address, self.timeout)
+                channel = AsyncShardChannel(
+                    self.address, self.timeout, auth_token=self.auth_token
+                )
                 await channel.open()
                 self._channels.append(channel)
                 return channel
@@ -427,10 +448,20 @@ class AsyncClusterTransport:
         hedge: Optional[HedgePolicy] = None,
     ) -> None:
         self.cluster = cluster
-        retry = retry or RetryPolicy()
-        hedge = hedge or HedgePolicy()
-        self._groups: List[AsyncReplicaGroup] = []
-        for shard_index, shard in enumerate(cluster.shards):
+        self._retry = retry or RetryPolicy()
+        self._hedge = hedge or HedgePolicy()
+        self._connections_per_shard = connections_per_shard
+        self._timeout = timeout
+        self._retired_groups: List[AsyncReplicaGroup] = []
+        self._groups: List[AsyncReplicaGroup] = self._build_groups()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        # payload key -> in-flight build (the loop-native single flight)
+        self._inflight: Dict[object, "asyncio.Future"] = {}
+
+    def _build_groups(self) -> List[AsyncReplicaGroup]:
+        groups: List[AsyncReplicaGroup] = []
+        for shard_index, shard in enumerate(self.cluster.shards):
             if getattr(shard, "address", None) is None:
                 raise ValueError(
                     "the async transport needs networked shards "
@@ -443,20 +474,31 @@ class AsyncClusterTransport:
             pools = [
                 AsyncShardPool(
                     self._address_provider(shard, replica),
-                    connections_per_shard,
-                    timeout,
+                    self._connections_per_shard,
+                    self._timeout,
+                    auth_token=getattr(shard, "auth_token", None),
                 )
                 for replica in range(replica_count)
             ]
-            self._groups.append(
+            groups.append(
                 AsyncReplicaGroup(
-                    shard_index, pools, retry, hedge, metrics=cluster.metrics
+                    shard_index, pools, self._retry, self._hedge,
+                    metrics=self.cluster.metrics,
                 )
             )
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._thread: Optional[threading.Thread] = None
-        # payload key -> in-flight build (the loop-native single flight)
-        self._inflight: Dict[object, "asyncio.Future"] = {}
+        return groups
+
+    def refresh_topology(self) -> None:
+        """Re-derive replica groups from ``cluster.shards`` after a reshard.
+
+        Pools dial lazily, so this is cheap and thread-safe: the new group
+        list is swapped in atomically; superseded groups are *parked*, not
+        closed — an in-flight request may still be awaiting on one of
+        their channels — and are torn down with the transport (workers of
+        retired shards drain their connections anyway).
+        """
+        self._retired_groups.extend(self._groups)
+        self._groups = self._build_groups()
 
     @staticmethod
     def _address_provider(shard, replica: int):
@@ -504,7 +546,7 @@ class AsyncClusterTransport:
         loop.close()
 
     async def _close_pools(self) -> None:
-        for group in self._groups:
+        for group in self._groups + self._retired_groups:
             await group.close()
 
     # ------------------------------------------------------------------
@@ -530,8 +572,11 @@ class AsyncClusterTransport:
                 names = canonical_tasks(tasks)
                 span.tag("tasks", len(names))
                 # same one-retry contract as the sync path: a rebalance can
-                # move a task between planning and serving
+                # move a task between planning and serving, and a reshard
+                # can retire the planned shard outright (transport errors
+                # and a shrunk group list replan iff the epoch moved)
                 for attempt in (0, 1):
+                    epoch_before = cluster._epoch
                     try:
                         return await self._serve_planned(
                             names, transport, start, queue_seconds
@@ -542,6 +587,10 @@ class AsyncClusterTransport:
                                 name in cluster._placement for name in names
                             )
                         if attempt == 1 or not still_placed:
+                            raise
+                        cluster.metrics.increment("plan_retries")
+                    except (ConnectionError, OSError, RuntimeError, IndexError):
+                        if attempt == 1 or cluster._epoch == epoch_before:
                             raise
                         cluster.metrics.increment("plan_retries")
             except BaseException:

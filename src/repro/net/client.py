@@ -20,10 +20,21 @@ Remote errors arrive as typed ``ERROR`` frames and are re-raised locally
 with the originating shard id prefixed to the message.  ``KeyError`` and
 ``ValueError`` keep their type across the wire because the cluster's
 retry-on-rebalance contract dispatches on them; everything else becomes
-:class:`RemoteShardError`.  Placement mutations (``install_expert`` /
-``drop_expert`` / ``refresh_library``) raise
-:class:`RemoteOperationUnsupported` — migrating experts into a running
-worker is the shard-autoscaling follow-on tracked in ROADMAP.md.
+:class:`RemoteShardError`.
+
+Placement mutations travel as wire-native batch frames —
+:meth:`RemoteShardClient.install_heads`, :meth:`~RemoteShardClient.drop_heads`
+and :meth:`~RemoteShardClient.push_library` — each **broadcast to every
+replica** of the shard (each worker owns its own pool copy), fenced by a
+topology epoch and deduplicated worker-side by mutation id, so the
+per-replica retry loop here may deliver duplicates freely.  The
+in-process-shaped single-head methods (``install_expert`` / ``drop_expert``
+/ ``refresh_library``) still raise :class:`RemoteOperationUnsupported`:
+they take live objects, which do not cross a socket — the gateway
+serializes from its parent pool and uses the batch frames instead.
+Mutations require the server's shared auth token (sent in ``HELLO``);
+without it the peer is read-only and ``"mutations"`` is absent from the
+negotiated features.
 """
 
 from __future__ import annotations
@@ -51,6 +62,7 @@ from ..serving.gateway import GatewayResponse, PredictionResponse
 from .frame import (
     CODEC_BINARY,
     CODEC_JSON,
+    FEATURE_MUTATIONS,
     FEATURE_TRACE,
     FrameDecoder,
     FrameError,
@@ -58,11 +70,13 @@ from .frame import (
     MessageAssembler,
     MsgType,
     PROTOCOL_VERSION,
+    SUPPORTED_FEATURES,
     codec_for_transport,
     encode_message,
     json_payload,
     pack_body,
     parse_json,
+    payload_digest,
     unpack_body,
 )
 from .retry import (
@@ -73,6 +87,7 @@ from .retry import (
     RETRYABLE_EXCEPTIONS,
     RetryPolicy,
     ShardDrainingError,
+    StaleEpochError,
 )
 
 __all__ = [
@@ -93,6 +108,9 @@ _WIRE_EXCEPTIONS = {
     "RuntimeError": RuntimeError,
     "FrameError": FrameError,
     "ShardDrainingError": ShardDrainingError,
+    # mutation-path rejections: fencing (never retry) and auth (read-only peer)
+    "StaleEpochError": StaleEpochError,
+    "PermissionError": PermissionError,
 }
 
 
@@ -105,7 +123,13 @@ class RemoteShardError(RuntimeError):
 
 
 class RemoteOperationUnsupported(RuntimeError):
-    """The operation requires in-process shard access (see ROADMAP)."""
+    """The remote worker cannot perform the requested mutation.
+
+    Raised by the in-process-shaped signatures (live objects do not
+    cross a socket — use the serialized batch frames instead) and by the
+    gateway when a worker did not negotiate the ``"mutations"`` feature
+    (old server, or this client holds no auth token).
+    """
 
 
 def raise_remote_error(info: Dict) -> None:
@@ -161,7 +185,12 @@ class _SyncChannel:
 
     _ids = itertools.count(1)
 
-    def __init__(self, address: Tuple[str, int], timeout: float) -> None:
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        timeout: float,
+        auth_token: Optional[str] = None,
+    ) -> None:
         self.sock = socket.create_connection(address, timeout=timeout)
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._decoder = FrameDecoder()
@@ -169,12 +198,15 @@ class _SyncChannel:
         # stamped by the pooling client: channels dialed before a replica
         # was replaced (respawn) must not be re-pooled afterwards
         self.generation = 0
+        hello: Dict[str, object] = {
+            "protocol": PROTOCOL_VERSION,
+            "features": list(SUPPORTED_FEATURES),
+        }
+        if auth_token is not None:
+            hello["auth"] = auth_token
         try:
             msg_type, _codec, payload = self.request(
-                MsgType.HELLO,
-                json_payload(
-                    {"protocol": PROTOCOL_VERSION, "features": [FEATURE_TRACE]}
-                ),
+                MsgType.HELLO, json_payload(hello)
             )
             if msg_type != MsgType.HELLO_OK:
                 raise FrameError(f"handshake got unexpected message type {msg_type}")
@@ -281,6 +313,7 @@ class RemoteShardClient:
         metrics=None,
         retry: Optional[RetryPolicy] = None,
         hedge: Optional[HedgePolicy] = None,
+        auth_token: Optional[str] = None,
     ) -> None:
         if address and isinstance(address[0], str):
             addresses = [address]  # single (host, port) pair
@@ -290,6 +323,10 @@ class RemoteShardClient:
             raise ValueError("RemoteShardClient needs at least one address")
         self.timeout = timeout
         self.metrics = metrics
+        self.auth_token = auth_token
+        # replica_id -> last epoch acknowledged by that replica's worker
+        # (fed by mutation acks; the snapshot's epoch-skew gauge reads it)
+        self._replica_epochs: Dict[int, int] = {}
         self.retry = retry or RetryPolicy()
         self.hedge = hedge or HedgePolicy()
         self._latency = LatencyTracker()
@@ -338,6 +375,9 @@ class RemoteShardClient:
             idle, endpoint.idle = endpoint.idle, []
             if replica_id == 0:
                 self._info = None  # primary identity (pid) changed
+            # the fresh fork starts at epoch 0 with current state; its
+            # real epoch is unknown until the next mutation ack
+            self._replica_epochs.pop(replica_id, None)
         for channel in idle:
             channel.close()
         endpoint.breaker.reset()
@@ -385,7 +425,7 @@ class RemoteShardClient:
             channel.close()  # corpse (dead worker or stale generation)
         with self._pool_lock:
             address, generation = endpoint.address, endpoint.generation
-        channel = _SyncChannel(address, self.timeout)
+        channel = _SyncChannel(address, self.timeout, auth_token=self.auth_token)
         channel.generation = generation
         with self._pool_lock:
             if self._info is None and endpoint.replica_id == 0:
@@ -714,24 +754,159 @@ class RemoteShardClient:
         return info
 
     # ------------------------------------------------------------------
-    # Placement mutations: not yet wired over the socket boundary
+    # Placement mutations: fenced, idempotent wire frames
+    # ------------------------------------------------------------------
+    @property
+    def supports_mutations(self) -> bool:
+        """Whether the worker negotiated the ``"mutations"`` feature.
+
+        False means the peer is either an old (v1-read-only) server or
+        this client did not present the server's auth token — either way
+        the gateway must not plan mutations against this shard.
+        """
+        return FEATURE_MUTATIONS in (self.info.get("features") or ())
+
+    def replica_epochs(self) -> Dict[int, int]:
+        """Last acknowledged topology epoch per replica (mutation acks)."""
+        with self._pool_lock:
+            return dict(self._replica_epochs)
+
+    def _mutate_replica(
+        self,
+        endpoint: _ReplicaEndpoint,
+        msg_type: int,
+        payload: bytes,
+        codec: int,
+        deadline: float,
+    ) -> Dict:
+        """Deliver one mutation to one replica, retrying until ``deadline``.
+
+        Deliberately *not* ``_request``: mutations never hedge and never
+        fail over (every replica must apply), and they ignore the breaker
+        — a replica mid-respawn is exactly the one we must keep trying,
+        because ``replace_replica`` repoints ``endpoint.address`` under
+        us and the next dial reaches the fresh worker.  Duplicates are
+        safe: the worker's mutation-id journal answers them as replays.
+        """
+        timeout = self.retry.timeout_for(msg_type)
+        attempt = 0
+        while True:
+            try:
+                _msg, _codec, body = self._request_on(
+                    endpoint, msg_type, payload, codec, timeout
+                )
+            except BaseException as error:
+                if not self.retry.retryable(msg_type, error):
+                    raise
+                if time.monotonic() >= deadline:
+                    raise
+                if self.metrics is not None:
+                    self.metrics.increment("net_retries")
+                attempt += 1
+                # floor the sleep: the common failure here is a SIGKILLed
+                # worker whose respawn takes ~1s — pure jittered backoff
+                # from zero would burn attempts into a dead address
+                time.sleep(min(0.2 + self.retry.backoff(attempt), 1.0))
+                continue
+            ack = parse_json(body)
+            with self._pool_lock:
+                self._replica_epochs[endpoint.replica_id] = int(
+                    ack.get("epoch", 0)
+                )
+            if ack.get("replayed") and self.metrics is not None:
+                self.metrics.increment("net_mutation_replays")
+            return ack
+
+    def _broadcast_mutation(
+        self,
+        msg_type: int,
+        payload: bytes,
+        codec: int = CODEC_JSON,
+        deadline_seconds: float = 60.0,
+    ) -> List[Dict]:
+        """Apply one mutation on **every** replica of this shard.
+
+        Reads pick any replica; mutations must land on all of them (each
+        worker owns a full pool copy).  Raises on the first replica that
+        cannot be reached within the deadline — the caller (the gateway's
+        two-phase plan) treats that as a failed prepare.
+        """
+        deadline = time.monotonic() + deadline_seconds
+        return [
+            self._mutate_replica(endpoint, msg_type, payload, codec, deadline)
+            for endpoint in list(self._replicas)
+        ]
+
+    def install_heads(
+        self, payload: bytes, *, epoch: int, mutation_id: str
+    ) -> List[Dict]:
+        """Install serialized expert heads on every replica (INSTALL_HEADS).
+
+        ``payload`` is ``serialize_expert_heads`` output; its blake2b
+        digest rides in the frame so a worker never installs a corrupted
+        payload.  Returns one ack dict per replica.
+        """
+        meta = {
+            "mutation_id": str(mutation_id),
+            "epoch": int(epoch),
+            "digest": payload_digest(payload),
+        }
+        return self._broadcast_mutation(
+            MsgType.INSTALL_HEADS, pack_body(meta, payload), CODEC_BINARY
+        )
+
+    def drop_heads(
+        self, names: Sequence[str], *, epoch: int, mutation_id: str
+    ) -> List[Dict]:
+        """Drop named heads on every replica (DROP_HEADS).
+
+        An empty ``names`` list is a pure epoch fence: workers advance
+        their epoch without touching the pool — the commit broadcast of a
+        two-phase rebalance uses this to fence shards that moved nothing.
+        """
+        body = json_payload(
+            {
+                "mutation_id": str(mutation_id),
+                "epoch": int(epoch),
+                "names": list(names),
+            }
+        )
+        return self._broadcast_mutation(MsgType.DROP_HEADS, body)
+
+    def push_library(
+        self, payload: bytes, *, epoch: int, mutation_id: str
+    ) -> List[Dict]:
+        """Replace the library trunk on every replica (REFRESH_LIBRARY)."""
+        meta = {
+            "mutation_id": str(mutation_id),
+            "epoch": int(epoch),
+            "digest": payload_digest(payload),
+        }
+        return self._broadcast_mutation(
+            MsgType.REFRESH_LIBRARY, pack_body(meta, payload), CODEC_BINARY
+        )
+
+    # ------------------------------------------------------------------
+    # In-process-shaped mutation signatures: still unsupported — they
+    # take live objects, which do not cross a socket.  The gateway
+    # serializes from its parent pool and calls the batch frames above.
     # ------------------------------------------------------------------
     def install_expert(self, name: str, head, version: int) -> None:
         raise RemoteOperationUnsupported(
-            f"install_expert({name!r}) on a remote shard: expert migration "
-            "over the wire is the shard-autoscaling follow-on (ROADMAP)"
+            f"install_expert({name!r}) takes a live head object; remote "
+            "shards install serialized payloads via install_heads()"
         )
 
     def drop_expert(self, name: str) -> None:
         raise RemoteOperationUnsupported(
-            f"drop_expert({name!r}) on a remote shard: expert migration "
-            "over the wire is the shard-autoscaling follow-on (ROADMAP)"
+            f"drop_expert({name!r}) is the in-process signature; remote "
+            "shards drop heads via the fenced drop_heads() frame"
         )
 
     def refresh_library(self, library, library_student, version: int) -> None:
         raise RemoteOperationUnsupported(
-            "refresh_library on a remote shard: restart the worker fleet "
-            "after a library re-extraction (ROADMAP follow-on)"
+            "refresh_library takes live trunk objects; remote shards "
+            "install serialized library state via push_library()"
         )
 
     # ------------------------------------------------------------------

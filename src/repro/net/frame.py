@@ -51,6 +51,21 @@ carries ``"trace_spans"`` — the server-side span dicts for that request,
 which the caller stitches into its own trace (see
 ``docs/observability.md``).  FETCH_HEADS responses are raw payload
 codecs with no meta header, so they never carry spans.
+
+**Mutation frames** (``INSTALL_HEADS``/``DROP_HEADS``/``REFRESH_LIBRARY``)
+are the write path of the protocol: they carry expert-head and
+library-state payloads *into* a running worker.  Every mutation body
+names a **topology epoch** (monotonically increasing; a worker rejects
+frames older than its current epoch with a typed ``StaleEpochError``)
+and a **mutation id** (workers journal applied ids, so a retried or
+replayed frame is acknowledged without re-applying — exactly-once
+application over an at-least-once transport).  They are deliberately
+absent from :data:`IDEMPOTENT_MSG_TYPES` — they must never be hedged —
+but :data:`MUTATION_MSG_TYPES` marks them safely *retryable*, because
+the id dedup makes a duplicate delivery a no-op.  Servers only accept
+them from peers that negotiated the ``"mutations"`` feature, which is
+granted iff the HELLO carried the server's shared auth token (see
+``docs/resharding.md``).
 """
 
 from __future__ import annotations
@@ -64,6 +79,7 @@ __all__ = [
     "MAGIC",
     "PROTOCOL_VERSION",
     "FEATURE_TRACE",
+    "FEATURE_MUTATIONS",
     "SUPPORTED_FEATURES",
     "negotiate_features",
     "HEADER_BYTES",
@@ -72,6 +88,7 @@ __all__ = [
     "FLAG_END",
     "MsgType",
     "IDEMPOTENT_MSG_TYPES",
+    "MUTATION_MSG_TYPES",
     "CODEC_JSON",
     "CODEC_BINARY",
     "CODEC_NAMES",
@@ -88,6 +105,7 @@ __all__ = [
     "parse_json",
     "pack_body",
     "unpack_body",
+    "payload_digest",
 ]
 
 MAGIC = b"POEN"
@@ -95,7 +113,10 @@ PROTOCOL_VERSION = 1
 
 #: Optional-capability names negotiable in HELLO (see module docstring).
 FEATURE_TRACE = "trace"
-SUPPORTED_FEATURES = (FEATURE_TRACE,)
+#: Mutation frames accepted; servers grant this only to authenticated
+#: peers, so its presence in HELLO_OK doubles as the write-path probe.
+FEATURE_MUTATIONS = "mutations"
+SUPPORTED_FEATURES = (FEATURE_TRACE, FEATURE_MUTATIONS)
 
 
 def negotiate_features(requested) -> Tuple[str, ...]:
@@ -139,15 +160,29 @@ class MsgType:
     STATS_OK = 13
     DRAIN = 14
     DRAINED = 15
+    INSTALL_HEADS = 16
+    HEADS_INSTALLED = 17
+    DROP_HEADS = 18
+    HEADS_DROPPED = 19
+    REFRESH_LIBRARY = 20
+    LIBRARY_REFRESHED = 21
 
 
 #: Request types safe to retry / fail over / hedge: re-executing them on
 #: another replica cannot change shard state, so a client may re-issue
 #: them after a connection error or alongside a slow first attempt.
-#: Everything else (DRAIN today; placement mutations when they gain wire
-#: frames) must be delivered at-most-once and fails fast instead.
+#: Everything else — DRAIN, and the placement mutations below — must
+#: never be hedged; DRAIN fails fast, mutations retry via id dedup.
 IDEMPOTENT_MSG_TYPES = frozenset(
     {MsgType.PING, MsgType.FETCH_HEADS, MsgType.SERVE, MsgType.PREDICT, MsgType.STATS}
+)
+
+#: The write path: frames that mutate worker state.  Never hedged (a
+#: hedge races two applications of one mutation), but safely retryable —
+#: every mutation carries an id the worker journals, so a duplicate
+#: delivery is acknowledged as a replay instead of re-applied.
+MUTATION_MSG_TYPES = frozenset(
+    {MsgType.INSTALL_HEADS, MsgType.DROP_HEADS, MsgType.REFRESH_LIBRARY}
 )
 
 
@@ -402,3 +437,15 @@ def unpack_body(payload: bytes) -> Tuple[Dict, bytes]:
         raise FrameError("binary body truncated inside its meta header")
     meta = parse_json(payload[4 : 4 + meta_len])
     return meta, payload[4 + meta_len :]
+
+
+def payload_digest(blob: bytes) -> str:
+    """Stable content digest of a mutation payload (hex blake2b-128).
+
+    Mutation frames carry this in their meta and the worker recomputes it
+    over the received blob before applying — a truncated or corrupted
+    transfer is rejected before it can install partial heads.
+    """
+    import hashlib
+
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()

@@ -7,9 +7,14 @@ and its replica endpoints:
   full jitter, plus a **per-operation timeout table** replacing the old
   single 120 s socket timeout (a PING should never wait two minutes; a
   cold cross-shard SERVE legitimately might).  The policy is
-  idempotency-aware: only the message types in
-  :data:`~repro.net.frame.IDEMPOTENT_MSG_TYPES` are ever retried or
-  failed over; everything else gets exactly one delivery attempt.
+  idempotency-aware: the message types in
+  :data:`~repro.net.frame.IDEMPOTENT_MSG_TYPES` are retried and failed
+  over freely; :data:`~repro.net.frame.MUTATION_MSG_TYPES` are retried
+  (their mutation-id dedup makes duplicates safe) but never hedged or
+  failed over mid-flight; everything else gets exactly one delivery
+  attempt.  A :class:`StaleEpochError` is a *fencing* rejection — the
+  frame lost a topology race — and is deliberately not retryable:
+  re-sending the same stale epoch can never succeed.
 * :class:`CircuitBreaker` — per-replica closed → open → half-open state
   machine.  After ``failure_threshold`` *consecutive* failures the
   breaker opens and the replica stops soaking requests; after
@@ -34,11 +39,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Tuple
 
-from .frame import IDEMPOTENT_MSG_TYPES, MsgType
+from .frame import IDEMPOTENT_MSG_TYPES, MUTATION_MSG_TYPES, MsgType
 
 __all__ = [
     "BreakerOpenError",
     "ShardDrainingError",
+    "StaleEpochError",
     "RETRYABLE_EXCEPTIONS",
     "DEFAULT_OP_TIMEOUTS",
     "RetryPolicy",
@@ -67,6 +73,16 @@ class BreakerOpenError(ConnectionError):
     """
 
 
+class StaleEpochError(RuntimeError):
+    """A mutation frame carried an epoch older than the worker's.
+
+    The topology-epoch fence: the worker has already applied a newer
+    placement, so this frame belongs to a superseded plan.  Crosses the
+    wire as a typed ERROR.  Never retryable — the epoch in the frame
+    cannot grow by re-sending it; the *sender* must re-plan.
+    """
+
+
 #: Errors that mean "the *transport* failed" — the request may never have
 #: reached the shard, so re-issuing an idempotent operation is safe.
 #: Typed application errors (KeyError and friends) and framing errors
@@ -88,6 +104,9 @@ DEFAULT_OP_TIMEOUTS: Mapping[int, float] = {
     MsgType.SERVE: 120.0,
     MsgType.PREDICT: 120.0,
     MsgType.DRAIN: 30.0,
+    MsgType.INSTALL_HEADS: 60.0,
+    MsgType.DROP_HEADS: 30.0,
+    MsgType.REFRESH_LIBRARY: 120.0,
 }
 
 
@@ -115,18 +134,30 @@ class RetryPolicy:
         return float(self.op_timeouts.get(msg_type, self.default_timeout))
 
     def attempts_for(self, msg_type: int) -> int:
-        """Total delivery attempts allowed: 1 unless idempotent."""
-        if msg_type in IDEMPOTENT_MSG_TYPES:
+        """Total delivery attempts allowed: 1 unless idempotent or a
+        dedup-protected mutation."""
+        if msg_type in IDEMPOTENT_MSG_TYPES or msg_type in MUTATION_MSG_TYPES:
             return max(1, int(self.max_attempts))
         return 1
 
     def retryable(self, msg_type: int, error: BaseException) -> bool:
-        """Whether ``error`` on ``msg_type`` permits another attempt."""
-        if msg_type not in IDEMPOTENT_MSG_TYPES:
+        """Whether ``error`` on ``msg_type`` permits another attempt.
+
+        Mutations retry on transport failures like idempotent reads do —
+        the worker's mutation-id journal turns a duplicate delivery into
+        an acknowledged replay — but a :class:`StaleEpochError` proves
+        the frame is fenced out and can never succeed.
+        """
+        if (
+            msg_type not in IDEMPOTENT_MSG_TYPES
+            and msg_type not in MUTATION_MSG_TYPES
+        ):
             return False
         from .frame import FrameError  # framing is never retryable
 
-        if isinstance(error, FrameError):
+        # PermissionError subclasses OSError but proves the peer is
+        # read-only (no auth token): re-sending can never succeed
+        if isinstance(error, (FrameError, StaleEpochError, PermissionError)):
             return False
         return isinstance(error, RETRYABLE_EXCEPTIONS)
 

@@ -15,7 +15,11 @@ Three layers, innermost first:
   hosting a ``PoolShard`` + ``ShardServer`` with its own GIL.  Workers
   report readiness (their bound port) over a pipe before the fleet hands
   out clients; shutdown drains each worker over the wire and joins the
-  process, escalating to ``terminate()`` only on timeout.
+  process, escalating to ``terminate()`` only on timeout.  The fleet can
+  also :meth:`~ShardWorkerFleet.retire_shard` a slot online (drain +
+  join, client closed) and :meth:`~ShardWorkerFleet.update_assignment`
+  so respawns fork with the *current* placement — the fleet half of
+  online resharding.
 * :class:`NetworkedCluster` — the one-call deployment: spawns a fleet,
   builds a :class:`~repro.cluster.gateway.ClusterGateway` whose
   ``shard_factory`` returns :class:`~repro.net.client.RemoteShardClient`\\ s,
@@ -26,18 +30,23 @@ Worker processes are created with the ``fork`` start method so the
 already-preprocessed pool is inherited copy-on-write — nothing re-trains
 and expert weights are bit-identical across the process boundary.  Spawn
 workers **before** serving traffic (fork duplicates only the calling
-thread), and note that pool mutations (re-extraction, rebalance) do not
-propagate to running workers — that is the shard-autoscaling follow-on
-tracked in ROADMAP.md.
+thread).  Pool mutations propagate to running workers over the wire:
+``INSTALL_HEADS`` / ``DROP_HEADS`` / ``REFRESH_LIBRARY`` frames, fenced
+by a topology epoch and deduplicated by mutation id, carry
+re-extractions, rebalances, and online reshards without a restart (see
+``docs/resharding.md``).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hmac
 import multiprocessing
 import os
+import secrets
 import socket
 import threading
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -48,15 +57,17 @@ from contextlib import contextmanager
 from ..cluster.gateway import ClusterConfig, ClusterGateway
 from ..cluster.metrics import ClusterMetrics
 from ..cluster.shard import PoolShard
+from ..core.server import deserialize_expert_heads, deserialize_library_state
 from ..obs.journal import JOURNAL
 from ..obs.trace import TRACER
 from ..serving.gateway import GatewayConfig
 from .client import RemoteShardClient
-from .retry import HedgePolicy, RetryPolicy, ShardDrainingError
+from .retry import HedgePolicy, RetryPolicy, ShardDrainingError, StaleEpochError
 from .frame import (
     CODEC_BINARY,
     CODEC_JSON,
     DEFAULT_CHUNK_BYTES,
+    FEATURE_MUTATIONS,
     FrameDecoder,
     FrameError,
     MessageAssembler,
@@ -68,8 +79,14 @@ from .frame import (
     negotiate_features,
     pack_body,
     parse_json,
+    payload_digest,
     unpack_body,
 )
+
+#: Upper bound on remembered mutation ids per worker.  A rebalance emits a
+#: handful of mutations per shard; 1024 comfortably covers every retry
+#: window while keeping the dedup journal O(small).
+_MUTATION_JOURNAL_CAP = 1024
 
 __all__ = ["ShardServer", "ShardWorkerFleet", "NetworkedCluster"]
 
@@ -83,6 +100,16 @@ class ShardServer:
     chunked payloads from concurrent requests interleave cleanly.
     ``DRAIN`` and ``HELLO`` are handled outside the pool (a drain must be
     able to wait for the pool to empty without occupying it).
+
+    Mutation frames (``INSTALL_HEADS`` / ``DROP_HEADS`` /
+    ``REFRESH_LIBRARY``) are fenced and idempotent: each carries a
+    topology ``epoch`` (frames older than the worker's current epoch are
+    rejected with :class:`StaleEpochError`) and a ``mutation_id`` that is
+    journaled on apply, so a retried duplicate is acknowledged as a
+    *replay* without touching the pool.  When ``auth_token`` is set, only
+    connections that presented the matching token in ``HELLO``
+    (constant-time compare) may mutate; everyone else keeps the read-only
+    v1 surface.
     """
 
     def __init__(
@@ -93,12 +120,21 @@ class ShardServer:
         request_workers: int = 2,
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         replica_id: int = 0,
+        auth_token: Optional[str] = None,
     ) -> None:
         self.shard = shard
         self.host = host
         self.port = port
         self.chunk_bytes = chunk_bytes
         self.replica_id = replica_id
+        self.auth_token = auth_token
+        #: Current topology epoch (grows monotonically via mutation frames).
+        self.epoch = 0
+        # mutation_id -> epoch, insertion-ordered so the cap evicts oldest
+        self._applied_mutations: "OrderedDict[str, int]" = OrderedDict()
+        self._mutation_lock = threading.Lock()
+        # id(conn) -> authenticated?, maintained by HELLO / connection close
+        self._conn_auth: Dict[int, bool] = {}
         self._executor = ThreadPoolExecutor(
             max_workers=max(1, request_workers), thread_name_prefix="poe-net-req"
         )
@@ -250,6 +286,7 @@ class ShardServer:
             with self._conn_lock:
                 if conn in self._connections:
                     self._connections.remove(conn)
+                self._conn_auth.pop(id(conn), None)
             try:
                 conn.close()
             except OSError:  # pragma: no cover
@@ -383,6 +420,20 @@ class ShardServer:
             except OSError:  # pragma: no cover
                 pass
             return
+        # shared-token auth: constant-time compare; a server with no token
+        # configured trusts every local peer (the single-host default).
+        # Wrong or absent tokens are NOT an error — the peer simply stays
+        # read-only, and "mutations" is withheld from its feature set.
+        presented = request.get("auth")
+        authed = self.auth_token is None or (
+            isinstance(presented, str)
+            and hmac.compare_digest(presented, self.auth_token)
+        )
+        with self._conn_lock:
+            self._conn_auth[id(conn)] = authed
+        features = list(negotiate_features(request.get("features")))
+        if not authed and FEATURE_MUTATIONS in features:
+            features.remove(FEATURE_MUTATIONS)
         self._send(
             conn,
             write_lock,
@@ -399,7 +450,8 @@ class ShardServer:
                     "pid": os.getpid(),
                     # optional-capability intersection (empty for a client
                     # that sent no "features" key — old peers interop)
-                    "features": list(negotiate_features(request.get("features"))),
+                    "features": features,
+                    "epoch": self.epoch,
                 }
             ),
         )
@@ -500,6 +552,175 @@ class ShardServer:
         body = pack_body(out_meta, ids.tobytes())
         self._send(conn, write_lock, MsgType.PREDICTED, request_id, body, CODEC_BINARY)
 
+    # ------------------------------------------------------------------
+    # Mutation handlers: fenced, idempotent, auth-gated
+    # ------------------------------------------------------------------
+    def _require_mutation_auth(self, conn) -> None:
+        with self._conn_lock:
+            authed = self._conn_auth.get(id(conn), self.auth_token is None)
+        if not authed:
+            raise PermissionError(
+                "mutation frames require an authenticated peer "
+                "(send the shared auth token in HELLO)"
+            )
+
+    def _fence_and_dedup(self, mutation_id: str, epoch: int) -> bool:
+        """Under the mutation lock: answer ``True`` for a replay.
+
+        Replay is checked *before* the epoch fence: a duplicate of a
+        mutation that already applied must be acknowledged even if later
+        mutations have since advanced the epoch — the retrying client is
+        owed its ack, and re-applying is the thing being prevented.
+        Unknown ids with an epoch below the worker's are fenced out.
+        """
+        if mutation_id in self._applied_mutations:
+            return True
+        if epoch < self.epoch:
+            metrics = self.shard.gateway.metrics
+            if metrics is not None:
+                metrics.increment("stale_epoch_rejects")
+            raise StaleEpochError(
+                f"mutation epoch {epoch} is stale: shard {self.shard.shard_id} "
+                f"replica {self.replica_id} is at epoch {self.epoch}"
+            )
+        return False
+
+    def _record_applied(self, mutation_id: str, epoch: int, kind: str, **detail) -> None:
+        self._applied_mutations[mutation_id] = epoch
+        while len(self._applied_mutations) > _MUTATION_JOURNAL_CAP:
+            self._applied_mutations.popitem(last=False)
+        self.epoch = max(self.epoch, epoch)
+        metrics = self.shard.gateway.metrics
+        if metrics is not None:
+            metrics.increment("mutations_applied")
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "mutation_applied",
+                op=kind,
+                mutation_id=mutation_id,
+                epoch=epoch,
+                shard_id=self.shard.shard_id,
+                replica=self.replica_id,
+                **detail,
+            )
+
+    def _record_replayed(self, mutation_id: str, kind: str) -> None:
+        metrics = self.shard.gateway.metrics
+        if metrics is not None:
+            metrics.increment("mutations_replayed")
+        if JOURNAL.enabled:
+            JOURNAL.emit(
+                "mutation_replayed",
+                op=kind,
+                mutation_id=mutation_id,
+                epoch=self.epoch,
+                shard_id=self.shard.shard_id,
+                replica=self.replica_id,
+            )
+
+    def _handle_install_heads(self, conn, write_lock, request_id, payload, codec) -> None:
+        self._require_mutation_auth(conn)
+        meta, blob = unpack_body(payload)
+        mutation_id = str(meta["mutation_id"])
+        epoch = int(meta["epoch"])
+        installed: List[str] = []
+        with self._mutation_lock:
+            replayed = self._fence_and_dedup(mutation_id, epoch)
+            if not replayed:
+                digest = meta.get("digest")
+                if digest is not None and payload_digest(blob) != digest:
+                    raise FrameError(
+                        "INSTALL_HEADS payload digest mismatch: "
+                        "refusing to install corrupted heads"
+                    )
+                for name, remote in deserialize_expert_heads(blob).items():
+                    # attach overwrites an existing head of the same name,
+                    # so a crash-and-retry mid-apply converges (idempotent)
+                    self.shard.install_expert(name, remote.head, remote.version)
+                    installed.append(name)
+                self._record_applied(
+                    mutation_id, epoch, "install_heads", tasks=len(installed)
+                )
+            else:
+                self._record_replayed(mutation_id, "install_heads")
+            out = {
+                "applied": not replayed,
+                "replayed": replayed,
+                "epoch": self.epoch,
+                "installed": installed,
+            }
+        self._send(
+            conn, write_lock, MsgType.HEADS_INSTALLED, request_id, json_payload(out)
+        )
+
+    def _handle_drop_heads(self, conn, write_lock, request_id, payload, codec) -> None:
+        self._require_mutation_auth(conn)
+        request = parse_json(payload)
+        mutation_id = str(request["mutation_id"])
+        epoch = int(request["epoch"])
+        names = [str(n) for n in request.get("names", ())]
+        dropped: List[str] = []
+        with self._mutation_lock:
+            replayed = self._fence_and_dedup(mutation_id, epoch)
+            if not replayed:
+                held = set(self.shard.local_heads())
+                for name in names:
+                    # tolerate absent names: a respawned worker may have
+                    # forked past the drop already, and the commit
+                    # broadcast uses an empty list as a pure epoch fence
+                    if name in held:
+                        self.shard.drop_expert(name)
+                        dropped.append(name)
+                self._record_applied(
+                    mutation_id, epoch, "drop_heads",
+                    tasks=len(dropped), requested=len(names),
+                )
+            else:
+                self._record_replayed(mutation_id, "drop_heads")
+            out = {
+                "applied": not replayed,
+                "replayed": replayed,
+                "epoch": self.epoch,
+                "dropped": dropped,
+            }
+        self._send(
+            conn, write_lock, MsgType.HEADS_DROPPED, request_id, json_payload(out)
+        )
+
+    def _handle_refresh_library(self, conn, write_lock, request_id, payload, codec) -> None:
+        self._require_mutation_auth(conn)
+        meta, blob = unpack_body(payload)
+        mutation_id = str(meta["mutation_id"])
+        epoch = int(meta["epoch"])
+        version = None
+        with self._mutation_lock:
+            replayed = self._fence_and_dedup(mutation_id, epoch)
+            if not replayed:
+                digest = meta.get("digest")
+                if digest is not None and payload_digest(blob) != digest:
+                    raise FrameError(
+                        "REFRESH_LIBRARY payload digest mismatch: "
+                        "refusing to install a corrupted trunk"
+                    )
+                library, version = deserialize_library_state(blob)
+                # the student stays behind the gateway that distilled it;
+                # workers only ever serve through the consolidated trunk
+                self.shard.refresh_library(library, None, version)
+                self._record_applied(
+                    mutation_id, epoch, "refresh_library", version=version
+                )
+            else:
+                self._record_replayed(mutation_id, "refresh_library")
+            out = {
+                "applied": not replayed,
+                "replayed": replayed,
+                "epoch": self.epoch,
+                "version": version,
+            }
+        self._send(
+            conn, write_lock, MsgType.LIBRARY_REFRESHED, request_id, json_payload(out)
+        )
+
     def _handle_stats(self, conn, write_lock, request_id, payload, codec) -> None:
         try:
             request = parse_json(payload) if payload else {}
@@ -520,6 +741,7 @@ class ShardServer:
                 "pid": os.getpid(),
                 "tasks": list(self.shard.task_names()),
                 "cache_stats": stats,
+                "epoch": self.epoch,
             }
         )
         # journal events ride in the response like trace_spans do: the
@@ -535,6 +757,9 @@ class ShardServer:
         MsgType.SERVE: _handle_serve,
         MsgType.PREDICT: _handle_predict,
         MsgType.STATS: _handle_stats,
+        MsgType.INSTALL_HEADS: _handle_install_heads,
+        MsgType.DROP_HEADS: _handle_drop_heads,
+        MsgType.REFRESH_LIBRARY: _handle_refresh_library,
     }
 
 
@@ -550,6 +775,7 @@ def _shard_worker_main(
     host: str,
     request_workers: int,
     replica_id: int = 0,
+    auth_token: Optional[str] = None,
 ) -> None:
     """Entry point of one forked shard worker (readiness → serve → drain)."""
     import signal
@@ -581,6 +807,7 @@ def _shard_worker_main(
             port=0,
             request_workers=request_workers,
             replica_id=replica_id,
+            auth_token=auth_token,
         )
         _host, port = server.start()
     except BaseException as error:  # report startup failure, don't hang the parent
@@ -641,6 +868,7 @@ class ShardWorkerFleet:
         hedge: Optional[HedgePolicy] = None,
         supervise: bool = True,
         supervision_interval: float = 0.1,
+        auth_token: Optional[str] = None,
     ) -> None:
         try:
             self._context = multiprocessing.get_context("fork")
@@ -661,6 +889,7 @@ class ShardWorkerFleet:
         self.hedge = hedge
         self.supervise = supervise
         self.supervision_interval = supervision_interval
+        self.auth_token = auth_token
         self.workers: List[_WorkerHandle] = []
         self._clients: List[RemoteShardClient] = []
         self._clients_by_shard: Dict[int, RemoteShardClient] = {}
@@ -690,6 +919,7 @@ class ShardWorkerFleet:
                 self.host,
                 request_workers,
                 replica_id,
+                self.auth_token,
             ),
             name=f"poe-shard-{shard_id}r{replica_id}",
             daemon=True,
@@ -756,6 +986,7 @@ class ShardWorkerFleet:
             metrics=self.metrics,
             retry=self.retry,
             hedge=self.hedge,
+            auth_token=self.auth_token,
         )
         self._clients.append(client)
         self._clients_by_shard[shard_id] = client
@@ -786,6 +1017,9 @@ class ShardWorkerFleet:
 
     def _respawn(self, handle: _WorkerHandle) -> None:
         """Replace a dead worker in place; the handle keeps its slot."""
+        with self._fleet_lock:
+            if handle not in self.workers:
+                return  # slot retired (online shrink) between scan and respawn
         dead_pid = handle.process.pid
         if JOURNAL.enabled:
             JOURNAL.emit(
@@ -834,6 +1068,58 @@ class ShardWorkerFleet:
         if self._supervisor is not None:
             self._supervisor.join(timeout=5.0)
             self._supervisor = None
+
+    # ------------------------------------------------------------------
+    # Online topology changes (the fleet half of resharding)
+    # ------------------------------------------------------------------
+    def update_assignment(self, shard_id: int, task_names: Sequence[str]) -> None:
+        """Record a shard slot's new task assignment in its spawn spec.
+
+        Respawns fork from the *parent* pool with the stored assignment,
+        so after a rebalance/reshard moved heads this must be updated or a
+        crashed worker would come back serving the pre-move placement.
+        """
+        names = tuple(task_names)
+        with self._fleet_lock:
+            for handle in self.workers:
+                if handle.shard_id == shard_id:
+                    handle.task_names = names
+
+    def retire_shard(self, shard_id: int, timeout: float = 20.0) -> None:
+        """Drain and retire every worker of one shard slot (online shrink).
+
+        Handles leave ``self.workers`` under the fleet lock *before* any
+        worker is touched, so the supervisor cannot respawn a slot that is
+        being retired; the client is closed before the drain so no new
+        requests race the teardown.
+        """
+        with self._fleet_lock:
+            retiring = [h for h in self.workers if h.shard_id == shard_id]
+            self.workers = [h for h in self.workers if h.shard_id != shard_id]
+        client = self._clients_by_shard.pop(shard_id, None)
+        if client is not None:
+            if client in self._clients:
+                self._clients.remove(client)
+            client.close()
+        for handle in retiring:
+            if not handle.process.is_alive():
+                continue
+            try:
+                RemoteShardClient.drain_address(handle.address, timeout=timeout)
+            except OSError:
+                pass  # already exiting; join below decides
+            handle.process.join(timeout=timeout)
+            if handle.process.is_alive():  # pragma: no cover - unresponsive
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            if JOURNAL.enabled:
+                JOURNAL.emit(
+                    "worker_exit",
+                    shard_id=handle.shard_id,
+                    replica=handle.replica_id,
+                    pid=handle.process.pid,
+                    exitcode=handle.process.exitcode,
+                )
 
     # ------------------------------------------------------------------
     def shutdown(self, timeout: float = 20.0) -> None:
@@ -921,8 +1207,12 @@ class NetworkedCluster:
         startup_timeout: float = 60.0,
         retry: Optional[RetryPolicy] = None,
         hedge: Optional[HedgePolicy] = None,
+        auth_token: Optional[str] = None,
     ) -> None:
         self.metrics = ClusterMetrics()
+        # every mutation frame is auth-gated; a fresh random token per
+        # cluster keeps the gateway the only peer that can mutate workers
+        self.auth_token = auth_token or secrets.token_hex(16)
         replicas = getattr(config, "replicas_per_shard", 1) if config else 1
         self.fleet = ShardWorkerFleet(
             pool,
@@ -933,6 +1223,7 @@ class NetworkedCluster:
             replicas_per_shard=replicas,
             retry=retry,
             hedge=hedge,
+            auth_token=self.auth_token,
         )
         try:
             self.gateway = ClusterGateway(
@@ -941,6 +1232,7 @@ class NetworkedCluster:
                 metrics=self.metrics,
                 shard_factory=self.fleet.shard_factory,
             )
+            self.gateway.attach_fleet(self.fleet)
         except BaseException:
             self.fleet.shutdown()
             raise

@@ -99,7 +99,8 @@ def render_dashboard(
     lines.append("-" * min(width, 100))
     lines.append(
         f"{'source':<10} {'state':<4} {'qps':>5} {'p95':>7} {'burn':>5} "
-        f"{'err':>4} {'hit':>4}  {'qps history':<{spark_w}}  {'p95 history':<{spark_w}}"
+        f"{'err':>4} {'hit':>4} {'ep':>3}  {'qps history':<{spark_w}}  "
+        f"{'p95 history':<{spark_w}}"
     )
     for source in sorted(health):
         verdict = health[source]
@@ -110,10 +111,12 @@ def render_dashboard(
         p95_hist = sparkline(
             store.values(f"{source}.stage.{stage}.p95"), spark_w
         )
+        epoch = store.last(f"{source}.epoch")
         lines.append(
             f"{source:<10} {badge:<4} {_fmt_rate(verdict.get('qps')):>5} "
             f"{_fmt_ms(verdict.get('p95')):>7} {float(verdict.get('burn_rate') or 0):>5.2f} "
-            f"{_fmt_pct(verdict.get('error_rate')):>4} {_fmt_pct(hit):>4}  "
+            f"{_fmt_pct(verdict.get('error_rate')):>4} {_fmt_pct(hit):>4} "
+            f"{'-' if epoch is None else f'{epoch:.0f}':>3}  "
             f"{qps_hist}  {p95_hist}"
         )
         reasons = verdict.get("reasons") or []
@@ -142,6 +145,13 @@ def render_dashboard(
             "breakers ok"
             if open_breakers == 0
             else f"breakers {open_breakers:.0f} OPEN"
+        )
+    epoch = store.last("cluster.epoch")
+    if epoch is not None:
+        skew = store.last("cluster.epoch.skew") or 0.0
+        extras.append(
+            f"epoch {epoch:.0f}"
+            + ("" if skew == 0 else f" (SKEW {skew:.0f})")
         )
     if extras:
         lines.append("  " + "   ".join(extras))

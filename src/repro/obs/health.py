@@ -185,6 +185,13 @@ class HealthScorer:
                 reasons.append(
                     f"{open_breakers:.0f} replica breaker(s) not closed"
                 )
+            epoch_skew = self.store.last(f"{source}.epoch.skew")
+            if epoch_skew:
+                state = "degraded"
+                reasons.append(
+                    f"topology epoch skew {epoch_skew:.0f} across replicas "
+                    "(a replica missed a mutation broadcast)"
+                )
         return {
             "state": state,
             "burn_rate": round(burn, 4),

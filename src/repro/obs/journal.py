@@ -38,6 +38,9 @@ EVENT_KINDS = (
     "expert_update",
     "library_update",
     "rebalance",
+    "reshard",
+    "mutation_applied",
+    "mutation_replayed",
     "slow_query",
     "worker_start",
     "worker_drain",

@@ -191,6 +191,18 @@ def snapshot_rates(
     if curr.get("breakers") is not None:
         out["breakers.open"] = open_breakers
 
+    # topology-epoch skew: a replica whose acknowledged epoch trails its
+    # shard siblings missed a mutation broadcast — worst per-shard spread
+    if curr.get("epoch") is not None:
+        out["epoch"] = float(curr["epoch"])
+    if curr.get("epochs") is not None:
+        skew = 0.0
+        for replica_epochs in (curr.get("epochs") or {}).values():
+            values = [float(v) for v in (replica_epochs or {}).values()]
+            if values:
+                skew = max(skew, max(values) - min(values))
+        out["epoch.skew"] = skew
+
     prev_fanout = prev.get("fanout") or {}
     curr_fanout = curr.get("fanout") or {}
     weighted = 0.0

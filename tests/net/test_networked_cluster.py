@@ -150,12 +150,51 @@ def test_unknown_task_raises_keyerror_at_front_end(networked):
         networked.gateway.serve(("no-such-task",))
 
 
-def test_placement_mutation_unsupported_remotely(networked):
+def test_in_process_mutation_signatures_point_at_batch_frames(networked):
+    """Live-object signatures still cannot cross a socket; the typed
+    error names the serialized batch frame to use instead."""
     client = networked.gateway.shards[0]
-    with pytest.raises(RemoteOperationUnsupported, match="ROADMAP"):
+    with pytest.raises(RemoteOperationUnsupported, match="drop_heads"):
         client.drop_expert("task0")
-    with pytest.raises(RuntimeError, match="in-process shards"):
-        networked.gateway.rebalance()
+    with pytest.raises(RemoteOperationUnsupported, match="install_heads"):
+        client.install_expert("task0", object(), 1)
+    with pytest.raises(RemoteOperationUnsupported, match="push_library"):
+        client.refresh_library(object(), None, 1)
+
+
+def test_networked_rebalance_moves_experts_over_the_wire(networked, in_process):
+    """rebalance() now works against mutation-capable workers: pin a task
+    to the other shard and the move lands bit-identically."""
+    gateway = networked.gateway
+    assert all(s.supports_mutations for s in gateway.shards)
+    task = sorted(gateway.available_tasks())[0]
+    reference = in_process.serve((task,)).payload
+    (old_shard,) = gateway.shards_of(task)
+    target = 1 - old_shard
+    gateway.router.pin(task, target)
+    report = gateway.rebalance()
+    assert (task, (old_shard,), (target,)) in report.moved
+    assert report.epoch == gateway.epoch > 0
+    assert gateway.shards_of(task) == (target,)
+    assert gateway.serve((task,)).payload == reference
+    # the fleet's respawn spec follows the committed placement
+    slots = {h.shard_id: h.task_names for h in networked.fleet.workers}
+    assert task in slots[target] and task not in slots[old_shard]
+    gateway.router.unpin(task)
+
+
+def test_rebalance_requires_the_mutations_feature(networked):
+    """A worker that did not negotiate 'mutations' (legacy server or no
+    auth token) makes rebalance fail with the typed capability error."""
+    gateway = networked.gateway
+    client = gateway.shards[0]
+    features = client.info["features"]
+    client.info["features"] = []
+    try:
+        with pytest.raises(RemoteOperationUnsupported, match="mutations"):
+            gateway.rebalance()
+    finally:
+        client.info["features"] = features
 
 
 # ----------------------------------------------------------------------
@@ -239,13 +278,33 @@ def test_protocol_mismatch_is_answered_with_typed_error(net_pool):
         shard.close()
 
 
-def test_remote_mutation_drops_caches_and_poisons_the_gateway(net_pool, in_process):
-    """A pool mutation cannot propagate into running workers.  The
+def test_remote_mutation_pushes_into_running_workers(net_pool, in_process):
+    """A pool mutation now propagates into running workers through the
+    fenced INSTALL_HEADS frame: caches drop, the gateway keeps serving,
+    and nothing is poisoned."""
+    pool, _data = net_pool
+    with NetworkedCluster(pool, CONFIG) as deployment:
+        gateway = deployment.gateway
+        query = _cross_shard_query(in_process)
+        reference = gateway.serve(query).payload
+        assert len(gateway.payload_cache) == 1
+        task = query[0]
+        placement_before = gateway.available_tasks()
+        gateway._on_expert_update(task, pool.expert_version(task))
+        assert len(gateway.payload_cache) == 0
+        assert gateway.available_tasks() == placement_before
+        assert gateway.metrics.counter("remote_updates_pushed") >= 1
+        assert gateway.metrics.counter("remote_updates_unapplied") == 0
+        # serving continues, bit-identically (the pool didn't change)
+        assert gateway.serve(query).payload == reference
+
+
+def test_remote_mutation_poisons_when_workers_lack_the_feature(net_pool, in_process):
+    """Legacy fallback: when a worker did not negotiate 'mutations', the
     listener must NOT raise (an exception from inside the pool's listener
     loop would skip every listener registered after it); instead it drops
-    the front-end composite caches, leaves the placement map untouched
-    (it keeps mirroring what the workers actually hold), and poisons the
-    gateway so the next serving call fails loudly."""
+    the front-end composite caches, leaves the placement map untouched,
+    and poisons the gateway so the next serving call fails loudly."""
     pool, _data = net_pool
     with NetworkedCluster(pool, CONFIG) as deployment:
         gateway = deployment.gateway
@@ -253,6 +312,7 @@ def test_remote_mutation_drops_caches_and_poisons_the_gateway(net_pool, in_proce
         gateway.serve(query)
         assert len(gateway.payload_cache) == 1
         assert len(gateway.model_cache) == 1
+        gateway.shards[0].info["features"] = []  # simulate a legacy worker
         task = query[0]
         placement_before = gateway.available_tasks()
         # the listener returns normally (later listeners still run)...
@@ -270,17 +330,19 @@ def test_remote_mutation_drops_caches_and_poisons_the_gateway(net_pool, in_proce
             gateway.get_model(query)
 
 
-def test_remote_library_bump_clears_trunk_tiers_and_poisons(net_pool, in_process):
+def test_remote_library_bump_pushes_library_state(net_pool, in_process):
+    """REFRESH_LIBRARY carries the trunk to running workers: tiers clear,
+    the gateway keeps serving the same bytes (the trunk didn't change)."""
     pool, _data = net_pool
     from repro.core.pool import LIBRARY_TASK
 
     with NetworkedCluster(pool, CONFIG) as deployment:
         gateway = deployment.gateway
         query = _cross_shard_query(in_process)
-        gateway.serve(query)
+        reference = gateway.serve(query).payload
         assert len(gateway.payload_cache) == 1
-        gateway._on_expert_update(LIBRARY_TASK, 99)
+        gateway._on_expert_update(LIBRARY_TASK, pool.expert_version(LIBRARY_TASK))
         assert len(gateway.payload_cache) == 0
         assert len(gateway.remote_head_cache) == 0
-        with pytest.raises(RuntimeError, match="restart the worker fleet"):
-            gateway.serve(query)
+        assert gateway.metrics.counter("remote_updates_pushed") >= 1
+        assert gateway.serve(query).payload == reference

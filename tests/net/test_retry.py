@@ -211,3 +211,66 @@ def test_latency_tracker_ring_is_bounded():
 
 def test_quantile_of_empty_tracker_is_none():
     assert LatencyTracker().quantile(0.95) is None
+
+
+# ----------------------------------------------------------------------
+# Mutation frames: dedup-retryable, never hedged, fenced
+# ----------------------------------------------------------------------
+def test_mutation_msg_types_are_not_idempotent():
+    """Mutations must never qualify for hedging/failover (IDEMPOTENT set);
+    their retry budget comes from mutation-id dedup instead."""
+    from repro.net import MUTATION_MSG_TYPES
+
+    assert MUTATION_MSG_TYPES == frozenset(
+        {MsgType.INSTALL_HEADS, MsgType.DROP_HEADS, MsgType.REFRESH_LIBRARY}
+    )
+    assert not (MUTATION_MSG_TYPES & IDEMPOTENT_MSG_TYPES)
+
+
+def test_mutations_get_full_retry_attempts_via_dedup():
+    policy = RetryPolicy(max_attempts=5)
+    assert policy.attempts_for(MsgType.INSTALL_HEADS) == 5
+    assert policy.attempts_for(MsgType.DROP_HEADS) == 5
+    assert policy.attempts_for(MsgType.REFRESH_LIBRARY) == 5
+    # non-idempotent, non-mutation control frames still get exactly one
+    assert policy.attempts_for(MsgType.DRAIN) == 1
+
+
+@pytest.mark.parametrize(
+    "error",
+    [ConnectionError("x"), TimeoutError("x"), OSError("x"), ShardDrainingError("x")],
+)
+def test_transport_errors_are_retryable_on_mutations(error):
+    policy = RetryPolicy()
+    assert policy.retryable(MsgType.INSTALL_HEADS, error)
+    assert policy.retryable(MsgType.DROP_HEADS, error)
+
+
+def test_stale_epoch_is_a_fencing_rejection_never_retryable():
+    from repro.net import MUTATION_MSG_TYPES, StaleEpochError
+
+    policy = RetryPolicy()
+    assert issubclass(StaleEpochError, RuntimeError)
+    for msg_type in MUTATION_MSG_TYPES:
+        assert not policy.retryable(msg_type, StaleEpochError("fenced out"))
+
+
+def test_permission_error_not_retryable_despite_oserror_lineage():
+    # PermissionError subclasses OSError — which IS in RETRYABLE_EXCEPTIONS —
+    # but a read-only rejection can never succeed by re-sending the frame
+    policy = RetryPolicy()
+    assert isinstance(PermissionError("read-only"), RETRYABLE_EXCEPTIONS)
+    assert not policy.retryable(MsgType.INSTALL_HEADS, PermissionError("x"))
+    assert not policy.retryable(MsgType.SERVE, PermissionError("x"))
+
+
+def test_mutation_op_timeouts_are_tabled():
+    policy = RetryPolicy()
+    for msg_type in (MsgType.INSTALL_HEADS, MsgType.DROP_HEADS, MsgType.REFRESH_LIBRARY):
+        assert policy.timeout_for(msg_type) == DEFAULT_OP_TIMEOUTS[msg_type]
+    # a library push ships the whole trunk: it gets the roomiest deadline
+    assert (
+        DEFAULT_OP_TIMEOUTS[MsgType.REFRESH_LIBRARY]
+        >= DEFAULT_OP_TIMEOUTS[MsgType.INSTALL_HEADS]
+        > DEFAULT_OP_TIMEOUTS[MsgType.DROP_HEADS]
+    )
