@@ -16,9 +16,13 @@ loop, so measured concurrency is the cluster's capacity.  Correctness
 rides along: the networked cluster's payloads must be **bit-identical**
 to the in-process cluster's.
 
-On a single-core host (or with ``REPRO_BENCH_RELAX=1`` on noisy CI
-runners) the 1.5x gate relaxes to a sanity floor — one core cannot
-demonstrate multiprocess parallelism, only pay the socket overhead.
+With ``REPRO_BENCH_RELAX=1`` (noisy shared CI runners) the 1.5x gate
+relaxes to a sanity floor.  An **un-relaxed** run demands >= 4 cores —
+fewer cannot demonstrate multiprocess parallelism, only pay the socket
+overhead — and on a smaller host it records a stamped skip into
+``BENCH_networked.json`` (so the trajectory shows *why* there is no
+entry) and skips instead of producing a meaningless verdict.  The CI
+``multicore-networked`` job runs this file un-relaxed.
 
 Self-contained: builds a micro pool inline (~seconds).  Run with::
 
@@ -49,8 +53,10 @@ CLIENTS = 6
 REQUESTS_PER_CLIENT = 25
 OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_networked.json")
 
-#: One core cannot demonstrate multiprocess parallelism; report, don't gate.
-RELAXED = bool(os.environ.get("REPRO_BENCH_RELAX")) or (os.cpu_count() or 1) < 2
+RELAXED = bool(os.environ.get("REPRO_BENCH_RELAX"))
+#: Cores below which an un-relaxed run cannot prove the 1.5x claim.
+MULTICORE_FLOOR = 4
+MULTICORE = (os.cpu_count() or 1) >= MULTICORE_FLOOR
 
 
 @pytest.fixture(scope="module")
@@ -98,6 +104,24 @@ def _drive(gateway, workload):
 
 def test_networked_beats_in_process_on_multicore(net_bench_pool, workload, emit):
     """Acceptance headline: multiprocess >=1.5x in-process aggregate qps."""
+    if not RELAXED and not MULTICORE:
+        # stamp the skip into the trajectory so "no entry" is explained
+        reason = (
+            f"un-relaxed 1.5x gate needs >= {MULTICORE_FLOOR} cores, "
+            f"host has {os.cpu_count()}"
+        )
+        append_benchmark_record(
+            os.path.normpath(OUT_PATH),
+            {
+                "bench": "networked_shards",
+                "skipped": True,
+                "skip_reason": reason,
+                "cpus": os.cpu_count(),
+                "meta": run_metadata(),
+            },
+            label="skip",
+        )
+        pytest.skip(reason)
     pool, _ = net_bench_pool
     with ClusterGateway(pool, _config()) as cluster:
         in_process = _drive(cluster, workload)

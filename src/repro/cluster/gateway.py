@@ -224,6 +224,7 @@ class ClusterGateway:
         router: Optional[ShardRouter] = None,
         metrics: Optional[ClusterMetrics] = None,
         shard_factory=None,
+        controller=None,
     ) -> None:
         self.pool = pool
         self.config = config or ClusterConfig()
@@ -325,6 +326,12 @@ class ClusterGateway:
         self._closed = False
         self._listener = self._on_expert_update
         pool.add_listener(self._listener)
+        #: Optional repro.control.CacheController: biases eviction in the
+        #: composite tiers, learns build/wire costs, prefetches hot
+        #: payloads and replicates hot experts through the router.
+        self.controller = controller
+        if controller is not None:
+            controller.attach_cluster(self)
 
     # ------------------------------------------------------------------
     # Public API
@@ -417,6 +424,34 @@ class ClusterGateway:
             # (the composite builder handles a one-group plan fine)
         model, _ = self._composite_model(names, plan)
         return model
+
+    def prefetch(self, tasks: TaskQuery, transport: str = "float32") -> bool:
+        """Warm the payload cache for ``tasks`` without serving a request.
+
+        Single-shard plans delegate to the owning in-process shard
+        gateway (its cache is the one a future serve will consult); plans
+        landing on a *remote* single shard return False — prefetch must
+        not push build work over the wire.  Cross-shard plans build into
+        the cluster's own composite payload cache under the usual single
+        flight + version guard, counted as ``prefetch_builds``.
+        """
+        names = canonical_tasks(tasks)
+        plan = self._plan(names)
+        if len(plan) == 1:
+            (shard_id,) = plan
+            shard = self.shards[shard_id]
+            if shard.is_remote():
+                return False
+            return shard.prefetch(names, transport)
+        key = payload_key(names, transport)
+        if self.payload_cache.contains(key):
+            return False
+        with self.metrics.stage("prefetch"):
+            self._flights.run(
+                key, lambda: self._build_payload(names, plan, transport, key)
+            )
+        self.metrics.increment("prefetch_builds")
+        return True
 
     def predict(self, images: np.ndarray, tasks: TaskQuery) -> PredictionResponse:
         """Prediction through the fused fast path, routed like :meth:`serve`.
@@ -737,6 +772,8 @@ class ClusterGateway:
             try:
                 names = canonical_tasks(tasks)
                 self.metrics.record_tasks(names)
+                if self.controller is not None:
+                    self.controller.record_request(names, transport)
                 span.tag("tasks", len(names))
                 # One retry: a rebalance can drop an expert from the shard a
                 # concurrent plan chose between planning and serving; the task
@@ -786,6 +823,14 @@ class ClusterGateway:
                 raise _tag_shard_error(error, shard_id)
             if response.coalesced:
                 self.metrics.increment("coalesced")
+            if (
+                self.controller is not None
+                and response.payload_cache_hit
+                # single-shard payloads live in the shard gateway's cache,
+                # but its key recipe is the same (names, transport) pair
+                and self.controller.was_prefetched(payload_key(names, transport))
+            ):
+                self.metrics.increment("prefetch_hits")
             if queue_seconds:
                 # the shard didn't see the cluster executor's queue wait
                 response = replace(response, queue_seconds=queue_seconds)
@@ -797,6 +842,8 @@ class ClusterGateway:
         payload = self.payload_cache.get(key)
         if payload is not None:
             model_hit, coalesced, payload_hit = False, False, True
+            if self.controller is not None and self.controller.was_prefetched(key):
+                self.metrics.increment("prefetch_hits")
         else:
             payload_hit = False
             (payload, model_hit), coalesced = self._flights.run(
@@ -864,10 +911,16 @@ class ClusterGateway:
         transport: str,
         key,
     ) -> Tuple[bytes, bool]:
+        build_start = perf_counter()
         versions = expert_versions(self.pool, names)
         self.metrics.record_shard_requests(list(plan))
         model, model_hit = self._composite_model(names, plan)
         payload = self._serialize_composite(model, names, versions, transport, key)
+        if self.controller is not None:
+            # measured gather+assemble+serialize cost for the eviction scores
+            self.controller.record_build_cost(
+                names, perf_counter() - build_start, len(payload)
+            )
         return payload, model_hit
 
     def _composite_model(
@@ -913,12 +966,19 @@ class ClusterGateway:
                 heads.update(cached)
                 if not missing:
                     continue
+                fetch_start = perf_counter()
                 try:
                     raw = shard.fetch_heads(missing, self.config.fetch_transport)
                 except BaseException as error:
                     raise _tag_shard_error(error, shard_id)
                 self.metrics.increment("remote_fetches")
                 self.metrics.increment("remote_fetch_bytes", len(raw))
+                if self.controller is not None:
+                    # wire roundtrip + bytes, amortized over the fetched
+                    # tasks: the remote-head tier's eviction cost signal
+                    self.controller.record_wire_cost(
+                        missing, perf_counter() - fetch_start, len(raw)
+                    )
                 heads.update(self._ingest_head_payload(raw))
         return heads
 

@@ -139,6 +139,16 @@ class ShardRouter:
     def pins(self) -> Mapping[str, int]:
         return dict(self._pins)
 
+    @property
+    def hot(self) -> Mapping[str, int]:
+        """Per-task replication overrides (``task -> copies``).
+
+        Installed by :meth:`replicate` — operators by hand, or the
+        self-tuning controller (:mod:`repro.control`) reacting to the
+        fan-out histogram.  Read-only snapshot for introspection.
+        """
+        return dict(self._hot)
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------

@@ -11,6 +11,14 @@ hit/eviction accounting the metrics layer reports.
 A budget of ``0`` disables the cache: every ``get`` misses and every ``put``
 is rejected.  That is how the gateway (and the throughput benchmark's
 "caches off" arm) turn a tier off without branching at every call site.
+
+Eviction order is pluggable via :attr:`ByteBudgetLRU.evict_score`: when a
+scoring hook is installed, budget pressure removes the *lowest-scoring*
+entry instead of the least-recently-used one (ties and hook failures fall
+back to LRU).  The self-tuning controller (:mod:`repro.control`) uses this
+to keep hot, expensive-to-rebuild composites resident — a GDSF-style
+``popularity x rebuild_cost / size`` policy — without this module knowing
+anything about popularity or cost.
 """
 
 from __future__ import annotations
@@ -42,6 +50,8 @@ class CacheStats:
     evictions: int = 0
     expirations: int = 0
     rejections: int = 0
+    #: Subset of ``evictions`` chosen by a score hook rather than pure LRU.
+    score_evictions: int = 0
 
     @property
     def requests(self) -> int:
@@ -67,6 +77,7 @@ def merge_cache_stats(parts: List[CacheStats]) -> CacheStats:
         evictions=sum(p.evictions for p in parts),
         expirations=sum(p.expirations for p in parts),
         rejections=sum(p.rejections for p in parts),
+        score_evictions=sum(p.score_evictions for p in parts),
     )
 
 
@@ -85,6 +96,17 @@ class ByteBudgetLRU:
         Optional tier label; when set, budget-pressure evictions emit a
         ``cache_evict`` event into the process journal (one aggregated
         event per inserting ``put``, not one per victim).
+    evict_score:
+        Optional ``key -> float`` hook consulted under budget pressure.
+        When set, the entry with the strictly lowest score is evicted
+        (ties broken by LRU order); when ``None`` (the default) eviction
+        is plain LRU, bit-for-bit identical to the unhooked cache.  If
+        the just-inserted key itself scores lowest it is removed and the
+        ``put`` counts as a rejection, not an insertion — cost-aware
+        admission control falls out of the same comparison.  The hook is
+        called with the cache lock held: it must not call back into this
+        cache and must be cheap.  A raising hook falls back to LRU for
+        that eviction.
     """
 
     def __init__(
@@ -93,6 +115,7 @@ class ByteBudgetLRU:
         ttl_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
         name: Optional[str] = None,
+        evict_score: Optional[Callable[[Hashable], float]] = None,
     ) -> None:
         if budget_bytes < 0:
             raise ValueError("budget_bytes must be >= 0")
@@ -101,6 +124,7 @@ class ByteBudgetLRU:
         self.budget_bytes = int(budget_bytes)
         self.ttl_seconds = ttl_seconds
         self.name = name
+        self.evict_score = evict_score
         self._clock = clock
         self._lock = threading.Lock()
         # key -> (value, size_bytes, stored_at)
@@ -112,6 +136,31 @@ class ByteBudgetLRU:
         self._evictions = 0
         self._expirations = 0
         self._rejections = 0
+        self._score_evictions = 0
+
+    # ------------------------------------------------------------------
+    def _pick_victim(self) -> Hashable:
+        """Key to evict next (lock held): lowest score, or the LRU head.
+
+        The LRU head is both the default policy and the fallback when the
+        hook is absent, raises, or only ties the head's own score — so a
+        ``None`` hook leaves behaviour bit-for-bit identical to the
+        pre-hook cache.
+        """
+        lru_key = next(iter(self._entries))
+        score = self.evict_score
+        if score is None:
+            return lru_key
+        try:
+            best_key = lru_key
+            best_score: Optional[float] = None
+            for key in self._entries:  # LRU -> MRU, so strict < keeps ties on LRU
+                s = float(score(key))
+                if best_score is None or s < best_score:
+                    best_key, best_score = key, s
+            return best_key
+        except Exception:
+            return lru_key
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable, default: Any = None) -> Any:
@@ -133,10 +182,12 @@ class ByteBudgetLRU:
             return value
 
     def put(self, key: Hashable, value: Any, size_bytes: int) -> bool:
-        """Insert ``value``; evict LRU entries until within budget.
+        """Insert ``value``; evict entries until within budget.
 
         Returns ``False`` (and caches nothing) when the value alone exceeds
-        the budget — oversized artifacts would only thrash the cache.
+        the budget — oversized artifacts would only thrash the cache — or
+        when an installed :attr:`evict_score` hook ranks the new entry
+        below everything already resident (admission denied).
         """
         if size_bytes < 0:
             raise ValueError("size_bytes must be >= 0")
@@ -151,14 +202,25 @@ class ByteBudgetLRU:
             self._entries[key] = (value, size_bytes, self._clock())
             self._bytes += size_bytes
             self._insertions += 1
+            admitted = True
             evicted = 0
             evicted_bytes = 0
             while self._bytes > self.budget_bytes:
-                _, (_, evicted_size, _) = self._entries.popitem(last=False)
-                self._bytes -= evicted_size
+                victim = self._pick_victim()
+                _, victim_size, _ = self._entries.pop(victim)
+                self._bytes -= victim_size
+                if victim == key:
+                    # The new entry itself scored lowest: undo the insert
+                    # and report it as a rejection (admission denied).
+                    self._insertions -= 1
+                    self._rejections += 1
+                    admitted = False
+                    break
                 self._evictions += 1
+                if self.evict_score is not None:
+                    self._score_evictions += 1
                 evicted += 1
-                evicted_bytes += evicted_size
+                evicted_bytes += victim_size
         if evicted and self.name is not None and JOURNAL.enabled:
             JOURNAL.emit(
                 "cache_evict",
@@ -167,7 +229,7 @@ class ByteBudgetLRU:
                 freed_bytes=evicted_bytes,
                 budget_bytes=self.budget_bytes,
             )
-        return True
+        return admitted
 
     def contains(self, key: Hashable) -> bool:
         """Whether a live (non-expired) entry exists for ``key``.
@@ -229,6 +291,7 @@ class ByteBudgetLRU:
                 evictions=self._evictions,
                 expirations=self._expirations,
                 rejections=self._rejections,
+                score_evictions=self._score_evictions,
             )
 
     def reset_stats(self) -> None:
@@ -237,6 +300,7 @@ class ByteBudgetLRU:
             self._hits = self._misses = 0
             self._insertions = self._evictions = 0
             self._expirations = self._rejections = 0
+            self._score_evictions = 0
 
     def __repr__(self) -> str:  # pragma: no cover
         s = self.stats()

@@ -380,10 +380,15 @@ class ServingGateway:
         config: Optional[GatewayConfig] = None,
         metrics: Optional[ServingMetrics] = None,
         trunk_cache: Optional[TrunkFeatureCache] = None,
+        controller=None,
     ) -> None:
         self.pool = pool
         self.config = config or GatewayConfig()
         self.metrics = metrics or ServingMetrics()
+        #: Optional repro.control.CacheController: when attached it biases
+        #: eviction in every tier, learns build costs, and prefetches hot
+        #: payloads through :meth:`prefetch`.
+        self.controller = controller
         self.model_cache = ByteBudgetLRU(
             self.config.model_cache_bytes,
             ttl_seconds=self.config.ttl_seconds,
@@ -435,6 +440,8 @@ class ServingGateway:
         add_listener = getattr(pool, "add_listener", None)
         if add_listener is not None:
             add_listener(self._listener)
+        if controller is not None:
+            controller.attach_gateway(self)
 
     def _on_pool_update(self, name: str) -> None:
         from ..core.pool import LIBRARY_TASK
@@ -480,6 +487,26 @@ class ServingGateway:
         """The consolidated model for ``tasks``, in canonical task order."""
         model, _ = self._model_for(canonical_tasks(tasks))
         return model
+
+    def prefetch(self, tasks: TaskQuery, transport: str = "float32") -> bool:
+        """Warm the payload cache for ``tasks`` without serving a request.
+
+        The self-tuning controller's actuator: builds (and caches) the
+        serialized payload exactly like a served miss would — single
+        flight, version guard and all — but counts under
+        ``prefetch_builds``/the ``prefetch`` stage instead of
+        ``requests``, so prefetch traffic stays separable in every
+        snapshot.  Returns True when a payload was built, False when one
+        was already resident.
+        """
+        names = canonical_tasks(tasks)
+        key = payload_key(names, transport)
+        if self.payload_cache.contains(key):
+            return False
+        with self.metrics.stage("prefetch"):
+            self._flights.run(key, lambda: self._build_payload(names, transport, key))
+        self.metrics.increment("prefetch_builds")
+        return True
 
     def predict(self, images: np.ndarray, tasks: TaskQuery) -> PredictionResponse:
         """Run prediction through the fused fast path, on the calling thread.
@@ -599,11 +626,15 @@ class ServingGateway:
             try:
                 names = canonical_tasks(tasks)
                 self.metrics.record_tasks(names)
+                if self.controller is not None:
+                    self.controller.record_request(names, transport)
                 key = payload_key(names, transport)
 
                 payload = self.payload_cache.get(key)
                 if payload is not None:
                     model_hit, coalesced, payload_hit = False, False, True
+                    if self.controller is not None and self.controller.was_prefetched(key):
+                        self.metrics.increment("prefetch_hits")
                 else:
                     payload_hit = False
                     (payload, model_hit), coalesced = self._flights.run(
@@ -638,11 +669,18 @@ class ServingGateway:
     ) -> Tuple[bytes, bool]:
         from ..core.server import serialize_task_model
 
+        build_start = perf_counter()
         versions = expert_versions(self.pool, names)
         model, model_hit = self._model_for(names)
         with self.metrics.stage("serialize"):
             payload = serialize_task_model(
                 model.network, model.task, self.pool.config, transport=transport
+            )
+        if self.controller is not None:
+            # measured consolidate+serialize cost: the rebuild price the
+            # eviction scores weigh against popularity
+            self.controller.record_build_cost(
+                names, perf_counter() - build_start, len(payload)
             )
         # don't cache if an expert was re-extracted while we were building:
         # the invalidation listener fired before this entry existed (the
@@ -711,6 +749,8 @@ class ServingGateway:
             self.metrics.observe("queue", queue_seconds)
         self.metrics.increment("predictions")
         self.metrics.record_tasks(names)
+        if self.controller is not None:
+            self.controller.record_request(names)  # popularity only: no payload
         with TRACER.span("gateway.predict") as span:
             try:
                 # result lookup FIRST: the key snapshots expert versions before

@@ -288,6 +288,17 @@ class PopularityEWMA:
             for name, entry in self._tasks.items()
         }
 
+    def score(self, name: str) -> float:
+        """One task's decayed-to-now score (``0.0`` when never recorded).
+
+        Cheap single-key read for eviction-score hooks that rank cache
+        entries by live popularity; no state is mutated.
+        """
+        entry = self._tasks.get(name)
+        if entry is None:
+            return 0.0
+        return entry[0] * self._decay(self._clock() - entry[2])
+
     def top(self, n: int = 10) -> List[Tuple[str, float]]:
         """The ``n`` hottest tasks as ``(name, score)``, hottest first."""
         snap = self.snapshot()

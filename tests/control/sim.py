@@ -1,0 +1,140 @@
+"""Deterministic simulation harness for the self-tuning control plane.
+
+Every moving part of the control loop takes an injected clock, so the
+whole stack — gateway (or cluster), :class:`repro.control.CacheController`,
+and :class:`repro.obs.timeline.TelemetryPoller` — can be stepped
+synchronously from a single :class:`FakeClock`.  Nothing here sleeps and
+no background thread runs: a test *is* the scheduler.  ``serve`` advances
+simulated time by one fixed ``dt`` per request (the same convention the
+``bench_self_tuning`` benchmark uses), and ``run`` interleaves controller
+ticks and telemetry polls at fixed request strides, recording every
+:class:`~repro.control.TickReport` and poll diff for assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.control import CacheController, ControllerConfig, TickReport
+from repro.obs.timeline import TelemetryPoller
+from repro.serving.gateway import GatewayConfig, ServingGateway
+
+__all__ = ["FakeClock", "SimHarness"]
+
+
+class FakeClock:
+    """Explicitly-advanced monotonic clock shared by every sim component."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("simulated time cannot go backwards")
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class SimHarness:
+    """One gateway + controller + poller stepped on one fake clock.
+
+    Parameters
+    ----------
+    pool:
+        The trained pool to serve.
+    gateway_config:
+        Defaults to a single-worker gateway (deterministic build order).
+    controller_config:
+        Defaults to a 2.5 sim-second popularity half-life (50 requests at
+        the default ``dt``), matching the self-tuning benchmark.
+    dt:
+        Simulated seconds each ``serve``/``predict`` advances the clock.
+    """
+
+    def __init__(
+        self,
+        pool,
+        *,
+        gateway_config: Optional[GatewayConfig] = None,
+        controller_config: Optional[ControllerConfig] = None,
+        dt: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        self.clock = FakeClock()
+        self.dt = dt
+        self.controller = CacheController(
+            controller_config or ControllerConfig(popularity_halflife_s=2.5),
+            clock=self.clock,
+            seed=seed,
+        )
+        self.gateway = ServingGateway(
+            pool,
+            gateway_config or GatewayConfig(max_workers=1),
+            controller=self.controller,
+        )
+        self.poller = TelemetryPoller.for_gateway(self.gateway, clock=self.clock)
+        self.reports: List[TickReport] = []
+        self.polls: List[Dict[str, Dict[str, float]]] = []
+
+    # ------------------------------------------------------------------
+    def serve(self, names: Sequence[str], transport: str = "float32"):
+        """Advance one ``dt`` and serve one request."""
+        self.clock.advance(self.dt)
+        return self.gateway.serve(names, transport)
+
+    def tick(self) -> TickReport:
+        """One synchronous control-loop step (recorded in ``reports``)."""
+        report = self.controller.tick()
+        self.reports.append(report)
+        return report
+
+    def poll(self) -> Dict[str, Dict[str, float]]:
+        """One synchronous telemetry sweep (recorded in ``polls``).
+
+        Advances a minimal step first so consecutive polls never see a
+        zero-elapsed diff window.
+        """
+        self.clock.advance(self.dt)
+        produced = self.poller.poll_once()
+        self.polls.append(produced)
+        return produced
+
+    def run(
+        self,
+        trace: Sequence[Tuple[Sequence[str], str]],
+        *,
+        tick_every: int = 25,
+        poll_every: int = 0,
+    ) -> List[TickReport]:
+        """Drive a ``[(names, transport), ...]`` trace through the loop.
+
+        Ticks the controller every ``tick_every`` requests and (when
+        ``poll_every`` > 0) polls telemetry every ``poll_every`` requests,
+        exactly as a deployed stack would — minus the threads.
+        """
+        started = len(self.reports)
+        for i, (names, transport) in enumerate(trace):
+            self.serve(names, transport)
+            if tick_every and (i + 1) % tick_every == 0:
+                self.tick()
+            if poll_every and (i + 1) % poll_every == 0:
+                self.poll()
+        return self.reports[started:]
+
+    # ------------------------------------------------------------------
+    def payload_stats(self):
+        return self.gateway.payload_cache.stats()
+
+    def counter(self, name: str) -> int:
+        return self.gateway.metrics.counter(name)
+
+    def close(self) -> None:
+        self.gateway.close()
+
+    def __enter__(self) -> "SimHarness":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

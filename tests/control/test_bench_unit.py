@@ -1,0 +1,164 @@
+"""Unit tests for the self-tuning bench machinery (no pool, no serving).
+
+The heavy two-arm driver runs in ``benchmarks/bench_self_tuning.py``;
+here the pure pieces — the shifting-Zipf trace generator, the report
+dataclasses, and the :func:`verify_report` gate — are pinned down with
+hand-built inputs.
+"""
+
+import itertools
+
+import pytest
+
+from repro.control import (
+    SelfTuningReport,
+    StepClock,
+    shifting_workload_trace,
+    verify_report,
+)
+from repro.control.bench import ArmReport
+
+TASKS = [f"t{i}" for i in range(8)]
+
+
+class TestStepClock:
+    def test_advances_explicitly(self):
+        clock = StepClock(start=2.0)
+        assert clock() == 2.0
+        clock.advance(0.5)
+        clock.advance(0.5)
+        assert clock() == 3.0
+
+
+class TestShiftingWorkloadTrace:
+    def test_same_seed_is_bit_identical(self):
+        a = shifting_workload_trace(TASKS, requests=100, hot_size=4, seed=7)
+        b = shifting_workload_trace(TASKS, requests=100, hot_size=4, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a, _ = shifting_workload_trace(TASKS, requests=100, hot_size=4, seed=0)
+        b, _ = shifting_workload_trace(TASKS, requests=100, hot_size=4, seed=1)
+        assert a != b
+
+    def test_rotation_at_midpoint_with_disjoint_hot_sets(self):
+        trace, rotation_at = shifting_workload_trace(
+            TASKS, requests=200, hot_size=4, hot_fraction=1.0, seed=3
+        )
+        assert rotation_at == 100
+        phase1 = set(q for q, _ in trace[:rotation_at])
+        phase2 = set(q for q, _ in trace[rotation_at:])
+        assert len(phase1) <= 4 and len(phase2) <= 4
+        assert not phase1 & phase2  # the hot sets are disjoint pairs
+
+    def test_queries_are_canonical_combinations(self):
+        trace, _ = shifting_workload_trace(TASKS, requests=150, hot_size=4, seed=5)
+        universe = set(
+            itertools.chain(
+                ((n,) for n in TASKS),
+                itertools.combinations(sorted(TASKS), 2),
+                itertools.combinations(sorted(TASKS), 3),
+            )
+        )
+        assert all(q in universe for q, _ in trace)
+        assert all(t == "float32" for _, t in trace)
+
+    def test_too_few_tasks_rejected(self):
+        with pytest.raises(ValueError, match="disjoint hot sets"):
+            shifting_workload_trace(["a", "b", "c"], hot_size=8)
+
+    def test_too_few_requests_rejected(self):
+        with pytest.raises(ValueError, match="requests"):
+            shifting_workload_trace(TASKS, requests=1)
+
+
+def _arm(label, qps, hit_rate, **overrides):
+    fields = dict(
+        label=label,
+        requests=100,
+        elapsed_s=1.0,
+        qps=qps,
+        payload_hit_rate=hit_rate,
+        payload_hits=int(100 * hit_rate),
+        payload_misses=100 - int(100 * hit_rate),
+        evictions=10,
+        score_evictions=0,
+        rejections=0,
+        prefetch_builds=0,
+        prefetch_hits=0,
+    )
+    fields.update(overrides)
+    return ArmReport(**fields)
+
+
+def _report(static, tuned):
+    return SelfTuningReport(
+        static=static,
+        tuned=tuned,
+        rotation_at=50,
+        hot_size=8,
+        budget_payloads=6,
+        budget_bytes=600,
+        payload_bytes=100,
+        ticks=4,
+    )
+
+
+GOOD_TUNED = dict(score_evictions=20, rejections=30, prefetch_builds=5, prefetch_hits=9)
+
+
+class TestReport:
+    def test_derived_ratios(self):
+        report = _report(_arm("s", 100.0, 0.5), _arm("t", 120.0, 0.6, **GOOD_TUNED))
+        assert report.hit_rate_gain == pytest.approx(0.1)
+        assert report.qps_ratio == pytest.approx(1.2)
+        d = report.to_dict()
+        assert d["qps_ratio"] == 1.2
+        assert d["tuned"]["prefetch_builds"] == 5
+
+    def test_zero_static_qps_is_safe(self):
+        report = _report(_arm("s", 0.0, 0.5), _arm("t", 120.0, 0.6))
+        assert report.qps_ratio == 0.0
+
+    def test_render_is_a_two_arm_table(self):
+        report = _report(_arm("s", 100.0, 0.5), _arm("t", 120.0, 0.6, **GOOD_TUNED))
+        text = report.render()
+        assert "static-lru" not in text  # labels come from the arms
+        assert "s" in text and "t" in text
+        assert "qps_ratio=1.20x" in text
+        assert "gain=+10.0%" in text
+
+
+class TestVerifyReport:
+    def test_winning_report_passes_unrelaxed(self):
+        report = _report(_arm("s", 100.0, 0.5), _arm("t", 120.0, 0.6, **GOOD_TUNED))
+        verify_report(report, relaxed=False)
+
+    def test_hit_rate_must_strictly_improve(self):
+        report = _report(_arm("s", 100.0, 0.6), _arm("t", 120.0, 0.6, **GOOD_TUNED))
+        with pytest.raises(AssertionError, match="hit rate"):
+            verify_report(report, relaxed=False)
+
+    def test_controller_must_prefetch(self):
+        tuned = dict(GOOD_TUNED, prefetch_builds=0)
+        report = _report(_arm("s", 100.0, 0.5), _arm("t", 120.0, 0.6, **tuned))
+        with pytest.raises(AssertionError, match="never prefetched"):
+            verify_report(report, relaxed=False)
+
+    def test_score_hook_must_act(self):
+        tuned = dict(GOOD_TUNED, score_evictions=0, rejections=0)
+        report = _report(_arm("s", 100.0, 0.5), _arm("t", 120.0, 0.6, **tuned))
+        with pytest.raises(AssertionError, match="score hook"):
+            verify_report(report, relaxed=False)
+
+    def test_unrelaxed_requires_qps_win(self):
+        report = _report(_arm("s", 100.0, 0.5), _arm("t", 99.0, 0.6, **GOOD_TUNED))
+        with pytest.raises(AssertionError, match="qps"):
+            verify_report(report, relaxed=False)
+
+    def test_relaxed_allows_qps_loss_but_not_collapse(self):
+        report = _report(_arm("s", 100.0, 0.5), _arm("t", 60.0, 0.6, **GOOD_TUNED))
+        verify_report(report, relaxed=True)  # 0.6x: slower but alive
+        collapsed = _report(_arm("s", 100.0, 0.5), _arm("t", 40.0, 0.6, **GOOD_TUNED))
+        with pytest.raises(AssertionError, match="collapsed"):
+            verify_report(collapsed, relaxed=True)

@@ -1,0 +1,202 @@
+"""Property tests: ByteBudgetLRU invariants, with and without score hooks.
+
+A tiny reference model re-implements the *documented* semantics — LRU
+recency, byte budget, lowest-score victim with strict-``<`` LRU tie-break,
+admission denial when the new entry itself scores lowest — and hypothesis
+drives both the model and the real cache through arbitrary op sequences.
+Any divergence in contents, order, or counters is a bug in one of them.
+The ``scores=None`` case doubles as the regression that an unhooked cache
+is plain LRU, and the constant-score case pins the tie-break: a hook that
+cannot distinguish entries must reproduce LRU eviction order exactly.
+"""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serving.cache import ByteBudgetLRU
+
+KEYS = "abcdef"
+BUDGET = 100
+
+#: Arbitrary op sequences over a small key alphabet.  Sizes up to just
+#: over half the budget force frequent evictions and admission checks.
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from(KEYS), st.integers(0, 60)),
+        st.tuples(st.just("get"), st.sampled_from(KEYS)),
+        st.tuples(st.just("discard"), st.sampled_from(KEYS)),
+        st.tuples(st.just("clear")),
+    ),
+    max_size=40,
+)
+
+#: None → unhooked cache; otherwise a fixed key → score table.  Scores are
+#: small integers so ties are common (the tie-break path gets exercised).
+SCORE_TABLES = st.one_of(
+    st.none(),
+    st.fixed_dictionaries({k: st.integers(0, 3) for k in KEYS}),
+)
+
+
+class ModelLRU:
+    """Reference implementation of the documented ByteBudgetLRU semantics."""
+
+    def __init__(self, budget, score=None):
+        self.budget = budget
+        self.score = score
+        self.entries = OrderedDict()  # key -> size
+        self.hits = self.misses = 0
+        self.insertions = self.evictions = 0
+        self.rejections = self.score_evictions = 0
+
+    def _victim(self):
+        if self.score is None:
+            return next(iter(self.entries))
+        best_key, best_score = None, None
+        for key in self.entries:  # LRU -> MRU; strict < keeps ties on LRU
+            s = float(self.score(key))
+            if best_score is None or s < best_score:
+                best_key, best_score = key, s
+        return best_key
+
+    def get(self, key):
+        if key not in self.entries:
+            self.misses += 1
+            return None
+        self.entries.move_to_end(key)
+        self.hits += 1
+        return self.entries[key]
+
+    def put(self, key, size):
+        if self.budget == 0 or size > self.budget:
+            self.rejections += 1
+            return False
+        self.entries.pop(key, None)
+        self.entries[key] = size
+        self.insertions += 1
+        while sum(self.entries.values()) > self.budget:
+            victim = self._victim()
+            del self.entries[victim]
+            if victim == key:
+                self.insertions -= 1
+                self.rejections += 1
+                return False
+            self.evictions += 1
+            if self.score is not None:
+                self.score_evictions += 1
+        return True
+
+    def discard(self, key):
+        return self.entries.pop(key, None) is not None
+
+    def clear(self):
+        self.entries.clear()
+
+
+def _apply(cache, model, ops):
+    """Run ``ops`` through both and assert equivalence after every step."""
+    for op in ops:
+        if op[0] == "put":
+            _, key, size = op
+            assert cache.put(key, size, size) == model.put(key, size)
+        elif op[0] == "get":
+            assert cache.get(op[1]) == model.get(op[1])
+        elif op[0] == "discard":
+            assert cache.discard(op[1]) == model.discard(op[1])
+        else:
+            cache.clear()
+            model.clear()
+        stats = cache.stats()
+        # hard budget invariant, whatever the policy decided
+        assert stats.current_bytes <= BUDGET
+        # identical contents in identical recency order
+        assert cache.keys() == list(model.entries)
+        assert stats.current_bytes == sum(model.entries.values())
+        assert stats.current_entries == len(model.entries)
+        # identical counter trajectories
+        assert stats.hits == model.hits
+        assert stats.misses == model.misses
+        assert stats.insertions == model.insertions
+        assert stats.evictions == model.evictions
+        assert stats.rejections == model.rejections
+        assert stats.score_evictions == model.score_evictions
+        assert stats.score_evictions <= stats.evictions or stats.evictions == 0
+
+
+@pytest.mark.parametrize("tier", [None, "model", "payload", "result"])
+@given(ops=OPS, scores=SCORE_TABLES)
+def test_cache_matches_reference_model(tier, ops, scores):
+    hook = None if scores is None else (lambda key: scores[key])
+    cache = ByteBudgetLRU(BUDGET, name=tier, evict_score=hook)
+    _apply(cache, ModelLRU(BUDGET, hook), ops)
+
+
+@given(ops=OPS)
+def test_constant_score_hook_is_plain_lru(ops):
+    """A hook that cannot rank entries must evict in exact LRU order."""
+    plain = ByteBudgetLRU(BUDGET)
+    hooked = ByteBudgetLRU(BUDGET, evict_score=lambda key: 1.0)
+    for op in ops:
+        if op[0] == "put":
+            _, key, size = op
+            assert plain.put(key, size, size) == hooked.put(key, size, size)
+        elif op[0] == "get":
+            assert plain.get(op[1]) == hooked.get(op[1])
+        elif op[0] == "discard":
+            assert plain.discard(op[1]) == hooked.discard(op[1])
+        else:
+            plain.clear()
+            hooked.clear()
+        assert plain.keys() == hooked.keys()
+        p, h = plain.stats(), hooked.stats()
+        # every counter agrees except score attribution: the hooked cache
+        # routes the same evictions through its (tied) score scan
+        assert (p.hits, p.misses, p.insertions, p.evictions, p.rejections) == (
+            h.hits,
+            h.misses,
+            h.insertions,
+            h.evictions,
+            h.rejections,
+        )
+        assert p.score_evictions == 0
+        assert h.score_evictions == h.evictions
+
+
+@given(ops=OPS, scores=st.fixed_dictionaries({k: st.integers(0, 3) for k in KEYS}))
+def test_raising_hook_degrades_to_lru(ops, scores):
+    """A hook that blows up must leave the cache behaving like plain LRU."""
+
+    def bomb(key):
+        raise RuntimeError("scorer down")
+
+    plain = ByteBudgetLRU(BUDGET)
+    hooked = ByteBudgetLRU(BUDGET, evict_score=bomb)
+    for op in ops:
+        if op[0] == "put":
+            _, key, size = op
+            assert plain.put(key, size, size) == hooked.put(key, size, size)
+        elif op[0] == "get":
+            assert plain.get(op[1]) == hooked.get(op[1])
+        elif op[0] == "discard":
+            assert plain.discard(op[1]) == hooked.discard(op[1])
+        else:
+            plain.clear()
+            hooked.clear()
+        assert plain.keys() == hooked.keys()
+
+
+def test_self_eviction_is_admission_denial():
+    """A new key scoring below everything resident is rejected, not cached."""
+    scores = {"hot": 5.0, "warm": 3.0, "cold": 0.1}
+    cache = ByteBudgetLRU(100, evict_score=lambda k: scores[k])
+    assert cache.put("hot", b"x", 50)
+    assert cache.put("warm", b"y", 50)
+    assert not cache.put("cold", b"z", 50)
+    assert cache.keys() == ["hot", "warm"]
+    stats = cache.stats()
+    assert stats.rejections == 1
+    assert stats.insertions == 2
+    assert stats.evictions == 0

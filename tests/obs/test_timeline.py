@@ -130,6 +130,31 @@ class TestSnapshotRates:
         with pytest.raises(ValueError):
             snapshot_rates(_snap(), _snap(), dt=0.0)
 
+    def test_controller_counters_always_get_a_series(self):
+        # the self-tuning gauges are KEY_COUNTERS: a zero-rate series still
+        # appears, so dashboards show "0/s" rather than a missing line
+        rates = snapshot_rates(_snap(), _snap(), dt=1.0)
+        for name in ("prefetch_builds", "prefetch_hits", "autotune_replications"):
+            assert rates[f"rate.{name}"] == 0.0
+
+    def test_score_evictions_series_only_after_hook_fires(self):
+        prev = _snap(cache_stats={"payload": {"hits": 0, "misses": 0, "score_evictions": 0}})
+        curr = _snap(cache_stats={"payload": {"hits": 0, "misses": 0, "score_evictions": 0}})
+        rates = snapshot_rates(prev, curr, dt=1.0)
+        assert "cache.payload.score_evictions" not in rates  # plain-LRU tier
+
+        curr = _snap(cache_stats={"payload": {"hits": 0, "misses": 0, "score_evictions": 6}})
+        rates = snapshot_rates(prev, curr, dt=2.0)
+        assert rates["cache.payload.score_evictions"] == pytest.approx(3.0)
+
+    def test_score_evictions_reset_clamps_to_zero(self):
+        # a restarted shard's counter going backwards must not yield a
+        # negative rate
+        prev = _snap(cache_stats={"payload": {"hits": 0, "misses": 0, "score_evictions": 10}})
+        curr = _snap(cache_stats={"payload": {"hits": 0, "misses": 0, "score_evictions": 2}})
+        rates = snapshot_rates(prev, curr, dt=1.0)
+        assert rates["cache.payload.score_evictions"] == 0.0
+
 
 class TestTelemetryPoller:
     def test_first_poll_seeds_then_diffs(self):
@@ -206,6 +231,29 @@ class TestTelemetryPoller:
     def test_invalid_interval_rejected(self):
         with pytest.raises(ValueError):
             TelemetryPoller({}, interval_s=0.0)
+
+    def test_zero_elapsed_poll_is_a_safe_noop(self):
+        # two sweeps inside one clock tick: dt == 0 must neither divide by
+        # zero nor fabricate rates — the baseline just refreshes
+        clock = FakeClock()
+        journal = EventJournal()
+        journal.enable()
+        counters = {"requests": 0}
+        poller = TelemetryPoller(
+            {"serving": lambda: _snap(counters=dict(counters))},
+            journal=journal,
+            clock=clock,
+        )
+        poller.poll_once()
+        counters["requests"] = 100
+        assert poller.poll_once() == {}  # same instant: no diff window
+        assert poller.poll_errors == 0
+        assert poller.store.values("serving.up") == [1.0, 1.0]
+        # once time moves, the refreshed baseline diffs normally
+        counters["requests"] = 150
+        clock.advance(1.0)
+        produced = poller.poll_once()
+        assert produced["serving"]["rate.requests"] == pytest.approx(50.0)
 
     def test_background_thread_polls_and_stops(self):
         import time

@@ -338,6 +338,44 @@ class TestPopularityEWMA:
         [(first, _), (second, _)] = ewma.top(2)
         assert (first, second) == ("fresh", "stale")
 
+    def test_score_accessor_decays_to_now(self):
+        ewma, clock = self._ewma(halflife=10.0)
+        ewma.record(["a"])
+        ewma.record(["a"])
+        assert ewma.score("a") == pytest.approx(2.0)
+        clock[0] = 10.0
+        assert ewma.score("a") == pytest.approx(1.0)
+        # reads never mutate: repeating the call gives the same value
+        assert ewma.score("a") == pytest.approx(1.0)
+
+    def test_score_of_unknown_key_is_zero(self):
+        ewma, _clock = self._ewma()
+        assert ewma.score("never") == 0.0
+
+    def test_zero_elapsed_records_do_not_decay(self):
+        # many records at one instant (e.g. a burst inside one clock tick)
+        # must accumulate linearly, not blow up or decay
+        ewma, _clock = self._ewma(halflife=10.0)
+        for _ in range(5):
+            ewma.record(["a"])
+        assert ewma.score("a") == pytest.approx(5.0)
+
+    def test_long_idle_gap_decays_toward_zero_without_underflow(self):
+        ewma, clock = self._ewma(halflife=1.0)
+        ewma.record(["a"])
+        clock[0] = 1e6  # a million half-lives
+        assert ewma.score("a") == 0.0
+        ewma.record(["a"])  # recording after the gap starts fresh
+        assert ewma.score("a") == pytest.approx(1.0)
+
+    def test_tuple_keys_are_first_class(self):
+        # the self-tuning controller keys composites by canonical names
+        # tuples; any hashable must work
+        ewma, _clock = self._ewma()
+        ewma.record([("birds", "pets")])
+        assert ewma.score(("birds", "pets")) == pytest.approx(1.0)
+        assert ewma.top(1)[0][0] == ("birds", "pets")
+
     def test_invalid_halflife_rejected(self):
         with pytest.raises(ValueError):
             PopularityEWMA(halflife_s=0.0)
